@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the end-to-end hidden shift flow (compile and
+//! run), supporting experiments E1, E3 and E7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
+use qdaflow::prelude::*;
+use std::time::Duration;
+
+fn instance(n_half: usize, shift: usize) -> HiddenShiftInstance {
+    let pi = Permutation::random_seeded(n_half, 7);
+    let mm = MaioranaMcFarland::with_zero_h(pi).unwrap();
+    HiddenShiftInstance::from_maiorana_mcfarland(&mm, shift).unwrap()
+}
+
+fn bench_hidden_shift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hidden_shift_compile");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n_half in [2usize, 3] {
+        let inst = instance(n_half, 3);
+        group.bench_with_input(
+            BenchmarkId::new("truth_table_oracles", 2 * n_half),
+            &inst,
+            |b, inst| b.iter(|| inst.build_circuit(OracleStyle::TruthTable).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("structured_oracles", 2 * n_half),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    inst.build_circuit(OracleStyle::MaioranaMcFarland {
+                        synthesis: SynthesisChoice::TransformationBased,
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hidden_shift_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n_half in [2usize, 3] {
+        let inst = instance(n_half, 3);
+        let circuit = inst.build_circuit(OracleStyle::TruthTable).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ideal_64_shots", 2 * n_half),
+            &(inst, circuit),
+            |b, (inst, circuit)| b.iter(|| inst.run_ideal(circuit, 64).unwrap()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hidden_shift_classical_baseline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n_half in [2usize, 3, 4] {
+        let inst = instance(n_half, 3);
+        let f = inst.function().clone();
+        let g = inst.shifted_function();
+        group.bench_with_input(
+            BenchmarkId::new("elimination", 2 * n_half),
+            &(f, g),
+            |b, (f, g)| {
+                b.iter(|| {
+                    qdaflow::classical::ClassicalSolver::new()
+                        .solve_by_elimination(f, g)
+                        .shift
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hidden_shift);
+criterion_main!(benches);

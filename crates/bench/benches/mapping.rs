@@ -1,0 +1,27 @@
+//! Criterion benchmarks of the reversible-to-Clifford+T mapping and the
+//! T-count optimization (the `rptm` and `tpar` pipeline stages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdaflow::boolfn::hwb::hwb_permutation;
+use qdaflow::mapping::{map, optimize};
+use qdaflow::reversible::synthesis;
+use std::time::Duration;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clifford_t_mapping");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 6, 8] {
+        let reversible = synthesis::transformation_based(&hwb_permutation(n)).unwrap();
+        group.bench_with_input(BenchmarkId::new("rptm_hwb", n), &reversible, |b, circuit| {
+            b.iter(|| map::to_clifford_t(circuit, &map::MappingOptions::default()).unwrap())
+        });
+        let mapped = map::to_clifford_t(&reversible, &map::MappingOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("tpar_hwb", n), &mapped, |b, circuit| {
+            b.iter(|| optimize::optimize_clifford_t(circuit))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

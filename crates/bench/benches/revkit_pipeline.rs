@@ -1,0 +1,24 @@
+//! Criterion benchmark of the complete RevKit shell pipeline of
+//! equation (5) of the paper (experiment E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdaflow::prelude::*;
+use std::time::Duration;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revkit_pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [4usize, 5, 6] {
+        let script = format!("revgen --hwb {n}; tbs; revsimp; rptm; tpar; ps -c");
+        group.bench_with_input(BenchmarkId::new("eq5_hwb", n), &script, |b, script| {
+            b.iter(|| {
+                let mut shell = Shell::new();
+                shell.run_script(script).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks of the reversible synthesis algorithms
+//! (supporting experiment E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdaflow::boolfn::{hwb::hwb_permutation, Permutation, TruthTable};
+use qdaflow::reversible::synthesis;
+use std::time::Duration;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reversible_synthesis");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 6, 8] {
+        let hwb = hwb_permutation(n);
+        group.bench_with_input(BenchmarkId::new("tbs_hwb", n), &hwb, |b, p| {
+            b.iter(|| synthesis::transformation_based(p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dbs_hwb", n), &hwb, |b, p| {
+            b.iter(|| synthesis::decomposition_based(p).unwrap())
+        });
+        let random = Permutation::random_seeded(n, 42);
+        group.bench_with_input(BenchmarkId::new("tbs_random", n), &random, |b, p| {
+            b.iter(|| synthesis::transformation_based(p).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("esop_synthesis");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [4usize, 6, 8] {
+        let function = TruthTable::from_fn(n, |x| (x.wrapping_mul(2654435761) >> 3) % 7 < 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("esopbs", n), &function, |b, f| {
+            b.iter(|| synthesis::esop_based_single(f, Default::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

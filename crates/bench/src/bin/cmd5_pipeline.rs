@@ -1,0 +1,25 @@
+//! Experiment E4 (equation (5) of the paper): the RevKit command pipeline
+//! `revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c` and its printed
+//! statistics.
+
+use qdaflow::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== E4: RevKit pipeline of equation (5) ===");
+    let script = "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c";
+    println!("$ {script}");
+    let mut shell = Shell::new();
+    for line in shell.run_script(script)? {
+        println!("{line}");
+    }
+
+    // Also run the same specification through decomposition-based synthesis
+    // for comparison.
+    let script = "revgen --hwb 4; dbs; revsimp; rptm; tpar; ps -c; simulate";
+    println!("\n$ {script}");
+    let mut shell = Shell::new();
+    for line in shell.run_script(script)? {
+        println!("{line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Experiment E6: synthesis-method comparison across benchmark functions,
+//! quantifying the scaling behaviour Section V of the paper describes
+//! (transformation-based vs decomposition-based synthesis, gate counts,
+//! Clifford+T costs and runtimes).
+
+use qdaflow::prelude::*;
+use qdaflow::reversible::synthesis::SynthesisMethod;
+use std::time::Instant;
+
+struct Row {
+    benchmark: String,
+    method: &'static str,
+    reversible_gates: usize,
+    simplified_gates: usize,
+    t_count: usize,
+    cnot_count: usize,
+    qubits: usize,
+    micros: u128,
+}
+
+fn benchmark(name: &str, permutation: &Permutation, rows: &mut Vec<Row>) {
+    for (label, method) in [
+        ("tbs", SynthesisMethod::TransformationBased),
+        ("dbs", SynthesisMethod::DecompositionBased),
+    ] {
+        let start = Instant::now();
+        let report = qdaflow::flow::compile_permutation(permutation, method)
+            .expect("benchmark permutations are small");
+        let elapsed = start.elapsed().as_micros();
+        rows.push(Row {
+            benchmark: name.to_owned(),
+            method: label,
+            reversible_gates: report.reversible_gates,
+            simplified_gates: report.simplified_gates,
+            t_count: report.optimized.t_count,
+            cnot_count: report.optimized.cnot_count,
+            qubits: report.optimized.num_qubits,
+            micros: elapsed,
+        });
+    }
+}
+
+fn main() {
+    println!("=== E6: reversible synthesis comparison (Section V) ===");
+    let mut rows = Vec::new();
+    for n in 3..=6usize {
+        benchmark(&format!("hwb{n}"), &qdaflow::boolfn::hwb::hwb_permutation(n), &mut rows);
+    }
+    for n in 3..=6usize {
+        benchmark(
+            &format!("random{n}"),
+            &Permutation::random_seeded(n, 0xBEEF + n as u64),
+            &mut rows,
+        );
+    }
+    benchmark(
+        "fig7-pi",
+        &Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).expect("valid permutation"),
+        &mut rows,
+    );
+
+    println!(
+        "{:<10} {:<5} {:>9} {:>9} {:>8} {:>7} {:>7} {:>10}",
+        "benchmark", "synth", "rev.gates", "simp.gates", "T-count", "CNOTs", "qubits", "time[us]"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:<5} {:>9} {:>9} {:>8} {:>7} {:>7} {:>10}",
+            row.benchmark,
+            row.method,
+            row.reversible_gates,
+            row.simplified_gates,
+            row.t_count,
+            row.cnot_count,
+            row.qubits,
+            row.micros
+        );
+    }
+}

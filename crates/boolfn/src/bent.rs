@@ -1,0 +1,351 @@
+//! Bent function families used by the hidden shift benchmark.
+//!
+//! The paper uses two families:
+//!
+//! * the **inner product** function `f(x, y) = x · y` on `2n` variables,
+//! * the **Maiorana–McFarland** family `f(x, y) = x · π(y) ⊕ h(y)` for a
+//!   permutation `π` of `B^n` and an arbitrary `h : B^n -> B`
+//!   (Section VI.B).
+//!
+//! Both are bent; their duals have the closed forms given in the paper:
+//! the inner product is self-dual, and the Maiorana–McFarland dual is
+//! `f~(x, y) = π^{-1}(x) · y ⊕ h(π^{-1}(x))`.
+//!
+//! # Bit conventions
+//!
+//! A point of `B^{2n}` is encoded as an integer whose **low `n` bits are
+//! `x`** and whose **high `n` bits are `y`**. The hidden shift `s` uses the
+//! same encoding.
+
+use crate::{BoolfnError, Permutation, TruthTable};
+
+/// Splits a `2n`-bit index into its `(x, y)` halves.
+fn split(z: usize, n_half: usize) -> (usize, usize) {
+    let mask = (1usize << n_half) - 1;
+    (z & mask, z >> n_half)
+}
+
+/// Inner product of two `n`-bit vectors in `B`.
+fn dot(x: usize, y: usize) -> bool {
+    ((x & y).count_ones() % 2) == 1
+}
+
+/// The inner-product bent function `f(x, y) = x · y` over `2 * n_half`
+/// variables.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_boolfn::bent::InnerProduct;
+///
+/// let f = InnerProduct::new(2);
+/// assert_eq!(f.num_vars(), 4);
+/// // f is self-dual.
+/// assert_eq!(f.dual_truth_table().unwrap(), f.truth_table().unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InnerProduct {
+    n_half: usize,
+}
+
+impl InnerProduct {
+    /// Creates the inner-product function on `2 * n_half` variables.
+    pub fn new(n_half: usize) -> Self {
+        Self { n_half }
+    }
+
+    /// Half of the number of variables (the length of `x` and of `y`).
+    pub fn n_half(&self) -> usize {
+        self.n_half
+    }
+
+    /// Total number of variables (`2 * n_half`).
+    pub fn num_vars(&self) -> usize {
+        2 * self.n_half
+    }
+
+    /// Evaluates the function at the combined index `z = (y << n_half) | x`.
+    pub fn evaluate(&self, z: usize) -> bool {
+        let (x, y) = split(z, self.n_half);
+        dot(x, y)
+    }
+
+    /// Explicit truth table of the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] if `2 * n_half` exceeds the
+    /// explicit-representation limit.
+    pub fn truth_table(&self) -> Result<TruthTable, BoolfnError> {
+        TruthTable::from_fn(self.num_vars(), |z| self.evaluate(z))
+    }
+
+    /// Truth table of the dual bent function (equal to the function itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] for oversized functions.
+    pub fn dual_truth_table(&self) -> Result<TruthTable, BoolfnError> {
+        self.truth_table()
+    }
+}
+
+/// A Maiorana–McFarland bent function `f(x, y) = x · π(y) ⊕ h(y)`.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_boolfn::bent::MaioranaMcFarland;
+/// use qdaflow_boolfn::{Permutation, TruthTable};
+///
+/// # fn main() -> Result<(), qdaflow_boolfn::BoolfnError> {
+/// let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6])?;
+/// let h = TruthTable::zero(3)?;
+/// let f = MaioranaMcFarland::new(pi, h)?;
+/// assert_eq!(f.num_vars(), 6);
+/// assert!(qdaflow_boolfn::spectrum::is_bent(&f.truth_table()?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaioranaMcFarland {
+    pi: Permutation,
+    h: TruthTable,
+}
+
+impl MaioranaMcFarland {
+    /// Creates a Maiorana–McFarland function from a permutation `π` of `B^n`
+    /// and a function `h : B^n -> B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableCountMismatch`] if `π` and `h` act on
+    /// a different number of variables.
+    pub fn new(pi: Permutation, h: TruthTable) -> Result<Self, BoolfnError> {
+        if pi.num_vars() != h.num_vars() {
+            return Err(BoolfnError::VariableCountMismatch {
+                left: pi.num_vars(),
+                right: h.num_vars(),
+            });
+        }
+        Ok(Self { pi, h })
+    }
+
+    /// Convenience constructor with `h = 0`, which is the instance family
+    /// used in the paper's examples.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid permutation; the error type is kept for
+    /// signature uniformity with [`MaioranaMcFarland::new`].
+    pub fn with_zero_h(pi: Permutation) -> Result<Self, BoolfnError> {
+        let h = TruthTable::zero(pi.num_vars())?;
+        Self::new(pi, h)
+    }
+
+    /// The inner-product instance `π = identity`, `h = 0`.
+    pub fn inner_product(n_half: usize) -> Self {
+        Self {
+            pi: Permutation::identity(n_half),
+            h: TruthTable::zero(n_half).expect("n_half is small"),
+        }
+    }
+
+    /// The permutation `π`.
+    pub fn pi(&self) -> &Permutation {
+        &self.pi
+    }
+
+    /// The function `h`.
+    pub fn h(&self) -> &TruthTable {
+        &self.h
+    }
+
+    /// Half of the number of variables.
+    pub fn n_half(&self) -> usize {
+        self.pi.num_vars()
+    }
+
+    /// Total number of variables (`2 * n_half`).
+    pub fn num_vars(&self) -> usize {
+        2 * self.n_half()
+    }
+
+    /// Evaluates `f(x, y) = x · π(y) ⊕ h(y)` at the combined index
+    /// `z = (y << n_half) | x`.
+    pub fn evaluate(&self, z: usize) -> bool {
+        let (x, y) = split(z, self.n_half());
+        dot(x, self.pi.apply(y)) ^ self.h.get(y)
+    }
+
+    /// The dual bent function `f~(x, y) = π^{-1}(x) · y ⊕ h(π^{-1}(x))` as
+    /// another Maiorana–McFarland-style object.
+    ///
+    /// Note that the dual swaps the roles of `x` and `y`: evaluating the
+    /// returned [`Dual`] applies `π^{-1}` to the *x* half.
+    pub fn dual(&self) -> Dual {
+        Dual {
+            pi_inverse: self.pi.inverse(),
+            h: self.h.clone(),
+            n_half: self.n_half(),
+        }
+    }
+
+    /// Explicit truth table of the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] for oversized functions.
+    pub fn truth_table(&self) -> Result<TruthTable, BoolfnError> {
+        TruthTable::from_fn(self.num_vars(), |z| self.evaluate(z))
+    }
+
+    /// Explicit truth table of the dual bent function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] for oversized functions.
+    pub fn dual_truth_table(&self) -> Result<TruthTable, BoolfnError> {
+        let dual = self.dual();
+        TruthTable::from_fn(self.num_vars(), |z| dual.evaluate(z))
+    }
+
+    /// Truth table of the shifted oracle `g(z) = f(z ^ s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] for oversized functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 2^{num_vars}`.
+    pub fn shifted_truth_table(&self, shift: usize) -> Result<TruthTable, BoolfnError> {
+        Ok(self.truth_table()?.xor_shift(shift))
+    }
+}
+
+/// The dual of a [`MaioranaMcFarland`] function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dual {
+    pi_inverse: Permutation,
+    h: TruthTable,
+    n_half: usize,
+}
+
+impl Dual {
+    /// Evaluates the dual function at the combined index
+    /// `z = (y << n_half) | x`.
+    pub fn evaluate(&self, z: usize) -> bool {
+        let (x, y) = split(z, self.n_half);
+        let px = self.pi_inverse.apply(x);
+        dot(px, y) ^ self.h.get(px)
+    }
+
+    /// The inverse permutation `π^{-1}` applied to the `x` half.
+    pub fn pi_inverse(&self) -> &Permutation {
+        &self.pi_inverse
+    }
+
+    /// Explicit truth table of the dual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] for oversized functions.
+    pub fn truth_table(&self) -> Result<TruthTable, BoolfnError> {
+        TruthTable::from_fn(2 * self.n_half, |z| self.evaluate(z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum;
+
+    fn paper_instance() -> MaioranaMcFarland {
+        let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+        MaioranaMcFarland::with_zero_h(pi).unwrap()
+    }
+
+    #[test]
+    fn inner_product_matches_maiorana_mcfarland_with_identity() {
+        let ip = InnerProduct::new(3);
+        let mm = MaioranaMcFarland::inner_product(3);
+        assert_eq!(ip.truth_table().unwrap(), mm.truth_table().unwrap());
+    }
+
+    #[test]
+    fn inner_product_is_bent_and_self_dual() {
+        for n_half in 1..=3 {
+            let f = InnerProduct::new(n_half).truth_table().unwrap();
+            assert!(spectrum::is_bent(&f));
+            assert_eq!(spectrum::dual_bent(&f).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn maiorana_mcfarland_instances_are_bent() {
+        for seed in 0..8u64 {
+            let pi = Permutation::random_seeded(3, seed);
+            let h = TruthTable::from_fn(3, |y| (y.wrapping_mul(seed as usize + 3) % 5) < 2).unwrap();
+            let f = MaioranaMcFarland::new(pi, h).unwrap();
+            assert!(spectrum::is_bent(&f.truth_table().unwrap()));
+        }
+    }
+
+    #[test]
+    fn closed_form_dual_matches_spectral_dual() {
+        for seed in 0..6u64 {
+            let pi = Permutation::random_seeded(2, seed);
+            let h = TruthTable::from_fn(2, |y| (y + seed as usize) % 3 == 0).unwrap();
+            let f = MaioranaMcFarland::new(pi, h).unwrap();
+            let spectral = spectrum::dual_bent(&f.truth_table().unwrap()).unwrap();
+            assert_eq!(f.dual_truth_table().unwrap(), spectral, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn paper_instance_dual_matches_spectral_dual() {
+        let f = paper_instance();
+        let spectral = spectrum::dual_bent(&f.truth_table().unwrap()).unwrap();
+        assert_eq!(f.dual_truth_table().unwrap(), spectral);
+    }
+
+    #[test]
+    fn shifted_oracle_matches_definition() {
+        let f = paper_instance();
+        let tt = f.truth_table().unwrap();
+        let s = 5usize;
+        let g = f.shifted_truth_table(s).unwrap();
+        for z in 0..tt.len() {
+            assert_eq!(g.get(z), tt.get(z ^ s));
+        }
+    }
+
+    #[test]
+    fn mismatched_pi_and_h_are_rejected() {
+        let pi = Permutation::identity(3);
+        let h = TruthTable::zero(2).unwrap();
+        assert!(MaioranaMcFarland::new(pi, h).is_err());
+    }
+
+    #[test]
+    fn dual_exposes_inverse_permutation() {
+        let f = paper_instance();
+        let dual = f.dual();
+        assert_eq!(
+            dual.pi_inverse().compose(f.pi()).unwrap(),
+            Permutation::identity(3)
+        );
+        assert_eq!(dual.truth_table().unwrap(), f.dual_truth_table().unwrap());
+    }
+
+    #[test]
+    fn evaluate_uses_low_bits_for_x() {
+        // f(x, y) = x · π(y); with x = 0 the function must vanish when h = 0.
+        let f = paper_instance();
+        for y in 0..8usize {
+            let z = y << 3;
+            assert!(!f.evaluate(z));
+        }
+    }
+}

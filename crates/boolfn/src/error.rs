@@ -1,0 +1,127 @@
+//! Error types for the Boolean function substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating Boolean functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolfnError {
+    /// The requested number of variables exceeds [`crate::MAX_TRUTH_TABLE_VARS`]
+    /// or is otherwise unusable for an explicit representation.
+    TooManyVariables {
+        /// Number of variables that was requested.
+        requested: usize,
+        /// Maximum number of variables supported.
+        maximum: usize,
+    },
+    /// Two operands have a different number of variables.
+    VariableCountMismatch {
+        /// Variable count of the left operand.
+        left: usize,
+        /// Variable count of the right operand.
+        right: usize,
+    },
+    /// An expression references a variable index outside of the declared range.
+    VariableOutOfRange {
+        /// The referenced variable index.
+        variable: usize,
+        /// The number of variables declared for the function.
+        num_vars: usize,
+    },
+    /// Failure while parsing a Boolean expression.
+    ParseExprError {
+        /// Byte position in the input at which parsing failed.
+        position: usize,
+        /// Human readable description of the failure.
+        message: String,
+    },
+    /// A mapping over `2^n` values is not a permutation (not bijective).
+    NotAPermutation {
+        /// First duplicated or out-of-range image value found.
+        offending_value: usize,
+    },
+    /// The permutation length is not a power of two, so it does not describe a
+    /// reversible function over bit-vectors.
+    NotPowerOfTwo {
+        /// Length that was provided.
+        length: usize,
+    },
+    /// A bent function was requested over an odd number of variables.
+    OddVariableCount {
+        /// The requested (odd) number of variables.
+        num_vars: usize,
+    },
+    /// The function is not bent, so no dual bent function exists.
+    NotBent,
+}
+
+impl fmt::Display for BoolfnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooManyVariables { requested, maximum } => write!(
+                f,
+                "explicit representation over {requested} variables exceeds the supported maximum of {maximum}"
+            ),
+            Self::VariableCountMismatch { left, right } => write!(
+                f,
+                "operands have mismatched variable counts ({left} vs {right})"
+            ),
+            Self::VariableOutOfRange { variable, num_vars } => write!(
+                f,
+                "variable x{variable} is out of range for a function on {num_vars} variables"
+            ),
+            Self::ParseExprError { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            Self::NotAPermutation { offending_value } => write!(
+                f,
+                "mapping is not a permutation (value {offending_value} is duplicated or out of range)"
+            ),
+            Self::NotPowerOfTwo { length } => {
+                write!(f, "permutation length {length} is not a power of two")
+            }
+            Self::OddVariableCount { num_vars } => write!(
+                f,
+                "bent functions require an even number of variables, got {num_vars}"
+            ),
+            Self::NotBent => write!(f, "function is not bent"),
+        }
+    }
+}
+
+impl Error for BoolfnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_variable_counts() {
+        let err = BoolfnError::VariableCountMismatch { left: 3, right: 5 };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('5'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoolfnError>();
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors = [
+            BoolfnError::TooManyVariables {
+                requested: 30,
+                maximum: 24,
+            },
+            BoolfnError::NotBent,
+            BoolfnError::NotPowerOfTwo { length: 3 },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().is_some_and(|c| c.is_lowercase()));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Exclusive sum-of-products (ESOP) representations.
+//!
+//! ESOP expressions are the input format of ESOP-based reversible synthesis
+//! (Section V of the paper): each product term (cube) becomes one
+//! multiple-controlled Toffoli gate. This module provides
+//!
+//! * [`Cube`] — a product of literals with positive or negative polarity,
+//! * [`Esop`] — an exclusive sum of cubes,
+//! * extraction of the positive-polarity Reed–Muller form (PPRM) via the
+//!   standard butterfly transform,
+//! * fixed-polarity Reed–Muller forms (FPRM) for a chosen polarity vector,
+//! * a greedy polarity search that approximates ESOP minimization in the
+//!   spirit of the heuristic minimizers referenced by the paper.
+
+use crate::{BoolfnError, TruthTable};
+use std::fmt;
+
+/// A product term over up to 64 variables.
+///
+/// `mask` selects which variables appear in the cube; for every selected
+/// variable the corresponding bit of `polarity` chooses between the positive
+/// literal (`1`) and the negative literal (`0`). Bits of `polarity` outside of
+/// `mask` are ignored and kept at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    mask: u64,
+    polarity: u64,
+}
+
+impl Cube {
+    /// The empty cube (constant function `1`).
+    pub fn tautology() -> Self {
+        Self {
+            mask: 0,
+            polarity: 0,
+        }
+    }
+
+    /// Creates a cube from a variable mask and a polarity word.
+    ///
+    /// Bits of `polarity` that are not covered by `mask` are cleared.
+    pub fn new(mask: u64, polarity: u64) -> Self {
+        Self {
+            mask,
+            polarity: polarity & mask,
+        }
+    }
+
+    /// Creates a cube containing exactly the positive literals of `mask`.
+    pub fn positive(mask: u64) -> Self {
+        Self {
+            mask,
+            polarity: mask,
+        }
+    }
+
+    /// Creates the single-literal cube `x_var` (positive) or `!x_var`
+    /// (negative).
+    pub fn literal(var: usize, positive: bool) -> Self {
+        let mask = 1u64 << var;
+        Self {
+            mask,
+            polarity: if positive { mask } else { 0 },
+        }
+    }
+
+    /// Variable selection mask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Polarity word (restricted to the mask).
+    pub fn polarity(&self) -> u64 {
+        self.polarity
+    }
+
+    /// Number of literals in the cube.
+    pub fn num_literals(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Returns `Some(true)` for a positive literal, `Some(false)` for a
+    /// negative literal and `None` if the variable does not appear.
+    pub fn literal_polarity(&self, var: usize) -> Option<bool> {
+        if (self.mask >> var) & 1 == 0 {
+            None
+        } else {
+            Some((self.polarity >> var) & 1 == 1)
+        }
+    }
+
+    /// Evaluates the cube on an input assignment.
+    pub fn evaluate(&self, x: usize) -> bool {
+        (x as u64 & self.mask) == self.polarity
+    }
+
+    /// Iterates over `(variable, positive)` literal pairs.
+    pub fn literals(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        (0..64).filter_map(move |var| self.literal_polarity(var).map(|pol| (var, pol)))
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mask == 0 {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (var, positive) in self.literals() {
+            if !first {
+                write!(f, "*")?;
+            }
+            first = false;
+            if positive {
+                write!(f, "x{var}")?;
+            } else {
+                write!(f, "!x{var}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An exclusive sum of [`Cube`]s representing a single-output Boolean
+/// function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Esop {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Esop {
+    /// Creates an ESOP from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableOutOfRange`] if a cube references a
+    /// variable `>= num_vars`.
+    pub fn new(num_vars: usize, cubes: Vec<Cube>) -> Result<Self, BoolfnError> {
+        for cube in &cubes {
+            if num_vars < 64 && cube.mask() >> num_vars != 0 {
+                let variable = (63 - cube.mask().leading_zeros()) as usize;
+                return Err(BoolfnError::VariableOutOfRange { variable, num_vars });
+            }
+        }
+        Ok(Self { num_vars, cubes })
+    }
+
+    /// The constant-zero ESOP (no cubes).
+    pub fn zero(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The cubes of the expression.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total number of literals over all cubes.
+    pub fn num_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// Evaluates the expression on an input assignment.
+    pub fn evaluate(&self, x: usize) -> bool {
+        self.cubes
+            .iter()
+            .fold(false, |acc, cube| acc ^ cube.evaluate(x))
+    }
+
+    /// Converts the expression back into an explicit truth table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] if the expression has too
+    /// many variables for an explicit table.
+    pub fn truth_table(&self) -> Result<TruthTable, BoolfnError> {
+        TruthTable::from_fn(self.num_vars, |x| self.evaluate(x))
+    }
+
+    /// Extracts the positive-polarity Reed–Muller form (PPRM) of a truth
+    /// table. The PPRM is canonical: it is the unique ESOP using only
+    /// positive literals.
+    pub fn pprm(tt: &TruthTable) -> Self {
+        Self::fixed_polarity(tt, (1u64 << tt.num_vars().min(63)) - 1)
+    }
+
+    /// Extracts the fixed-polarity Reed–Muller form for the given polarity
+    /// vector: bit `i` of `polarity` set means variable `i` appears with
+    /// positive polarity, cleared means negative polarity.
+    pub fn fixed_polarity(tt: &TruthTable, polarity: u64) -> Self {
+        let n = tt.num_vars();
+        let len = tt.len();
+        // Re-index the function so that chosen-negative variables are complemented;
+        // the PPRM of the re-indexed function gives the FPRM of the original.
+        let flip = (!polarity) as usize & (len - 1);
+        let mut coeffs: Vec<bool> = (0..len).map(|x| tt.get(x ^ flip)).collect();
+        // Standard Reed–Muller (binomial) transform.
+        for var in 0..n {
+            let stride = 1usize << var;
+            let mut base = 0usize;
+            while base < len {
+                for offset in 0..stride {
+                    let low = base + offset;
+                    let high = low + stride;
+                    let value = coeffs[low] ^ coeffs[high];
+                    coeffs[high] = value;
+                }
+                base += stride << 1;
+            }
+        }
+        let mut cubes = Vec::new();
+        for (monomial, &coeff) in coeffs.iter().enumerate() {
+            if coeff {
+                let mask = monomial as u64;
+                let cube_polarity = mask & polarity;
+                cubes.push(Cube::new(mask, cube_polarity));
+            }
+        }
+        Self {
+            num_vars: n,
+            cubes,
+        }
+    }
+
+    /// Greedy polarity search: starting from the all-positive polarity, flip
+    /// the polarity of one variable at a time as long as the cube count
+    /// decreases. This is a light-weight stand-in for the heuristic ESOP
+    /// minimizers (exorcism-style) referenced in the paper.
+    pub fn minimized(tt: &TruthTable) -> Self {
+        let n = tt.num_vars();
+        let full = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut best_polarity = full;
+        let mut best = Self::fixed_polarity(tt, best_polarity);
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for var in 0..n {
+                let candidate_polarity = best_polarity ^ (1u64 << var);
+                let candidate = Self::fixed_polarity(tt, candidate_polarity);
+                if candidate.num_cubes() < best.num_cubes()
+                    || (candidate.num_cubes() == best.num_cubes()
+                        && candidate.num_literals() < best.num_literals())
+                {
+                    best = candidate;
+                    best_polarity = candidate_polarity;
+                    improved = true;
+                }
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Esop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        let terms: Vec<String> = self.cubes.iter().map(|c| c.to_string()).collect();
+        write!(f, "{}", terms.join(" ^ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    fn paper_function() -> TruthTable {
+        Expr::parse("(a & b) ^ (c & d)")
+            .unwrap()
+            .truth_table(4)
+            .unwrap()
+    }
+
+    #[test]
+    fn cube_evaluation_and_literals() {
+        let cube = Cube::new(0b101, 0b001); // x0 & !x2
+        assert!(cube.evaluate(0b001));
+        assert!(cube.evaluate(0b011));
+        assert!(!cube.evaluate(0b101));
+        assert_eq!(cube.num_literals(), 2);
+        assert_eq!(cube.literal_polarity(0), Some(true));
+        assert_eq!(cube.literal_polarity(1), None);
+        assert_eq!(cube.literal_polarity(2), Some(false));
+        assert_eq!(cube.to_string(), "x0*!x2");
+    }
+
+    #[test]
+    fn tautology_cube_is_always_true() {
+        let cube = Cube::tautology();
+        for x in 0..32usize {
+            assert!(cube.evaluate(x));
+        }
+        assert_eq!(cube.to_string(), "1");
+    }
+
+    #[test]
+    fn polarity_outside_mask_is_cleared() {
+        let cube = Cube::new(0b01, 0b11);
+        assert_eq!(cube.polarity(), 0b01);
+    }
+
+    #[test]
+    fn pprm_of_paper_function_has_two_cubes() {
+        let tt = paper_function();
+        let esop = Esop::pprm(&tt);
+        assert_eq!(esop.num_cubes(), 2);
+        assert_eq!(esop.truth_table().unwrap(), tt);
+        // The two cubes are exactly x0*x1 and x2*x3.
+        let masks: Vec<u64> = esop.cubes().iter().map(Cube::mask).collect();
+        assert!(masks.contains(&0b0011));
+        assert!(masks.contains(&0b1100));
+    }
+
+    #[test]
+    fn pprm_round_trips_for_all_three_variable_functions() {
+        for value in 0..256u32 {
+            let tt = TruthTable::from_fn(3, |x| (value >> x) & 1 == 1).unwrap();
+            let esop = Esop::pprm(&tt);
+            assert_eq!(esop.truth_table().unwrap(), tt, "failed for 0x{value:02x}");
+            // PPRM only uses positive literals.
+            for cube in esop.cubes() {
+                assert_eq!(cube.polarity(), cube.mask());
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_polarity_round_trips() {
+        let tt = TruthTable::from_fn(4, |x| (x * 5 + 1) % 7 < 3).unwrap();
+        for polarity in 0..16u64 {
+            let esop = Esop::fixed_polarity(&tt, polarity);
+            assert_eq!(esop.truth_table().unwrap(), tt, "polarity {polarity:04b}");
+            for cube in esop.cubes() {
+                // In an FPRM every variable always appears with its chosen polarity.
+                assert_eq!(cube.polarity(), cube.mask() & polarity);
+            }
+        }
+    }
+
+    #[test]
+    fn minimized_never_worse_than_pprm() {
+        for seed in 0..20usize {
+            let tt = TruthTable::from_fn(5, |x| ((x * 31 + seed * 17) % 13) < 5).unwrap();
+            let pprm = Esop::pprm(&tt);
+            let min = Esop::minimized(&tt);
+            assert!(min.num_cubes() <= pprm.num_cubes());
+            assert_eq!(min.truth_table().unwrap(), tt);
+        }
+    }
+
+    #[test]
+    fn minimization_prefers_negative_polarity_when_useful() {
+        // f = !x0 & !x1 & !x2: PPRM needs 8 cubes, the FPRM with all-negative
+        // polarity needs exactly one.
+        let tt = TruthTable::from_fn(3, |x| x == 0).unwrap();
+        let pprm = Esop::pprm(&tt);
+        let min = Esop::minimized(&tt);
+        assert_eq!(pprm.num_cubes(), 8);
+        assert_eq!(min.num_cubes(), 1);
+        assert_eq!(min.truth_table().unwrap(), tt);
+    }
+
+    #[test]
+    fn constant_functions() {
+        let zero = TruthTable::zero(3).unwrap();
+        let one = TruthTable::one(3).unwrap();
+        assert_eq!(Esop::pprm(&zero).num_cubes(), 0);
+        let one_esop = Esop::pprm(&one);
+        assert_eq!(one_esop.num_cubes(), 1);
+        assert_eq!(one_esop.cubes()[0], Cube::tautology());
+        assert_eq!(Esop::zero(3).to_string(), "0");
+    }
+
+    #[test]
+    fn new_rejects_out_of_range_cubes() {
+        let cube = Cube::literal(5, true);
+        assert!(matches!(
+            Esop::new(3, vec![cube]),
+            Err(BoolfnError::VariableOutOfRange { .. })
+        ));
+        assert!(Esop::new(6, vec![cube]).is_ok());
+    }
+
+    #[test]
+    fn display_formats_expression() {
+        let esop = Esop::new(3, vec![Cube::positive(0b011), Cube::literal(2, false)]).unwrap();
+        assert_eq!(esop.to_string(), "x0*x1 ^ !x2");
+    }
+}

@@ -1,0 +1,490 @@
+//! A small Boolean expression language.
+//!
+//! The ProjectQ front end of the paper accepts Python predicates such as
+//! `(a and b) ^ (c and d)` and converts them into Boolean expressions that are
+//! handed to RevKit (`PhaseOracle(f)`). This module plays the same role: it
+//! provides an expression AST, a parser for a conventional infix syntax, and
+//! conversion to [`TruthTable`]s.
+//!
+//! # Syntax
+//!
+//! * variables: `x0`, `x1`, ..., or single letters `a`..`z` (mapped to
+//!   `x0`..`x25`),
+//! * constants: `0`, `1`, `true`, `false`,
+//! * operators (by increasing precedence): `|` (OR), `^` (XOR), `&` (AND),
+//!   `!`/`~` (NOT), parentheses.
+//!
+//! # Example
+//!
+//! ```
+//! use qdaflow_boolfn::Expr;
+//!
+//! # fn main() -> Result<(), qdaflow_boolfn::BoolfnError> {
+//! let f = Expr::parse("(a & b) ^ (c & d)")?;
+//! assert_eq!(f.max_var(), Some(3));
+//! assert!(f.evaluate(0b0011));
+//! assert!(!f.evaluate(0b1111));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{BoolfnError, TruthTable};
+use std::fmt;
+
+/// A Boolean expression over variables `x0, x1, ...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant `0` or `1`.
+    Const(bool),
+    /// The variable `x_i`.
+    Var(usize),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Exclusive or.
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Builds the variable expression `x_i`.
+    pub fn var(index: usize) -> Self {
+        Self::Var(index)
+    }
+
+    /// Builds a constant expression.
+    pub fn constant(value: bool) -> Self {
+        Self::Const(value)
+    }
+
+    /// Negates this expression.
+    pub fn not(self) -> Self {
+        Self::Not(Box::new(self))
+    }
+
+    /// Conjunction of `self` and `other`.
+    pub fn and(self, other: Self) -> Self {
+        Self::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction of `self` and `other`.
+    pub fn or(self, other: Self) -> Self {
+        Self::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Exclusive-or of `self` and `other`.
+    pub fn xor(self, other: Self) -> Self {
+        Self::Xor(Box::new(self), Box::new(other))
+    }
+
+    /// Parses an expression from its textual representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::ParseExprError`] describing the position and
+    /// reason of the first syntax error.
+    pub fn parse(input: &str) -> Result<Self, BoolfnError> {
+        Parser::new(input).parse()
+    }
+
+    /// Largest variable index referenced by the expression, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Self::Const(_) => None,
+            Self::Var(index) => Some(*index),
+            Self::Not(inner) => inner.max_var(),
+            Self::And(lhs, rhs) | Self::Or(lhs, rhs) | Self::Xor(lhs, rhs) => {
+                match (lhs.max_var(), rhs.max_var()) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                }
+            }
+        }
+    }
+
+    /// Number of variables needed to evaluate the expression
+    /// (`max_var() + 1`, or 0 for a constant expression).
+    pub fn num_vars(&self) -> usize {
+        self.max_var().map_or(0, |v| v + 1)
+    }
+
+    /// Evaluates the expression on the assignment `x`, where bit `i` of `x`
+    /// is the value of variable `x_i`.
+    pub fn evaluate(&self, x: usize) -> bool {
+        match self {
+            Self::Const(value) => *value,
+            Self::Var(index) => (x >> index) & 1 == 1,
+            Self::Not(inner) => !inner.evaluate(x),
+            Self::And(lhs, rhs) => lhs.evaluate(x) && rhs.evaluate(x),
+            Self::Or(lhs, rhs) => lhs.evaluate(x) || rhs.evaluate(x),
+            Self::Xor(lhs, rhs) => lhs.evaluate(x) ^ rhs.evaluate(x),
+        }
+    }
+
+    /// Converts the expression into an explicit [`TruthTable`] over
+    /// `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableOutOfRange`] if the expression uses a
+    /// variable `>= num_vars`, or [`BoolfnError::TooManyVariables`] if
+    /// `num_vars` is too large for an explicit table.
+    pub fn truth_table(&self, num_vars: usize) -> Result<TruthTable, BoolfnError> {
+        if let Some(max) = self.max_var() {
+            if max >= num_vars {
+                return Err(BoolfnError::VariableOutOfRange {
+                    variable: max,
+                    num_vars,
+                });
+            }
+        }
+        TruthTable::from_fn(num_vars, |x| self.evaluate(x))
+    }
+
+    /// Number of nodes in the expression tree (a simple size metric).
+    pub fn size(&self) -> usize {
+        match self {
+            Self::Const(_) | Self::Var(_) => 1,
+            Self::Not(inner) => 1 + inner.size(),
+            Self::And(lhs, rhs) | Self::Or(lhs, rhs) | Self::Xor(lhs, rhs) => {
+                1 + lhs.size() + rhs.size()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Const(value) => write!(f, "{}", u8::from(*value)),
+            Self::Var(index) => write!(f, "x{index}"),
+            Self::Not(inner) => write!(f, "!({inner})"),
+            Self::And(lhs, rhs) => write!(f, "({lhs} & {rhs})"),
+            Self::Or(lhs, rhs) => write!(f, "({lhs} | {rhs})"),
+            Self::Xor(lhs, rhs) => write!(f, "({lhs} ^ {rhs})"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Token {
+    Var(usize),
+    Const(bool),
+    Not,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    tokens: Vec<(usize, Token)>,
+    position: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            tokens: Vec::new(),
+            position: 0,
+        }
+    }
+
+    fn error(&self, position: usize, message: impl Into<String>) -> BoolfnError {
+        BoolfnError::ParseExprError {
+            position,
+            message: message.into(),
+        }
+    }
+
+    fn tokenize(&mut self) -> Result<(), BoolfnError> {
+        let bytes = self.input.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => i += 1,
+                '(' => {
+                    self.tokens.push((i, Token::LParen));
+                    i += 1;
+                }
+                ')' => {
+                    self.tokens.push((i, Token::RParen));
+                    i += 1;
+                }
+                '&' => {
+                    self.tokens.push((i, Token::And));
+                    i += 1;
+                    if i < bytes.len() && bytes[i] as char == '&' {
+                        i += 1;
+                    }
+                }
+                '|' => {
+                    self.tokens.push((i, Token::Or));
+                    i += 1;
+                    if i < bytes.len() && bytes[i] as char == '|' {
+                        i += 1;
+                    }
+                }
+                '^' => {
+                    self.tokens.push((i, Token::Xor));
+                    i += 1;
+                }
+                '!' | '~' => {
+                    self.tokens.push((i, Token::Not));
+                    i += 1;
+                }
+                '0' => {
+                    self.tokens.push((i, Token::Const(false)));
+                    i += 1;
+                }
+                '1' => {
+                    self.tokens.push((i, Token::Const(true)));
+                    i += 1;
+                }
+                _ if c.is_ascii_alphabetic() => {
+                    let start = i;
+                    let mut word = String::new();
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+                    {
+                        word.push(bytes[i] as char);
+                        i += 1;
+                    }
+                    let token = self.keyword_or_variable(start, &word)?;
+                    self.tokens.push((start, token));
+                }
+                _ => return Err(self.error(i, format!("unexpected character '{c}'"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn keyword_or_variable(&self, start: usize, word: &str) -> Result<Token, BoolfnError> {
+        match word {
+            "and" | "AND" => return Ok(Token::And),
+            "or" | "OR" => return Ok(Token::Or),
+            "xor" | "XOR" => return Ok(Token::Xor),
+            "not" | "NOT" => return Ok(Token::Not),
+            "true" | "True" => return Ok(Token::Const(true)),
+            "false" | "False" => return Ok(Token::Const(false)),
+            _ => {}
+        }
+        let mut chars = word.chars();
+        let first = chars.next().expect("word is non-empty");
+        let rest: String = chars.collect();
+        if (first == 'x' || first == 'X') && !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
+        {
+            let index: usize = rest
+                .parse()
+                .map_err(|_| self.error(start, "variable index too large"))?;
+            return Ok(Token::Var(index));
+        }
+        if word.len() == 1 && first.is_ascii_lowercase() {
+            return Ok(Token::Var(first as usize - 'a' as usize));
+        }
+        Err(self.error(start, format!("unknown identifier '{word}'")))
+    }
+
+    fn peek(&self) -> Option<Token> {
+        self.tokens.get(self.position).map(|&(_, t)| t)
+    }
+
+    fn next_position(&self) -> usize {
+        self.tokens
+            .get(self.position)
+            .map_or(self.input.len(), |&(p, _)| p)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.peek();
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    fn parse(mut self) -> Result<Expr, BoolfnError> {
+        self.tokenize()?;
+        if self.tokens.is_empty() {
+            return Err(self.error(0, "empty expression"));
+        }
+        let expr = self.parse_or()?;
+        if self.position != self.tokens.len() {
+            return Err(self.error(self.next_position(), "unexpected trailing input"));
+        }
+        Ok(expr)
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, BoolfnError> {
+        let mut lhs = self.parse_xor()?;
+        while self.peek() == Some(Token::Or) {
+            self.advance();
+            let rhs = self.parse_xor()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_xor(&mut self) -> Result<Expr, BoolfnError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(Token::Xor) {
+            self.advance();
+            let rhs = self.parse_and()?;
+            lhs = lhs.xor(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, BoolfnError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some(Token::And) {
+            self.advance();
+            let rhs = self.parse_unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, BoolfnError> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.advance();
+                Ok(self.parse_unary()?.not())
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, BoolfnError> {
+        let position = self.next_position();
+        match self.advance() {
+            Some(Token::Var(index)) => Ok(Expr::Var(index)),
+            Some(Token::Const(value)) => Ok(Expr::Const(value)),
+            Some(Token::LParen) => {
+                let inner = self.parse_or()?;
+                match self.advance() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(self.error(self.next_position(), "expected ')'")),
+                }
+            }
+            Some(token) => Err(self.error(position, format!("unexpected token {token:?}"))),
+            None => Err(self.error(position, "unexpected end of expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_bent_function() {
+        // f(a, b, c, d) = (a and b) ^ (c and d) from Fig. 4 of the paper.
+        let f = Expr::parse("(a and b) ^ (c and d)").unwrap();
+        let tt = f.truth_table(4).unwrap();
+        for x in 0..16usize {
+            let (a, b, c, d) = (x & 1 == 1, x & 2 == 2, x & 4 == 4, x & 8 == 8);
+            assert_eq!(tt.get(x), (a & b) ^ (c & d));
+        }
+    }
+
+    #[test]
+    fn single_letter_and_indexed_variables_agree() {
+        let by_letter = Expr::parse("a & b | !c").unwrap();
+        let by_index = Expr::parse("x0 & x1 | !x2").unwrap();
+        assert_eq!(
+            by_letter.truth_table(3).unwrap(),
+            by_index.truth_table(3).unwrap()
+        );
+    }
+
+    #[test]
+    fn operator_precedence_not_and_xor_or() {
+        // !a & b ^ c | d parses as (((!a) & b) ^ c) | d.
+        let f = Expr::parse("!a & b ^ c | d").unwrap();
+        for x in 0..16usize {
+            let (a, b, c, d) = (x & 1 == 1, x & 2 == 2, x & 4 == 4, x & 8 == 8);
+            assert_eq!(f.evaluate(x), (((!a) & b) ^ c) | d);
+        }
+    }
+
+    #[test]
+    fn constants_and_keywords() {
+        assert_eq!(Expr::parse("true").unwrap(), Expr::Const(true));
+        assert_eq!(Expr::parse("0").unwrap(), Expr::Const(false));
+        let f = Expr::parse("x0 and not x1 or false").unwrap();
+        assert!(f.evaluate(0b01));
+        assert!(!f.evaluate(0b10));
+    }
+
+    #[test]
+    fn parse_errors_report_position() {
+        match Expr::parse("a &") {
+            Err(BoolfnError::ParseExprError { position, .. }) => assert_eq!(position, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("a @ b").is_err());
+        assert!(Expr::parse("(a & b").is_err());
+        assert!(Expr::parse("a b").is_err());
+        assert!(Expr::parse("foo & b").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let original = Expr::parse("(a ^ b) & !(c | x10)").unwrap();
+        let reparsed = Expr::parse(&original.to_string()).unwrap();
+        assert_eq!(
+            original.truth_table(11).unwrap(),
+            reparsed.truth_table(11).unwrap()
+        );
+    }
+
+    #[test]
+    fn max_var_and_num_vars() {
+        let f = Expr::parse("x2 ^ x7").unwrap();
+        assert_eq!(f.max_var(), Some(7));
+        assert_eq!(f.num_vars(), 8);
+        assert_eq!(Expr::Const(true).num_vars(), 0);
+    }
+
+    #[test]
+    fn truth_table_rejects_out_of_range_variables() {
+        let f = Expr::parse("x5").unwrap();
+        assert!(matches!(
+            f.truth_table(3),
+            Err(BoolfnError::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = Expr::parse("a & b ^ !c").unwrap();
+        assert_eq!(f.size(), 6);
+    }
+
+    #[test]
+    fn builder_methods_match_parser() {
+        let built = Expr::var(0).and(Expr::var(1)).xor(Expr::var(2).not());
+        let parsed = Expr::parse("(x0 & x1) ^ !x2").unwrap();
+        assert_eq!(
+            built.truth_table(3).unwrap(),
+            parsed.truth_table(3).unwrap()
+        );
+    }
+
+    #[test]
+    fn double_ampersand_and_pipe_are_accepted() {
+        let f = Expr::parse("a && b || c").unwrap();
+        for x in 0..8usize {
+            let (a, b, c) = (x & 1 == 1, x & 2 == 2, x & 4 == 4);
+            assert_eq!(f.evaluate(x), (a && b) || c);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The hidden-weighted-bit reversible benchmark function.
+//!
+//! `revgen --hwb 4` in the RevKit pipeline of the paper (equation (5))
+//! generates the 4-variable hidden-weighted-bit function, a classic
+//! reversible-synthesis benchmark. The reversible variant used by RevKit maps
+//! every input word to the word rotated left by its Hamming weight; because
+//! the Hamming weight is invariant under rotation, this mapping is a
+//! bijection.
+
+use crate::Permutation;
+
+/// Rotates the `n`-bit word `x` left by `amount` positions.
+fn rotate_left(x: usize, amount: usize, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let amount = amount % n;
+    let mask = (1usize << n) - 1;
+    ((x << amount) | (x >> (n - amount))) & mask
+}
+
+/// Builds the reversible hidden-weighted-bit function on `num_vars`
+/// variables as a [`Permutation`]: each word is rotated left by its Hamming
+/// weight.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_boolfn::hwb;
+///
+/// let f = hwb::hwb_permutation(4);
+/// // 0b0011 has weight 2 and becomes 0b1100.
+/// assert_eq!(f.apply(0b0011), 0b1100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_vars` is zero or larger than
+/// [`crate::MAX_TRUTH_TABLE_VARS`].
+pub fn hwb_permutation(num_vars: usize) -> Permutation {
+    assert!(
+        num_vars > 0 && num_vars <= crate::MAX_TRUTH_TABLE_VARS,
+        "hwb requires between 1 and {} variables",
+        crate::MAX_TRUTH_TABLE_VARS
+    );
+    Permutation::from_fn(num_vars, |x| {
+        rotate_left(x, x.count_ones() as usize, num_vars)
+    })
+    .expect("rotation by a rotation-invariant amount is a bijection")
+}
+
+/// The single-output hidden-weighted-bit function `f(x) = x_{wt(x)}` (with
+/// `x_0` used when the weight is zero), provided for completeness as the
+/// irreversible form of the benchmark.
+///
+/// # Panics
+///
+/// Panics if `num_vars` is zero or too large for an explicit table.
+pub fn hwb_truth_table(num_vars: usize) -> crate::TruthTable {
+    assert!(num_vars > 0, "hwb requires at least one variable");
+    crate::TruthTable::from_fn(num_vars, |x| {
+        let weight = x.count_ones() as usize;
+        let index = if weight == 0 { 0 } else { weight - 1 };
+        (x >> index) & 1 == 1
+    })
+    .expect("num_vars validated by caller or panics in from_fn")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_is_bijective_for_all_small_sizes() {
+        for n in 1..=8 {
+            // Permutation::from_fn validates bijectivity internally.
+            let p = hwb_permutation(n);
+            assert_eq!(p.len(), 1 << n);
+        }
+    }
+
+    #[test]
+    fn weight_is_preserved() {
+        let p = hwb_permutation(6);
+        for x in 0..64usize {
+            assert_eq!(x.count_ones(), p.apply(x).count_ones());
+        }
+    }
+
+    #[test]
+    fn known_values_for_four_variables() {
+        let p = hwb_permutation(4);
+        assert_eq!(p.apply(0b0000), 0b0000);
+        assert_eq!(p.apply(0b0001), 0b0010);
+        assert_eq!(p.apply(0b0011), 0b1100);
+        assert_eq!(p.apply(0b1111), 0b1111);
+        assert_eq!(p.apply(0b0101), 0b0101);
+    }
+
+    #[test]
+    fn hwb_is_not_the_identity() {
+        assert!(!hwb_permutation(4).is_identity());
+    }
+
+    #[test]
+    fn irreversible_hwb_reads_the_weight_indexed_bit() {
+        let tt = hwb_truth_table(4);
+        assert!(!tt.get(0b0000));
+        // weight 1, bit index 0
+        assert!(tt.get(0b0001));
+        assert!(!tt.get(0b0100));
+        // weight 2, bit index 1
+        assert!(tt.get(0b0011));
+        assert!(!tt.get(0b0101));
+    }
+
+    #[test]
+    #[should_panic(expected = "hwb requires")]
+    fn zero_variables_panics() {
+        hwb_permutation(0);
+    }
+}

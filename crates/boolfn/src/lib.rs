@@ -1,0 +1,59 @@
+//! Boolean function substrate for the `qdaflow` quantum design automation flow.
+//!
+//! This crate provides the classical-logic foundations that the rest of the
+//! flow is built on:
+//!
+//! * [`TruthTable`] — explicit single-output Boolean functions `f : B^n -> B`,
+//! * [`expr::Expr`] — a small Boolean expression language with a parser, used
+//!   by the ProjectQ-style `PhaseOracle` front end,
+//! * [`esop`] — exclusive sum-of-products (ESOP) representations and
+//!   Reed–Muller style extraction, the input form required by ESOP-based
+//!   reversible synthesis,
+//! * [`spectrum`] — Walsh–Hadamard spectra, bentness tests and dual bent
+//!   functions,
+//! * [`bent`] — the inner-product and Maiorana–McFarland bent function
+//!   families used by the hidden shift benchmark of the paper,
+//! * [`Permutation`] — permutations of `B^n`, the specification format for
+//!   reversible functions and `PermutationOracle`,
+//! * [`hwb`] — the hidden-weighted-bit reversible benchmark function used by
+//!   the RevKit pipeline example `revgen --hwb 4; tbs; ...`.
+//!
+//! # Example
+//!
+//! ```
+//! use qdaflow_boolfn::{expr::Expr, TruthTable};
+//!
+//! # fn main() -> Result<(), qdaflow_boolfn::BoolfnError> {
+//! // f(a, b, c, d) = (a & b) ^ (c & d), the bent function from the paper.
+//! let f = Expr::parse("(x0 & x1) ^ (x2 & x3)")?;
+//! let tt = f.truth_table(4)?;
+//! assert_eq!(tt.count_ones(), 6);
+//! assert!(qdaflow_boolfn::spectrum::is_bent(&tt));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bent;
+pub mod error;
+pub mod esop;
+pub mod expr;
+pub mod hwb;
+pub mod permutation;
+pub mod spectrum;
+pub mod truth_table;
+
+pub use error::BoolfnError;
+pub use esop::{Cube, Esop};
+pub use expr::Expr;
+pub use permutation::Permutation;
+pub use truth_table::TruthTable;
+
+/// Maximum number of variables supported by explicit truth-table
+/// representations.
+///
+/// The limit mirrors the observation in the paper (Section V) that explicit
+/// truth-table based synthesis is practical only up to roughly 20 variables.
+pub const MAX_TRUTH_TABLE_VARS: usize = 24;

@@ -1,0 +1,374 @@
+//! Permutations of `B^n`, the specification format for reversible functions.
+//!
+//! A reversible Boolean function `f : B^n -> B^n` is exactly a permutation of
+//! the `2^n` bit-vectors. Reversible synthesis algorithms
+//! (`qdaflow-reversible`) take a [`Permutation`] as input, and the
+//! ProjectQ-style `PermutationOracle` of the paper is specified by a
+//! permutation literal such as `pi = [0, 2, 3, 5, 7, 1, 4, 6]`.
+
+use crate::BoolfnError;
+use std::fmt;
+use std::ops::Index;
+
+/// A permutation of the set `{0, 1, ..., 2^n - 1}`.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_boolfn::Permutation;
+///
+/// # fn main() -> Result<(), qdaflow_boolfn::BoolfnError> {
+/// // The permutation used in Fig. 7 of the paper.
+/// let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6])?;
+/// assert_eq!(pi.num_vars(), 3);
+/// assert_eq!(pi.apply(3), 5);
+/// assert_eq!(pi.inverse().apply(5), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    num_vars: usize,
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// Creates a permutation from the image list `map[x] = f(x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::NotPowerOfTwo`] if the length is not a power of
+    /// two and [`BoolfnError::NotAPermutation`] if the list is not a
+    /// bijection on `{0, ..., len-1}`.
+    pub fn new(map: Vec<usize>) -> Result<Self, BoolfnError> {
+        let len = map.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(BoolfnError::NotPowerOfTwo { length: len });
+        }
+        let mut seen = vec![false; len];
+        for &value in &map {
+            if value >= len || seen[value] {
+                return Err(BoolfnError::NotAPermutation {
+                    offending_value: value,
+                });
+            }
+            seen[value] = true;
+        }
+        let num_vars = len.trailing_zeros() as usize;
+        Ok(Self { num_vars, map })
+    }
+
+    /// The identity permutation over `num_vars` variables.
+    pub fn identity(num_vars: usize) -> Self {
+        let len = 1usize << num_vars;
+        Self {
+            num_vars,
+            map: (0..len).collect(),
+        }
+    }
+
+    /// Creates a permutation by evaluating `f` on every input. The caller
+    /// must supply a bijection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::NotAPermutation`] if `f` is not a bijection on
+    /// `{0, ..., 2^num_vars - 1}`.
+    pub fn from_fn<F: FnMut(usize) -> usize>(
+        num_vars: usize,
+        mut f: F,
+    ) -> Result<Self, BoolfnError> {
+        let len = 1usize << num_vars;
+        Self::new((0..len).map(|x| f(x)).collect())
+    }
+
+    /// Generates a pseudo-random permutation from a seed, using a
+    /// Fisher–Yates shuffle driven by a xorshift generator. The result is
+    /// deterministic for a given `(num_vars, seed)` pair, which keeps tests
+    /// and benchmarks reproducible without pulling a random-number crate into
+    /// the library's public dependencies.
+    pub fn random_seeded(num_vars: usize, seed: u64) -> Self {
+        let len = 1usize << num_vars;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            state
+        };
+        let mut map: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            map.swap(i, j);
+        }
+        Self { num_vars, map }
+    }
+
+    /// Number of variables `n` such that the permutation acts on `2^n`
+    /// elements.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of elements the permutation acts on (`2^n`).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Always `false`; provided alongside [`Permutation::len`] for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Applies the permutation to `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn apply(&self, x: usize) -> usize {
+        self.map[x]
+    }
+
+    /// The underlying image list.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// Returns the inverse permutation.
+    pub fn inverse(&self) -> Self {
+        let mut map = vec![0usize; self.len()];
+        for (x, &y) in self.map.iter().enumerate() {
+            map[y] = x;
+        }
+        Self {
+            num_vars: self.num_vars,
+            map,
+        }
+    }
+
+    /// Returns the composition `self ∘ other`, i.e. the permutation mapping
+    /// `x` to `self.apply(other.apply(x))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableCountMismatch`] if the permutations act
+    /// on different domains.
+    pub fn compose(&self, other: &Self) -> Result<Self, BoolfnError> {
+        if self.num_vars != other.num_vars {
+            return Err(BoolfnError::VariableCountMismatch {
+                left: self.num_vars,
+                right: other.num_vars,
+            });
+        }
+        let map = (0..self.len()).map(|x| self.apply(other.apply(x))).collect();
+        Ok(Self {
+            num_vars: self.num_vars,
+            map,
+        })
+    }
+
+    /// Returns `true` if this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(x, &y)| x == y)
+    }
+
+    /// Number of fixed points.
+    pub fn fixed_points(&self) -> usize {
+        self.map.iter().enumerate().filter(|&(x, &y)| x == y).count()
+    }
+
+    /// Decomposes the permutation into its disjoint cycles (each of length at
+    /// least two), useful for analysis and for cycle-based synthesis.
+    pub fn cycles(&self) -> Vec<Vec<usize>> {
+        let mut visited = vec![false; self.len()];
+        let mut cycles = Vec::new();
+        for start in 0..self.len() {
+            if visited[start] {
+                continue;
+            }
+            let mut cycle = vec![start];
+            visited[start] = true;
+            let mut current = self.apply(start);
+            while current != start {
+                visited[current] = true;
+                cycle.push(current);
+                current = self.apply(current);
+            }
+            if cycle.len() > 1 {
+                cycles.push(cycle);
+            }
+        }
+        cycles
+    }
+
+    /// Parity of the permutation: `true` for odd permutations.
+    pub fn is_odd(&self) -> bool {
+        let transpositions: usize = self.cycles().iter().map(|c| c.len() - 1).sum();
+        transpositions % 2 == 1
+    }
+
+    /// Extracts output bit `bit` as a single-output truth table over the
+    /// inputs — the representation used when synthesizing the permutation
+    /// with function-oriented methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= num_vars`.
+    pub fn output_bit(&self, bit: usize) -> crate::TruthTable {
+        assert!(bit < self.num_vars, "output bit {bit} out of range");
+        crate::TruthTable::from_fn(self.num_vars, |x| (self.apply(x) >> bit) & 1 == 1)
+            .expect("permutation domain fits in a truth table")
+    }
+}
+
+impl Index<usize> for Permutation {
+    type Output = usize;
+
+    fn index(&self, index: usize) -> &usize {
+        &self.map[index]
+    }
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation(n={}, {:?})", self.num_vars, self.map)
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let entries: Vec<String> = self.map.iter().map(|v| v.to_string()).collect();
+        write!(f, "[{}]", entries.join(", "))
+    }
+}
+
+impl TryFrom<Vec<usize>> for Permutation {
+    type Error = BoolfnError;
+
+    fn try_from(map: Vec<usize>) -> Result<Self, BoolfnError> {
+        Self::new(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_pi() -> Permutation {
+        Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap()
+    }
+
+    #[test]
+    fn identity_has_all_fixed_points() {
+        let id = Permutation::identity(3);
+        assert!(id.is_identity());
+        assert_eq!(id.fixed_points(), 8);
+        assert!(id.cycles().is_empty());
+        assert!(!id.is_odd());
+    }
+
+    #[test]
+    fn rejects_non_bijections_and_bad_lengths() {
+        assert!(matches!(
+            Permutation::new(vec![0, 0, 1, 2]),
+            Err(BoolfnError::NotAPermutation { .. })
+        ));
+        assert!(matches!(
+            Permutation::new(vec![0, 1, 5, 2]),
+            Err(BoolfnError::NotAPermutation { .. })
+        ));
+        assert!(matches!(
+            Permutation::new(vec![0, 1, 2]),
+            Err(BoolfnError::NotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            Permutation::new(vec![]),
+            Err(BoolfnError::NotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let pi = paper_pi();
+        let inv = pi.inverse();
+        assert!(pi.compose(&inv).unwrap().is_identity());
+        assert!(inv.compose(&pi).unwrap().is_identity());
+    }
+
+    #[test]
+    fn compose_applies_right_permutation_first() {
+        let pi = paper_pi();
+        let sigma = Permutation::random_seeded(3, 7);
+        let composed = pi.compose(&sigma).unwrap();
+        for x in 0..8 {
+            assert_eq!(composed.apply(x), pi.apply(sigma.apply(x)));
+        }
+    }
+
+    #[test]
+    fn compose_rejects_mismatched_sizes() {
+        let a = Permutation::identity(2);
+        let b = Permutation::identity(3);
+        assert!(a.compose(&b).is_err());
+    }
+
+    #[test]
+    fn random_permutations_are_valid_and_deterministic() {
+        for n in 1..=6 {
+            for seed in 0..5 {
+                let p = Permutation::random_seeded(n, seed);
+                let q = Permutation::random_seeded(n, seed);
+                assert_eq!(p, q);
+                assert!(Permutation::new(p.as_slice().to_vec()).is_ok());
+            }
+        }
+        assert_ne!(
+            Permutation::random_seeded(4, 1),
+            Permutation::random_seeded(4, 2)
+        );
+    }
+
+    #[test]
+    fn cycles_of_paper_permutation() {
+        let pi = paper_pi();
+        let cycles = pi.cycles();
+        // pi = [0,2,3,5,7,1,4,6]: 0 is fixed, plus the cycles (1 2 3 5) and (4 7 6).
+        assert_eq!(cycles.len(), 2);
+        let mut lengths: Vec<usize> = cycles.iter().map(Vec::len).collect();
+        lengths.sort_unstable();
+        assert_eq!(lengths, vec![3, 4]);
+        assert_eq!(pi.fixed_points(), 1);
+        // 3 + 2 = 5 transpositions, so the permutation is odd.
+        assert!(pi.is_odd());
+    }
+
+    #[test]
+    fn output_bit_reconstructs_permutation() {
+        let pi = paper_pi();
+        let bits: Vec<_> = (0..3).map(|b| pi.output_bit(b)).collect();
+        for x in 0..8usize {
+            let mut y = 0usize;
+            for (b, tt) in bits.iter().enumerate() {
+                y |= usize::from(tt.get(x)) << b;
+            }
+            assert_eq!(y, pi.apply(x));
+        }
+    }
+
+    #[test]
+    fn index_and_display() {
+        let pi = paper_pi();
+        assert_eq!(pi[4], 7);
+        assert_eq!(pi.to_string(), "[0, 2, 3, 5, 7, 1, 4, 6]");
+    }
+
+    #[test]
+    fn try_from_vec() {
+        let pi = Permutation::try_from(vec![1usize, 0, 3, 2]).unwrap();
+        assert_eq!(pi.num_vars(), 2);
+        assert!(Permutation::try_from(vec![1usize, 1, 3, 2]).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Walsh–Hadamard spectra, bentness tests and dual bent functions.
+//!
+//! A Boolean function `f : B^n -> B` is *bent* when its Walsh–Hadamard
+//! spectrum is perfectly flat, i.e. `|W_f(w)| = 2^{n/2}` for every `w`. Bent
+//! functions are the functions for which the quantum hidden shift algorithm of
+//! the paper applies; the *dual* bent function `f~` is defined through the
+//! sign of the spectrum and is the second oracle the algorithm queries.
+
+use crate::{BoolfnError, TruthTable};
+
+/// Computes the Walsh–Hadamard spectrum of `f`.
+///
+/// The result has one entry per frequency `w`, with
+/// `W_f(w) = sum_x (-1)^{f(x) + w·x}`.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_boolfn::{spectrum, TruthTable};
+///
+/// # fn main() -> Result<(), qdaflow_boolfn::BoolfnError> {
+/// let f = TruthTable::from_fn(2, |x| x == 0b11)?; // AND is bent on 2 variables
+/// let w = spectrum::walsh_hadamard(&f);
+/// assert!(w.iter().all(|&c| c.abs() == 2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn walsh_hadamard(f: &TruthTable) -> Vec<i64> {
+    let len = f.len();
+    let mut spectrum: Vec<i64> = (0..len)
+        .map(|x| if f.get(x) { -1i64 } else { 1i64 })
+        .collect();
+    // In-place fast Walsh–Hadamard transform.
+    let mut stride = 1usize;
+    while stride < len {
+        let mut base = 0usize;
+        while base < len {
+            for offset in 0..stride {
+                let low = base + offset;
+                let high = low + stride;
+                let (a, b) = (spectrum[low], spectrum[high]);
+                spectrum[low] = a + b;
+                spectrum[high] = a - b;
+            }
+            base += stride << 1;
+        }
+        stride <<= 1;
+    }
+    spectrum
+}
+
+/// Returns `true` if the function is bent (perfectly flat spectrum).
+///
+/// Functions over an odd number of variables are never bent.
+pub fn is_bent(f: &TruthTable) -> bool {
+    let n = f.num_vars();
+    if n == 0 || n % 2 != 0 {
+        return false;
+    }
+    let target = 1i64 << (n / 2);
+    walsh_hadamard(f).iter().all(|&c| c.abs() == target)
+}
+
+/// Computes the dual bent function `f~`, defined by
+/// `(-1)^{f~(w)} = 2^{-n/2} * W_f(w)`.
+///
+/// # Errors
+///
+/// Returns [`BoolfnError::OddVariableCount`] if `f` has an odd number of
+/// variables and [`BoolfnError::NotBent`] if the spectrum is not flat.
+pub fn dual_bent(f: &TruthTable) -> Result<TruthTable, BoolfnError> {
+    let n = f.num_vars();
+    if n % 2 != 0 {
+        return Err(BoolfnError::OddVariableCount { num_vars: n });
+    }
+    let target = 1i64 << (n / 2);
+    let spectrum = walsh_hadamard(f);
+    let mut dual = TruthTable::zero(n)?;
+    for (w, &coefficient) in spectrum.iter().enumerate() {
+        if coefficient == target {
+            dual.set(w, false);
+        } else if coefficient == -target {
+            dual.set(w, true);
+        } else {
+            return Err(BoolfnError::NotBent);
+        }
+    }
+    Ok(dual)
+}
+
+/// Nonlinearity of the function: the Hamming distance to the closest affine
+/// function, `2^{n-1} - max_w |W_f(w)| / 2`.
+pub fn nonlinearity(f: &TruthTable) -> usize {
+    let max = walsh_hadamard(f)
+        .iter()
+        .map(|c| c.unsigned_abs())
+        .max()
+        .unwrap_or(0) as usize;
+    f.len() / 2 - max / 2
+}
+
+/// Computes the autocorrelation spectrum
+/// `r_f(s) = sum_x (-1)^{f(x) + f(x ^ s)}`.
+///
+/// For a bent function every off-zero autocorrelation coefficient vanishes,
+/// which is what makes the convolution-based quantum algorithm work.
+pub fn autocorrelation(f: &TruthTable) -> Vec<i64> {
+    let len = f.len();
+    (0..len)
+        .map(|s| {
+            (0..len)
+                .map(|x| {
+                    if f.get(x) ^ f.get(x ^ s) {
+                        -1i64
+                    } else {
+                        1i64
+                    }
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+
+    fn inner_product(n_half: usize) -> TruthTable {
+        TruthTable::from_fn(2 * n_half, |z| {
+            let x = z & ((1 << n_half) - 1);
+            let y = z >> n_half;
+            ((x & y).count_ones() % 2) == 1
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn spectrum_of_constant_zero() {
+        let f = TruthTable::zero(3).unwrap();
+        let w = walsh_hadamard(&f);
+        assert_eq!(w[0], 8);
+        assert!(w[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn spectrum_of_linear_function_is_concentrated() {
+        // f(x) = x0 ^ x2 has spectrum concentrated at w = 0b101.
+        let f = Expr::parse("x0 ^ x2").unwrap().truth_table(3).unwrap();
+        let w = walsh_hadamard(&f);
+        for (freq, &value) in w.iter().enumerate() {
+            if freq == 0b101 {
+                assert_eq!(value, 8);
+            } else {
+                assert_eq!(value, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_identity_holds() {
+        for seed in 0..10usize {
+            let f = TruthTable::from_fn(4, |x| ((x * 37 + seed * 11) % 9) < 4).unwrap();
+            let w = walsh_hadamard(&f);
+            let energy: i64 = w.iter().map(|&c| c * c).sum();
+            assert_eq!(energy, (f.len() * f.len()) as i64);
+        }
+    }
+
+    #[test]
+    fn inner_product_functions_are_bent() {
+        for n_half in 1..=3 {
+            let f = inner_product(n_half);
+            assert!(is_bent(&f), "inner product on 2*{n_half} vars must be bent");
+        }
+    }
+
+    #[test]
+    fn paper_function_is_bent_and_self_dual() {
+        // f = x0x1 ^ x2x3 from the paper; Section VII states f~ = f.
+        let f = Expr::parse("(x0 & x1) ^ (x2 & x3)")
+            .unwrap()
+            .truth_table(4)
+            .unwrap();
+        assert!(is_bent(&f));
+        let dual = dual_bent(&f).unwrap();
+        assert_eq!(dual, f);
+    }
+
+    #[test]
+    fn dual_of_dual_is_identity() {
+        let f = inner_product(3);
+        let dual = dual_bent(&f).unwrap();
+        let dual_dual = dual_bent(&dual).unwrap();
+        assert_eq!(dual_dual, f);
+    }
+
+    #[test]
+    fn linear_functions_are_not_bent() {
+        let f = Expr::parse("x0 ^ x1").unwrap().truth_table(2).unwrap();
+        assert!(!is_bent(&f));
+        assert!(matches!(dual_bent(&f), Err(BoolfnError::NotBent)));
+    }
+
+    #[test]
+    fn odd_variable_count_cannot_be_bent() {
+        let f = TruthTable::from_fn(3, |x| x.count_ones() % 2 == 1).unwrap();
+        assert!(!is_bent(&f));
+        assert!(matches!(
+            dual_bent(&f),
+            Err(BoolfnError::OddVariableCount { .. })
+        ));
+    }
+
+    #[test]
+    fn nonlinearity_of_bent_function_is_maximal() {
+        let f = inner_product(2);
+        // Maximal nonlinearity for n = 4 is 2^{3} - 2^{1} = 6.
+        assert_eq!(nonlinearity(&f), 6);
+        let linear = Expr::parse("x0 ^ x1 ^ x2 ^ x3")
+            .unwrap()
+            .truth_table(4)
+            .unwrap();
+        assert_eq!(nonlinearity(&linear), 0);
+    }
+
+    #[test]
+    fn autocorrelation_of_bent_function_vanishes_off_zero() {
+        let f = inner_product(2);
+        let r = autocorrelation(&f);
+        assert_eq!(r[0], 16);
+        assert!(r[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn shifted_bent_function_has_same_dual_up_to_linear_phase() {
+        // For g(x) = f(x ^ s), the dual satisfies g~(w) = f~(w) ^ (w · s).
+        let f = inner_product(2);
+        let s = 0b0110usize;
+        let g = f.xor_shift(s);
+        assert!(is_bent(&g));
+        let dual_f = dual_bent(&f).unwrap();
+        let dual_g = dual_bent(&g).unwrap();
+        for w in 0..16usize {
+            let dot = ((w & s).count_ones() % 2) == 1;
+            assert_eq!(dual_g.get(w), dual_f.get(w) ^ dot);
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Explicit truth-table representation of single-output Boolean functions.
+
+use crate::{BoolfnError, MAX_TRUTH_TABLE_VARS};
+use std::fmt;
+
+/// An explicit truth table for a single-output Boolean function
+/// `f : B^n -> B`.
+///
+/// The table stores one bit per input assignment, packed into 64-bit words.
+/// Input assignments are interpreted as unsigned integers where variable
+/// `x0` is the least significant bit.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_boolfn::TruthTable;
+///
+/// # fn main() -> Result<(), qdaflow_boolfn::BoolfnError> {
+/// let and = TruthTable::from_fn(2, |x| x == 0b11)?;
+/// assert!(!and.get(0b01));
+/// assert!(and.get(0b11));
+/// assert_eq!(and.count_ones(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    num_vars: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Creates the constant-zero function over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] if `num_vars` exceeds
+    /// [`MAX_TRUTH_TABLE_VARS`].
+    pub fn zero(num_vars: usize) -> Result<Self, BoolfnError> {
+        Self::check_vars(num_vars)?;
+        let bits = 1usize << num_vars;
+        let words = vec![0u64; bits.div_ceil(64)];
+        Ok(Self { num_vars, words })
+    }
+
+    /// Creates the constant-one function over `num_vars` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] if `num_vars` exceeds
+    /// [`MAX_TRUTH_TABLE_VARS`].
+    pub fn one(num_vars: usize) -> Result<Self, BoolfnError> {
+        let mut tt = Self::zero(num_vars)?;
+        for x in 0..tt.len() {
+            tt.set(x, true);
+        }
+        Ok(tt)
+    }
+
+    /// Creates the projection function `f(x) = x_var`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableOutOfRange`] if `var >= num_vars` and
+    /// [`BoolfnError::TooManyVariables`] if `num_vars` is too large.
+    pub fn variable(num_vars: usize, var: usize) -> Result<Self, BoolfnError> {
+        if var >= num_vars {
+            return Err(BoolfnError::VariableOutOfRange {
+                variable: var,
+                num_vars,
+            });
+        }
+        Self::from_fn(num_vars, |x| (x >> var) & 1 == 1)
+    }
+
+    /// Creates a truth table by evaluating `f` on every input assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] if `num_vars` exceeds
+    /// [`MAX_TRUTH_TABLE_VARS`].
+    pub fn from_fn<F: FnMut(usize) -> bool>(
+        num_vars: usize,
+        mut f: F,
+    ) -> Result<Self, BoolfnError> {
+        let mut tt = Self::zero(num_vars)?;
+        for x in 0..tt.len() {
+            if f(x) {
+                tt.set(x, true);
+            }
+        }
+        Ok(tt)
+    }
+
+    /// Creates a truth table from an iterator of output bits in input order
+    /// `0, 1, 2, ...`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] if `num_vars` exceeds
+    /// [`MAX_TRUTH_TABLE_VARS`]. Missing bits default to `false`; excess bits
+    /// are ignored.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(
+        num_vars: usize,
+        bits: I,
+    ) -> Result<Self, BoolfnError> {
+        let mut tt = Self::zero(num_vars)?;
+        for (x, bit) in bits.into_iter().take(tt.len()).enumerate() {
+            tt.set(x, bit);
+        }
+        Ok(tt)
+    }
+
+    /// Parses a truth table from a hexadecimal string as produced by
+    /// [`TruthTable::to_hex`]. The most significant nibble corresponds to the
+    /// highest input assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error if the string contains non-hex characters, or
+    /// [`BoolfnError::TooManyVariables`] if `num_vars` is too large.
+    pub fn from_hex(num_vars: usize, hex: &str) -> Result<Self, BoolfnError> {
+        let mut tt = Self::zero(num_vars)?;
+        let len = tt.len();
+        let mut bit_index = 0usize;
+        for (pos, ch) in hex.chars().rev().enumerate() {
+            let value = ch.to_digit(16).ok_or_else(|| BoolfnError::ParseExprError {
+                position: hex.len().saturating_sub(pos + 1),
+                message: format!("invalid hexadecimal digit '{ch}'"),
+            })? as usize;
+            for offset in 0..4 {
+                let x = bit_index + offset;
+                if x < len && (value >> offset) & 1 == 1 {
+                    tt.set(x, true);
+                }
+            }
+            bit_index += 4;
+        }
+        Ok(tt)
+    }
+
+    /// Renders the table as a hexadecimal string (most significant input
+    /// assignments first), matching the common representation used by
+    /// reversible-logic benchmarks.
+    pub fn to_hex(&self) -> String {
+        let len = self.len();
+        let nibbles = len.div_ceil(4).max(1);
+        let mut out = String::with_capacity(nibbles);
+        for nibble in (0..nibbles).rev() {
+            let mut value = 0usize;
+            for offset in 0..4 {
+                let x = nibble * 4 + offset;
+                if x < len && self.get(x) {
+                    value |= 1 << offset;
+                }
+            }
+            out.push(char::from_digit(value as u32, 16).expect("nibble is < 16"));
+        }
+        out
+    }
+
+    fn check_vars(num_vars: usize) -> Result<(), BoolfnError> {
+        if num_vars > MAX_TRUTH_TABLE_VARS {
+            return Err(BoolfnError::TooManyVariables {
+                requested: num_vars,
+                maximum: MAX_TRUTH_TABLE_VARS,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of rows in the table, i.e. `2^num_vars`.
+    pub fn len(&self) -> usize {
+        1usize << self.num_vars
+    }
+
+    /// Returns `true` if the table has zero rows. This never happens for a
+    /// valid table (`n = 0` still has one row), so this is always `false`;
+    /// provided for API completeness alongside [`TruthTable::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns the output bit for input assignment `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn get(&self, x: usize) -> bool {
+        assert!(x < self.len(), "input assignment {x} out of range");
+        (self.words[x / 64] >> (x % 64)) & 1 == 1
+    }
+
+    /// Sets the output bit for input assignment `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= self.len()`.
+    pub fn set(&mut self, x: usize, value: bool) {
+        assert!(x < self.len(), "input assignment {x} out of range");
+        if value {
+            self.words[x / 64] |= 1u64 << (x % 64);
+        } else {
+            self.words[x / 64] &= !(1u64 << (x % 64));
+        }
+    }
+
+    /// Number of input assignments mapped to `1`.
+    pub fn count_ones(&self) -> usize {
+        let full = self.len() / 64;
+        let mut ones: usize = self.words[..full]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        if self.len() % 64 != 0 || full == 0 {
+            let mask = if self.len() >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.len()) - 1
+            };
+            if full < self.words.len() {
+                ones += (self.words[full] & mask).count_ones() as usize;
+            }
+        }
+        ones
+    }
+
+    /// Returns `true` if the function is constant (all-zero or all-one).
+    pub fn is_constant(&self) -> bool {
+        let ones = self.count_ones();
+        ones == 0 || ones == self.len()
+    }
+
+    /// Returns `true` if the function is balanced (as many ones as zeros).
+    pub fn is_balanced(&self) -> bool {
+        self.count_ones() * 2 == self.len()
+    }
+
+    /// Bitwise XOR of two functions on the same variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableCountMismatch`] when the variable
+    /// counts differ.
+    pub fn xor(&self, other: &Self) -> Result<Self, BoolfnError> {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise AND of two functions on the same variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableCountMismatch`] when the variable
+    /// counts differ.
+    pub fn and(&self, other: &Self) -> Result<Self, BoolfnError> {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR of two functions on the same variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableCountMismatch`] when the variable
+    /// counts differ.
+    pub fn or(&self, other: &Self) -> Result<Self, BoolfnError> {
+        self.zip(other, |a, b| a | b)
+    }
+
+    fn zip<F: Fn(u64, u64) -> u64>(&self, other: &Self, f: F) -> Result<Self, BoolfnError> {
+        if self.num_vars != other.num_vars {
+            return Err(BoolfnError::VariableCountMismatch {
+                left: self.num_vars,
+                right: other.num_vars,
+            });
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Self {
+            num_vars: self.num_vars,
+            words,
+        })
+    }
+
+    /// Returns the complement of the function.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for x in 0..out.len() {
+            let value = !out.get(x);
+            out.set(x, value);
+        }
+        out
+    }
+
+    /// Returns the function `g(x) = f(x ^ shift)` obtained by shifting the
+    /// input with a bitwise XOR. This is exactly the shifted oracle `g` of the
+    /// hidden shift problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= self.len()`.
+    pub fn xor_shift(&self, shift: usize) -> Self {
+        assert!(shift < self.len(), "shift {shift} out of range");
+        let mut out = Self::zero(self.num_vars).expect("same size as an existing table");
+        for x in 0..self.len() {
+            out.set(x, self.get(x ^ shift));
+        }
+        out
+    }
+
+    /// Returns the cofactor of the function with variable `var` fixed to
+    /// `value`, as a function over `num_vars - 1` variables (the remaining
+    /// variables keep their relative order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars` or `num_vars == 0`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Self {
+        assert!(self.num_vars > 0, "cannot take a cofactor of a 0-variable function");
+        assert!(var < self.num_vars, "variable x{var} out of range");
+        let mut out = Self::zero(self.num_vars - 1).expect("smaller than an existing table");
+        let low_mask = (1usize << var) - 1;
+        for y in 0..out.len() {
+            let x = (y & low_mask)
+                | (usize::from(value) << var)
+                | ((y & !low_mask) << 1);
+            out.set(y, self.get(x));
+        }
+        out
+    }
+
+    /// Returns `true` if the function depends on variable `var` (its two
+    /// cofactors differ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// Number of variables the function actually depends on (its support
+    /// size).
+    pub fn support_size(&self) -> usize {
+        (0..self.num_vars).filter(|&v| self.depends_on(v)).count()
+    }
+
+    /// Iterates over all output bits in input order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { tt: self, next: 0 }
+    }
+}
+
+/// Iterator over the output column of a [`TruthTable`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    tt: &'a TruthTable,
+    next: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.next >= self.tt.len() {
+            return None;
+        }
+        let bit = self.tt.get(self.next);
+        self.next += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.tt.len() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a TruthTable {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable(n={}, 0x{})", self.num_vars, self.to_hex())
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+/// A multi-output Boolean function `f : B^n -> B^m` stored as one
+/// [`TruthTable`] per output.
+///
+/// This is the specification format accepted by ESOP-based reversible
+/// synthesis with a Bennett embedding (equation (3) in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiTruthTable {
+    num_vars: usize,
+    outputs: Vec<TruthTable>,
+}
+
+impl MultiTruthTable {
+    /// Creates a multi-output function from a list of single-output tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::VariableCountMismatch`] if the tables disagree
+    /// on the number of input variables.
+    pub fn new(outputs: Vec<TruthTable>) -> Result<Self, BoolfnError> {
+        let num_vars = outputs.first().map_or(0, TruthTable::num_vars);
+        for output in &outputs {
+            if output.num_vars() != num_vars {
+                return Err(BoolfnError::VariableCountMismatch {
+                    left: num_vars,
+                    right: output.num_vars(),
+                });
+            }
+        }
+        Ok(Self { num_vars, outputs })
+    }
+
+    /// Creates a multi-output function by evaluating `f`, which returns the
+    /// output word for each input assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::TooManyVariables`] if `num_vars` is too large.
+    pub fn from_fn<F: FnMut(usize) -> usize>(
+        num_vars: usize,
+        num_outputs: usize,
+        mut f: F,
+    ) -> Result<Self, BoolfnError> {
+        let mut outputs = Vec::with_capacity(num_outputs);
+        for _ in 0..num_outputs {
+            outputs.push(TruthTable::zero(num_vars)?);
+        }
+        for x in 0..(1usize << num_vars) {
+            let word = f(x);
+            for (j, output) in outputs.iter_mut().enumerate() {
+                output.set(x, (word >> j) & 1 == 1);
+            }
+        }
+        Self::new(outputs)
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The table of output `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_outputs()`.
+    pub fn output(&self, index: usize) -> &TruthTable {
+        &self.outputs[index]
+    }
+
+    /// All output tables in order.
+    pub fn outputs(&self) -> &[TruthTable] {
+        &self.outputs
+    }
+
+    /// Evaluates the function, returning the output word for input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn evaluate(&self, x: usize) -> usize {
+        self.outputs
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (j, output)| {
+                acc | (usize::from(output.get(x)) << j)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_are_constant() {
+        let zero = TruthTable::zero(3).unwrap();
+        let one = TruthTable::one(3).unwrap();
+        assert!(zero.is_constant());
+        assert!(one.is_constant());
+        assert_eq!(zero.count_ones(), 0);
+        assert_eq!(one.count_ones(), 8);
+    }
+
+    #[test]
+    fn variable_projection_is_balanced() {
+        for n in 1..=6 {
+            for v in 0..n {
+                let tt = TruthTable::variable(n, v).unwrap();
+                assert!(tt.is_balanced(), "x{v} over {n} vars must be balanced");
+                assert!(tt.depends_on(v));
+                for other in (0..n).filter(|&o| o != v) {
+                    assert!(!tt.depends_on(other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variable_out_of_range_is_rejected() {
+        assert!(matches!(
+            TruthTable::variable(3, 3),
+            Err(BoolfnError::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_variables_is_rejected() {
+        assert!(matches!(
+            TruthTable::zero(MAX_TRUTH_TABLE_VARS + 1),
+            Err(BoolfnError::TooManyVariables { .. })
+        ));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let tt = TruthTable::from_fn(4, |x| (x * 7 + 3) % 5 < 2).unwrap();
+        let hex = tt.to_hex();
+        let back = TruthTable::from_hex(4, &hex).unwrap();
+        assert_eq!(tt, back);
+    }
+
+    #[test]
+    fn hex_of_and2_matches_convention() {
+        let and = TruthTable::from_fn(2, |x| x == 0b11).unwrap();
+        assert_eq!(and.to_hex(), "8");
+        assert_eq!(and.to_string(), "0x8");
+    }
+
+    #[test]
+    fn invalid_hex_is_reported() {
+        assert!(matches!(
+            TruthTable::from_hex(2, "g"),
+            Err(BoolfnError::ParseExprError { .. })
+        ));
+    }
+
+    #[test]
+    fn xor_and_or_and_not() {
+        let a = TruthTable::variable(2, 0).unwrap();
+        let b = TruthTable::variable(2, 1).unwrap();
+        let xor = a.xor(&b).unwrap();
+        let and = a.and(&b).unwrap();
+        let or = a.or(&b).unwrap();
+        for x in 0..4usize {
+            let (xa, xb) = (x & 1 == 1, x & 2 == 2);
+            assert_eq!(xor.get(x), xa ^ xb);
+            assert_eq!(and.get(x), xa & xb);
+            assert_eq!(or.get(x), xa | xb);
+            assert_eq!(a.not().get(x), !xa);
+        }
+    }
+
+    #[test]
+    fn mismatched_sizes_are_rejected() {
+        let a = TruthTable::variable(2, 0).unwrap();
+        let b = TruthTable::variable(3, 0).unwrap();
+        assert!(matches!(
+            a.xor(&b),
+            Err(BoolfnError::VariableCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn xor_shift_matches_definition() {
+        let f = TruthTable::from_fn(4, |x| (x & 1 == 1) & (x & 2 == 2)).unwrap();
+        for s in 0..16 {
+            let g = f.xor_shift(s);
+            for x in 0..16 {
+                assert_eq!(g.get(x), f.get(x ^ s));
+            }
+        }
+    }
+
+    #[test]
+    fn cofactor_of_majority() {
+        // majority(x0, x1, x2)
+        let maj = TruthTable::from_fn(3, |x| x.count_ones() >= 2).unwrap();
+        let cof1 = maj.cofactor(1, true);
+        // With x1 = 1, majority becomes OR of the remaining two variables.
+        for y in 0..4usize {
+            let (a, c) = (y & 1 == 1, y & 2 == 2);
+            assert_eq!(cof1.get(y), a | c);
+        }
+        let cof0 = maj.cofactor(1, false);
+        for y in 0..4usize {
+            let (a, c) = (y & 1 == 1, y & 2 == 2);
+            assert_eq!(cof0.get(y), a & c);
+        }
+    }
+
+    #[test]
+    fn support_size_ignores_dummy_variables() {
+        let f = TruthTable::from_fn(4, |x| (x & 1) ^ ((x >> 2) & 1) == 1).unwrap();
+        assert_eq!(f.support_size(), 2);
+        assert!(f.depends_on(0));
+        assert!(!f.depends_on(1));
+        assert!(f.depends_on(2));
+        assert!(!f.depends_on(3));
+    }
+
+    #[test]
+    fn iterator_yields_all_rows() {
+        let f = TruthTable::from_fn(3, |x| x % 3 == 0).unwrap();
+        let bits: Vec<bool> = f.iter().collect();
+        assert_eq!(bits.len(), 8);
+        for (x, bit) in bits.iter().enumerate() {
+            assert_eq!(*bit, f.get(x));
+        }
+        let copy = TruthTable::from_bits(3, bits).unwrap();
+        assert_eq!(copy, f);
+    }
+
+    #[test]
+    fn count_ones_handles_more_than_64_rows() {
+        let f = TruthTable::from_fn(7, |x| x % 2 == 0).unwrap();
+        assert_eq!(f.count_ones(), 64);
+        assert!(f.is_balanced());
+    }
+
+    #[test]
+    fn multi_truth_table_evaluates_words() {
+        let f = MultiTruthTable::from_fn(3, 2, |x| (x + 1) & 0b11).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_outputs(), 2);
+        for x in 0..8 {
+            assert_eq!(f.evaluate(x), (x + 1) & 0b11);
+        }
+    }
+
+    #[test]
+    fn multi_truth_table_rejects_mismatched_outputs() {
+        let a = TruthTable::zero(2).unwrap();
+        let b = TruthTable::zero(3).unwrap();
+        assert!(MultiTruthTable::new(vec![a, b]).is_err());
+    }
+}

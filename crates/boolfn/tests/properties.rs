@@ -1,0 +1,93 @@
+//! Property-based tests for the Boolean function substrate.
+
+use proptest::prelude::*;
+use qdaflow_boolfn::{bent::MaioranaMcFarland, esop::Esop, spectrum, Expr, Permutation, TruthTable};
+
+/// Strategy producing a random truth table over `n` variables.
+fn truth_table(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<bool>(), 1 << n)
+        .prop_map(move |bits| TruthTable::from_bits(n, bits).expect("n is small"))
+}
+
+/// Strategy producing a random permutation over `n` variables.
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    any::<u64>().prop_map(move |seed| Permutation::random_seeded(n, seed))
+}
+
+proptest! {
+    #[test]
+    fn pprm_round_trips(tt in truth_table(5)) {
+        let esop = Esop::pprm(&tt);
+        prop_assert_eq!(esop.truth_table().unwrap(), tt);
+    }
+
+    #[test]
+    fn minimized_esop_round_trips_and_is_no_worse(tt in truth_table(5)) {
+        let pprm = Esop::pprm(&tt);
+        let min = Esop::minimized(&tt);
+        prop_assert_eq!(min.truth_table().unwrap(), tt);
+        prop_assert!(min.num_cubes() <= pprm.num_cubes());
+    }
+
+    #[test]
+    fn walsh_spectrum_satisfies_parseval(tt in truth_table(5)) {
+        let w = spectrum::walsh_hadamard(&tt);
+        let energy: i64 = w.iter().map(|&c| c * c).sum();
+        prop_assert_eq!(energy, (tt.len() * tt.len()) as i64);
+    }
+
+    #[test]
+    fn spectrum_at_zero_counts_ones(tt in truth_table(5)) {
+        let w = spectrum::walsh_hadamard(&tt);
+        prop_assert_eq!(w[0], tt.len() as i64 - 2 * tt.count_ones() as i64);
+    }
+
+    #[test]
+    fn permutation_inverse_is_involution(p in permutation(4)) {
+        prop_assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn permutation_composed_with_inverse_is_identity(p in permutation(4)) {
+        prop_assert!(p.compose(&p.inverse()).unwrap().is_identity());
+    }
+
+    #[test]
+    fn xor_shift_is_an_involution(tt in truth_table(4), s in 0usize..16) {
+        prop_assert_eq!(tt.xor_shift(s).xor_shift(s), tt);
+    }
+
+    #[test]
+    fn maiorana_mcfarland_functions_are_bent(p in permutation(3), h in truth_table(3)) {
+        let f = MaioranaMcFarland::new(p, h).unwrap();
+        prop_assert!(spectrum::is_bent(&f.truth_table().unwrap()));
+    }
+
+    #[test]
+    fn maiorana_mcfarland_dual_matches_spectral_dual(p in permutation(2), h in truth_table(2)) {
+        let f = MaioranaMcFarland::new(p, h).unwrap();
+        let closed_form = f.dual_truth_table().unwrap();
+        let spectral = spectrum::dual_bent(&f.truth_table().unwrap()).unwrap();
+        prop_assert_eq!(closed_form, spectral);
+    }
+
+    #[test]
+    fn expression_display_round_trips(bits in prop::collection::vec(any::<bool>(), 16)) {
+        // Build an expression from a truth table via its PPRM and check the
+        // printer/parser round trip preserves semantics.
+        let tt = TruthTable::from_bits(4, bits).unwrap();
+        let esop = Esop::pprm(&tt);
+        let rendered = esop.to_string();
+        if esop.num_cubes() > 0 {
+            let expr = Expr::parse(&rendered.replace('*', "&")).unwrap();
+            prop_assert_eq!(expr.truth_table(4).unwrap(), tt);
+        }
+    }
+
+    #[test]
+    fn cofactors_partition_the_function(tt in truth_table(4), var in 0usize..4) {
+        let negative = tt.cofactor(var, false);
+        let positive = tt.cofactor(var, true);
+        prop_assert_eq!(negative.count_ones() + positive.count_ones(), tt.count_ones());
+    }
+}

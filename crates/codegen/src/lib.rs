@@ -1,0 +1,28 @@
+//! Q#-style code generation for the `qdaflow` flow.
+//!
+//! Section VIII of the paper describes a second tool flow in which RevKit is
+//! used as a *pre-processor*: the permutation defining the hidden shift
+//! instance is synthesized ahead of time and emitted as a Q# operation
+//! (Fig. 10), which the Q# compiler then builds together with the
+//! hand-written `HiddenShift` driver (Fig. 9). This crate reproduces the
+//! emission step: given a compiled quantum circuit it renders
+//!
+//! * a Q#-style `operation` body over a `Qubit[]` array
+//!   ([`qsharp::operation_from_circuit`]),
+//! * the full `PermOracle` namespace of Fig. 10 for a permutation
+//!   ([`qsharp::permutation_oracle_namespace`]),
+//! * and the `HiddenShift` driver namespace of Fig. 9
+//!   ([`qsharp::hidden_shift_driver`]).
+//!
+//! The emitted code is text; it is validated structurally by the tests (and
+//! the circuits it was generated from are validated semantically elsewhere in
+//! the workspace).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod qsharp;
+
+pub use qsharp::{
+    hidden_shift_driver, operation_from_circuit, permutation_oracle_namespace, QsharpOptions,
+};

@@ -1,0 +1,312 @@
+//! Rendering of quantum circuits as Q#-style source code.
+
+use qdaflow_boolfn::Permutation;
+use qdaflow_mapping::map::{self, MappingOptions};
+use qdaflow_quantum::{QuantumCircuit, QuantumGate};
+use qdaflow_reversible::synthesis;
+use std::fmt::Write as _;
+
+/// Options for Q# code generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QsharpOptions {
+    /// Namespace the generated operations are placed in.
+    pub namespace: String,
+    /// Name of the generated oracle operation.
+    pub operation_name: String,
+    /// Emit the `adjoint auto` / `controlled auto` functor declarations as in
+    /// Fig. 10 of the paper.
+    pub auto_functors: bool,
+}
+
+impl Default for QsharpOptions {
+    fn default() -> Self {
+        Self {
+            namespace: "Microsoft.Quantum.PermOracle".to_owned(),
+            operation_name: "PermutationOracle".to_owned(),
+            auto_functors: true,
+        }
+    }
+}
+
+/// Renders a single gate as a Q# statement over the array `qubits`.
+fn gate_statement(gate: &QuantumGate) -> String {
+    match gate {
+        QuantumGate::H(q) => format!("H(qubits[{q}]);"),
+        QuantumGate::X(q) => format!("X(qubits[{q}]);"),
+        QuantumGate::Y(q) => format!("Y(qubits[{q}]);"),
+        QuantumGate::Z(q) => format!("Z(qubits[{q}]);"),
+        QuantumGate::S(q) => format!("S(qubits[{q}]);"),
+        QuantumGate::Sdg(q) => format!("(Adjoint S)(qubits[{q}]);"),
+        QuantumGate::T(q) => format!("T(qubits[{q}]);"),
+        QuantumGate::Tdg(q) => format!("(Adjoint T)(qubits[{q}]);"),
+        QuantumGate::Rz { qubit, angle } => format!("Rz({angle:.12}, qubits[{qubit}]);"),
+        QuantumGate::Cx { control, target } => format!("CNOT(qubits[{control}], qubits[{target}]);"),
+        QuantumGate::Cz { a, b } => format!("CZ(qubits[{a}], qubits[{b}]);"),
+        QuantumGate::Swap { a, b } => format!("SWAP(qubits[{a}], qubits[{b}]);"),
+        QuantumGate::Ccx {
+            control_a,
+            control_b,
+            target,
+        } => format!("CCNOT(qubits[{control_a}], qubits[{control_b}], qubits[{target}]);"),
+        QuantumGate::Mcx { controls, target } => {
+            let controls: Vec<String> = controls.iter().map(|q| format!("qubits[{q}]")).collect();
+            format!(
+                "(Controlled X)([{}], qubits[{target}]);",
+                controls.join(", ")
+            )
+        }
+        QuantumGate::Mcz { qubits } => {
+            let (last, rest) = qubits.split_last().expect("mcz has at least one qubit");
+            let controls: Vec<String> = rest.iter().map(|q| format!("qubits[{q}]")).collect();
+            format!(
+                "(Controlled Z)([{}], qubits[{last}]);",
+                controls.join(", ")
+            )
+        }
+    }
+}
+
+/// Renders a Q#-style operation with the given name whose body applies the
+/// gates of `circuit` to a `Qubit[]` parameter, in the style of Fig. 10 of
+/// the paper.
+pub fn operation_from_circuit(
+    name: &str,
+    circuit: &QuantumCircuit,
+    options: &QsharpOptions,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "    operation {name}");
+    let _ = writeln!(out, "        // signature of input types");
+    let _ = writeln!(out, "        (qubits : Qubit[]) :");
+    let _ = writeln!(out, "        // signature of output type");
+    let _ = writeln!(out, "        () {{");
+    let _ = writeln!(out, "        body {{");
+    for gate in circuit {
+        let _ = writeln!(out, "            {}", gate_statement(gate));
+    }
+    let _ = writeln!(out, "        }}");
+    if options.auto_functors {
+        let _ = writeln!(out, "        adjoint auto");
+        let _ = writeln!(out, "        controlled auto");
+        let _ = writeln!(out, "        controlled adjoint auto");
+    }
+    let _ = writeln!(out, "    }}");
+    out
+}
+
+/// Emits the full `PermOracle` namespace of Fig. 10: the permutation is
+/// synthesized with RevKit-style transformation-based synthesis, mapped to
+/// Clifford+T, and rendered as a Q# operation together with the
+/// `BentFunctionImpl`/`BentFunction` helpers.
+///
+/// # Errors
+///
+/// Returns an error if synthesis or mapping of the permutation fails.
+pub fn permutation_oracle_namespace(
+    permutation: &Permutation,
+    options: &QsharpOptions,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let reversible = synthesis::transformation_based(permutation)?;
+    let (simplified, _) = qdaflow_reversible::optimize::simplify(&reversible);
+    let circuit = map::to_clifford_t(&simplified, &MappingOptions::default())?;
+    let n = permutation.num_vars();
+    let mut out = String::new();
+    let _ = writeln!(out, "namespace {} {{", options.namespace);
+    let _ = writeln!(out, "    open Microsoft.Quantum.Primitive;");
+    let _ = writeln!(out);
+    out.push_str(&operation_from_circuit(&options.operation_name, &circuit, options));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    operation BentFunctionImpl");
+    let _ = writeln!(out, "        (n : Int, qs : Qubit[]) : () {{");
+    let _ = writeln!(out, "        body {{");
+    let _ = writeln!(out, "            let xs = qs[0..(n-1)];");
+    let _ = writeln!(out, "            let ys = qs[n..(2*n-1)];");
+    let _ = writeln!(
+        out,
+        "            (Adjoint {})(ys);",
+        options.operation_name
+    );
+    let _ = writeln!(out, "            for (idx in 0..(n-1)) {{");
+    let _ = writeln!(out, "                (Controlled Z)([xs[idx]], ys[idx]);");
+    let _ = writeln!(out, "            }}");
+    let _ = writeln!(out, "            {}(ys);", options.operation_name);
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    function BentFunction");
+    let _ = writeln!(out, "        (n : Int) : (Qubit[] => ()) {{");
+    let _ = writeln!(out, "        return BentFunctionImpl({n}, _);");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+/// Emits the `HiddenShift` driver namespace of Fig. 9 of the paper.
+pub fn hidden_shift_driver(namespace: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "namespace {namespace} {{");
+    let _ = writeln!(out, "    // basic operations: Hadamard, CNOT, etc");
+    let _ = writeln!(out, "    open Microsoft.Quantum.Primitive;");
+    let _ = writeln!(out, "    // useful lib functions and combinators");
+    let _ = writeln!(out, "    open Microsoft.Quantum.Canon;");
+    let _ = writeln!(out, "    // permutation defining the instance");
+    let _ = writeln!(out, "    open Microsoft.Quantum.PermOracle;");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "    operation HiddenShift");
+    let _ = writeln!(out, "        (Ufstar : (Qubit[] => ()),");
+    let _ = writeln!(out, "         Ug : (Qubit[] => ()), n : Int) :");
+    let _ = writeln!(out, "        Result[] {{");
+    let _ = writeln!(out, "        body {{");
+    let _ = writeln!(out, "            mutable resultArray = new Result[n];");
+    let _ = writeln!(out, "            using (qubits = Qubit[n]) {{");
+    let _ = writeln!(out, "                ApplyToEach(H, qubits);");
+    let _ = writeln!(out, "                Ug(qubits);");
+    let _ = writeln!(out, "                ApplyToEach(H, qubits);");
+    let _ = writeln!(out, "                Ufstar(qubits);");
+    let _ = writeln!(out, "                ApplyToEach(H, qubits);");
+    let _ = writeln!(out, "                for (idx in 0..(n-1)) {{");
+    let _ = writeln!(out, "                    set resultArray[idx] = MResetZ(qubits[idx]);");
+    let _ = writeln!(out, "                }}");
+    let _ = writeln!(out, "            }}");
+    let _ = writeln!(out, "            Message($\"result: {{resultArray}}\");");
+    let _ = writeln!(out, "            return resultArray;");
+    let _ = writeln!(out, "        }}");
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(3);
+        for gate in [
+            QuantumGate::H(0),
+            QuantumGate::T(2),
+            QuantumGate::Tdg(1),
+            QuantumGate::Cx {
+                control: 2,
+                target: 1,
+            },
+            QuantumGate::Ccx {
+                control_a: 0,
+                control_b: 1,
+                target: 2,
+            },
+            QuantumGate::Mcz {
+                qubits: vec![0, 1, 2],
+            },
+        ] {
+            circuit.push(gate).unwrap();
+        }
+        circuit
+    }
+
+    #[test]
+    fn operation_contains_one_statement_per_gate() {
+        let circuit = sample_circuit();
+        let rendered = operation_from_circuit("Oracle", &circuit, &QsharpOptions::default());
+        assert!(rendered.contains("operation Oracle"));
+        assert!(rendered.contains("H(qubits[0]);"));
+        assert!(rendered.contains("(Adjoint T)(qubits[1]);"));
+        assert!(rendered.contains("CNOT(qubits[2], qubits[1]);"));
+        assert!(rendered.contains("CCNOT(qubits[0], qubits[1], qubits[2]);"));
+        assert!(rendered.contains("(Controlled Z)([qubits[0], qubits[1]], qubits[2]);"));
+        assert!(rendered.contains("adjoint auto"));
+        let statements = rendered.matches(';').count();
+        assert!(statements >= circuit.num_gates());
+    }
+
+    #[test]
+    fn functors_can_be_disabled() {
+        let options = QsharpOptions {
+            auto_functors: false,
+            ..QsharpOptions::default()
+        };
+        let rendered = operation_from_circuit("Oracle", &sample_circuit(), &options);
+        assert!(!rendered.contains("adjoint auto"));
+    }
+
+    #[test]
+    fn permutation_namespace_matches_fig10_structure() {
+        let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+        let rendered =
+            permutation_oracle_namespace(&pi, &QsharpOptions::default()).unwrap();
+        assert!(rendered.starts_with("namespace Microsoft.Quantum.PermOracle {"));
+        assert!(rendered.contains("operation PermutationOracle"));
+        assert!(rendered.contains("operation BentFunctionImpl"));
+        assert!(rendered.contains("(Adjoint PermutationOracle)(ys);"));
+        assert!(rendered.contains("(Controlled Z)([xs[idx]], ys[idx]);"));
+        assert!(rendered.contains("function BentFunction"));
+        // Balanced braces.
+        assert_eq!(
+            rendered.matches('{').count(),
+            rendered.matches('}').count()
+        );
+        // The emitted operation only uses the primitive gate set of Fig. 10.
+        for line in rendered.lines() {
+            let trimmed = line.trim();
+            if trimmed.ends_with(");") && trimmed.contains("qubits[") {
+                assert!(
+                    trimmed.starts_with("H(")
+                        || trimmed.starts_with("X(")
+                        || trimmed.starts_with("T(")
+                        || trimmed.starts_with("S(")
+                        || trimmed.starts_with("Z(")
+                        || trimmed.starts_with("(Adjoint T)(")
+                        || trimmed.starts_with("(Adjoint S)(")
+                        || trimmed.starts_with("CNOT(")
+                        || trimmed.starts_with("CZ(")
+                        || trimmed.starts_with("CCNOT(")
+                        || trimmed.starts_with("(Controlled"),
+                    "unexpected statement: {trimmed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn driver_matches_fig9_structure() {
+        let rendered = hidden_shift_driver("Microsoft.Quantum.HiddenShift");
+        assert!(rendered.contains("operation HiddenShift"));
+        assert!(rendered.contains("ApplyToEach(H, qubits);"));
+        assert!(rendered.contains("MResetZ"));
+        assert_eq!(
+            rendered.matches("ApplyToEach(H, qubits);").count(),
+            3,
+            "the driver applies three Hadamard layers"
+        );
+        assert_eq!(
+            rendered.matches('{').count(),
+            rendered.matches('}').count()
+        );
+    }
+
+    #[test]
+    fn rz_and_swap_statements() {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit
+            .push(QuantumGate::Rz {
+                qubit: 1,
+                angle: 0.5,
+            })
+            .unwrap();
+        circuit.push(QuantumGate::Swap { a: 0, b: 1 }).unwrap();
+        circuit.push(QuantumGate::S(0)).unwrap();
+        circuit.push(QuantumGate::Sdg(1)).unwrap();
+        circuit.push(QuantumGate::Y(0)).unwrap();
+        circuit.push(QuantumGate::Z(1)).unwrap();
+        circuit
+            .push(QuantumGate::Mcx {
+                controls: vec![0],
+                target: 1,
+            })
+            .unwrap();
+        let rendered = operation_from_circuit("Misc", &circuit, &QsharpOptions::default());
+        assert!(rendered.contains("Rz(0.5"));
+        assert!(rendered.contains("SWAP(qubits[0], qubits[1]);"));
+        assert!(rendered.contains("(Controlled X)([qubits[0]], qubits[1]);"));
+    }
+}

@@ -1,0 +1,487 @@
+//! The Boolean hidden shift problem (Sections VI–VIII of the paper).
+//!
+//! Given oracle access to `g(x) = f(x ⊕ s)` and to the dual bent function
+//! `f~`, the quantum algorithm of Fig. 3 recovers the hidden shift `s` with a
+//! single query to each oracle:
+//!
+//! ```text
+//! |0^n⟩ ── H^n ── U_g ── H^n ── U_f~ ── H^n ── measure ──▶ |s⟩
+//! ```
+//!
+//! This module builds the complete compiled circuit for an instance, either
+//! from plain truth-table phase oracles (the Fig. 4/5 flow) or from the
+//! structured Maiorana–McFarland construction with RevKit-synthesized
+//! permutation oracles (the Fig. 7/8 flow), and runs it on any backend.
+
+use qdaflow_boolfn::{bent::MaioranaMcFarland, spectrum, BoolfnError, TruthTable};
+use qdaflow_engine::{EngineError, MainEngine, Qubit, SynthesisChoice};
+use qdaflow_quantum::backend::{Backend, ExecutionResult, StatevectorBackend};
+use qdaflow_quantum::noise::NoiseModel;
+use qdaflow_quantum::QuantumCircuit;
+
+/// How the oracles of the hidden shift circuit are compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleStyle {
+    /// Compile `U_g` and `U_f~` directly from their truth tables through
+    /// ESOP-based phase oracles (the flow of Fig. 4/5).
+    #[default]
+    TruthTable,
+    /// Use the structured Maiorana–McFarland construction: the permutation
+    /// `π` is synthesized by RevKit-style reversible synthesis into a
+    /// permutation oracle which conjugates an inner-product CZ layer
+    /// (the flow of Fig. 7/8). Only available for instances constructed from
+    /// a [`MaioranaMcFarland`] function.
+    MaioranaMcFarland {
+        /// Which reversible synthesis algorithm compiles the permutation.
+        synthesis: SynthesisChoice,
+    },
+}
+
+/// A fully specified instance of the hidden shift problem.
+#[derive(Debug, Clone)]
+pub struct HiddenShiftInstance {
+    function: TruthTable,
+    dual: TruthTable,
+    shift: usize,
+    structured: Option<MaioranaMcFarland>,
+}
+
+/// The result of executing a hidden shift circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HiddenShiftOutcome {
+    /// The shift that was planted in the instance.
+    pub planted_shift: usize,
+    /// The most frequently measured outcome, if any shots were taken.
+    pub recovered_shift: Option<usize>,
+    /// Empirical probability of measuring the planted shift.
+    pub success_probability: f64,
+    /// The raw execution result (counts, resources).
+    pub execution: ExecutionResult,
+}
+
+impl HiddenShiftInstance {
+    /// Creates an instance from an arbitrary bent function given as a truth
+    /// table, planting the shift `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoolfnError::NotBent`] (or
+    /// [`BoolfnError::OddVariableCount`]) if the function is not bent, so no
+    /// dual exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 2^{num_vars}`.
+    pub fn from_bent_function(function: &TruthTable, shift: usize) -> Result<Self, BoolfnError> {
+        assert!(
+            shift < function.len(),
+            "shift {shift} out of range for {} variables",
+            function.num_vars()
+        );
+        let dual = spectrum::dual_bent(function)?;
+        Ok(Self {
+            function: function.clone(),
+            dual,
+            shift,
+            structured: None,
+        })
+    }
+
+    /// Creates an instance from a Maiorana–McFarland bent function, planting
+    /// the shift `s`. The structured form enables the
+    /// [`OracleStyle::MaioranaMcFarland`] compilation path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the function is too large for explicit truth
+    /// tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift >= 2^{num_vars}`.
+    pub fn from_maiorana_mcfarland(
+        function: &MaioranaMcFarland,
+        shift: usize,
+    ) -> Result<Self, BoolfnError> {
+        let table = function.truth_table()?;
+        assert!(
+            shift < table.len(),
+            "shift {shift} out of range for {} variables",
+            table.num_vars()
+        );
+        let dual = function.dual_truth_table()?;
+        Ok(Self {
+            function: table,
+            dual,
+            shift,
+            structured: Some(function.clone()),
+        })
+    }
+
+    /// Number of qubits the algorithm needs (not counting mapping ancillas).
+    pub fn num_vars(&self) -> usize {
+        self.function.num_vars()
+    }
+
+    /// The planted shift.
+    pub fn shift(&self) -> usize {
+        self.shift
+    }
+
+    /// The bent function `f`.
+    pub fn function(&self) -> &TruthTable {
+        &self.function
+    }
+
+    /// The dual bent function `f~`.
+    pub fn dual(&self) -> &TruthTable {
+        &self.dual
+    }
+
+    /// The shifted oracle function `g(x) = f(x ⊕ s)`.
+    pub fn shifted_function(&self) -> TruthTable {
+        self.function.xor_shift(self.shift)
+    }
+
+    /// Builds the complete compiled circuit of Fig. 3 for this instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an engine error if compilation fails, and an error when
+    /// [`OracleStyle::MaioranaMcFarland`] is requested for an instance that
+    /// was not constructed from a structured Maiorana–McFarland function.
+    pub fn build_circuit(&self, style: OracleStyle) -> Result<QuantumCircuit, EngineError> {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(self.num_vars());
+        self.emit_algorithm(&mut engine, &qubits, style)?;
+        Ok(engine.circuit())
+    }
+
+    /// Emits the algorithm onto an existing engine and register (useful when
+    /// the caller wants to choose the backend through the engine).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HiddenShiftInstance::build_circuit`].
+    pub fn emit_algorithm(
+        &self,
+        engine: &mut MainEngine,
+        qubits: &[Qubit],
+        style: OracleStyle,
+    ) -> Result<(), EngineError> {
+        if qubits.len() != self.num_vars() {
+            return Err(EngineError::RegisterSizeMismatch {
+                expected: self.num_vars(),
+                provided: qubits.len(),
+            });
+        }
+        // Step 1: H^n.
+        engine.all_h(qubits)?;
+        // Step 2: U_g = X^s · U_f · X^s.
+        let shift_section = engine.begin_compute();
+        self.apply_shift(engine, qubits)?;
+        let shift_section = engine.end_compute(shift_section);
+        self.apply_function_oracle(engine, qubits, style)?;
+        engine.uncompute(&shift_section)?;
+        // Step 3: H^n.
+        engine.all_h(qubits)?;
+        // Step 4: U_f~.
+        self.apply_dual_oracle(engine, qubits, style)?;
+        // Step 5: H^n (measurement happens in the backend).
+        engine.all_h(qubits)?;
+        Ok(())
+    }
+
+    fn apply_shift(&self, engine: &mut MainEngine, qubits: &[Qubit]) -> Result<(), EngineError> {
+        for (bit, &qubit) in qubits.iter().enumerate() {
+            if (self.shift >> bit) & 1 == 1 {
+                engine.x(qubit)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_function_oracle(
+        &self,
+        engine: &mut MainEngine,
+        qubits: &[Qubit],
+        style: OracleStyle,
+    ) -> Result<(), EngineError> {
+        match (style, &self.structured) {
+            (OracleStyle::TruthTable, _) | (OracleStyle::MaioranaMcFarland { .. }, None) => {
+                engine.phase_oracle(&self.function, qubits)
+            }
+            (OracleStyle::MaioranaMcFarland { synthesis }, Some(mm)) => {
+                let n_half = mm.n_half();
+                let (x_register, y_register) = split_register(qubits, n_half);
+                // U_f: conjugate the inner-product CZ layer with π on the y half.
+                engine.permutation_oracle(mm.pi(), &y_register, synthesis)?;
+                inner_product_layer(engine, &x_register, &y_register)?;
+                engine.permutation_oracle_dagger(mm.pi(), &y_register, synthesis)?;
+                // The h(y) part is a phase oracle on the y half alone.
+                if mm.h().count_ones() > 0 {
+                    engine.phase_oracle(mm.h(), &y_register)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn apply_dual_oracle(
+        &self,
+        engine: &mut MainEngine,
+        qubits: &[Qubit],
+        style: OracleStyle,
+    ) -> Result<(), EngineError> {
+        match (style, &self.structured) {
+            (OracleStyle::TruthTable, _) | (OracleStyle::MaioranaMcFarland { .. }, None) => {
+                engine.phase_oracle(&self.dual, qubits)
+            }
+            (OracleStyle::MaioranaMcFarland { synthesis }, Some(mm)) => {
+                let n_half = mm.n_half();
+                let (x_register, y_register) = split_register(qubits, n_half);
+                // U_f~: f~(x, y) = π⁻¹(x)·y ⊕ h(π⁻¹(x)). Map x → π⁻¹(x) by
+                // applying the adjoint of the π oracle (the Dagger construction
+                // of Fig. 7), apply the CZ layer and the h phase on the x half,
+                // then restore x.
+                engine.permutation_oracle_dagger(mm.pi(), &x_register, synthesis)?;
+                inner_product_layer(engine, &x_register, &y_register)?;
+                if mm.h().count_ones() > 0 {
+                    engine.phase_oracle(mm.h(), &x_register)?;
+                }
+                engine.permutation_oracle(mm.pi(), &x_register, synthesis)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the circuit and runs it on the exact statevector backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and simulation errors.
+    pub fn run_ideal(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+    ) -> Result<HiddenShiftOutcome, EngineError> {
+        let mut backend = StatevectorBackend::seeded(0xDA7E);
+        self.run_on(&mut backend, circuit, shots)
+    }
+
+    /// Runs a previously built circuit on the noisy hardware model (the
+    /// IBM QX substitute used for Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn run_noisy(
+        &self,
+        circuit: &QuantumCircuit,
+        model: NoiseModel,
+        shots: usize,
+        seed: u64,
+    ) -> Result<HiddenShiftOutcome, EngineError> {
+        let mut backend = qdaflow_quantum::backend::NoisyHardwareBackend::new(model, seed);
+        self.run_on(&mut backend, circuit, shots)
+    }
+
+    /// Runs a previously built circuit on an arbitrary backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend execution errors.
+    pub fn run_on(
+        &self,
+        backend: &mut dyn Backend,
+        circuit: &QuantumCircuit,
+        shots: usize,
+    ) -> Result<HiddenShiftOutcome, EngineError> {
+        let execution = backend.run(circuit, shots)?;
+        // Only the first `n` measured bits carry the shift; mapping ancillas
+        // (if any) are clean and measure to zero, so masking is safe.
+        let mask = (1usize << self.num_vars()) - 1;
+        let mut masked: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for (&outcome, &count) in &execution.counts {
+            *masked.entry(outcome & mask).or_insert(0) += count;
+        }
+        let recovered = masked
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(&outcome, _)| outcome);
+        let success = if shots == 0 {
+            0.0
+        } else {
+            *masked.get(&self.shift).unwrap_or(&0) as f64 / shots as f64
+        };
+        Ok(HiddenShiftOutcome {
+            planted_shift: self.shift,
+            recovered_shift: recovered,
+            success_probability: success,
+            execution,
+        })
+    }
+}
+
+/// Splits an interleaved register into the `(x, y)` halves used by the
+/// Maiorana–McFarland construction: qubit `i` of the register carries bit `i`
+/// of the combined index, so the low `n_half` qubits are `x` and the high
+/// ones are `y`.
+fn split_register(qubits: &[Qubit], n_half: usize) -> (Vec<Qubit>, Vec<Qubit>) {
+    (qubits[..n_half].to_vec(), qubits[n_half..].to_vec())
+}
+
+/// Applies the inner-product phase layer `Π_i CZ(x_i, y_i)`.
+fn inner_product_layer(
+    engine: &mut MainEngine,
+    x_register: &[Qubit],
+    y_register: &[Qubit],
+) -> Result<(), EngineError> {
+    for (&x, &y) in x_register.iter().zip(y_register) {
+        engine.cz(x, y)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdaflow_boolfn::{Expr, Permutation};
+
+    fn fig4_instance() -> HiddenShiftInstance {
+        let f = Expr::parse("(x0 & x1) ^ (x2 & x3)")
+            .unwrap()
+            .truth_table(4)
+            .unwrap();
+        HiddenShiftInstance::from_bent_function(&f, 1).unwrap()
+    }
+
+    fn fig7_instance() -> HiddenShiftInstance {
+        let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+        let mm = MaioranaMcFarland::with_zero_h(pi).unwrap();
+        HiddenShiftInstance::from_maiorana_mcfarland(&mm, 5).unwrap()
+    }
+
+    #[test]
+    fn non_bent_functions_are_rejected() {
+        let linear = Expr::parse("x0 ^ x1").unwrap().truth_table(2).unwrap();
+        assert!(HiddenShiftInstance::from_bent_function(&linear, 1).is_err());
+    }
+
+    #[test]
+    fn fig4_instance_recovers_shift_deterministically() {
+        let instance = fig4_instance();
+        let circuit = instance.build_circuit(OracleStyle::TruthTable).unwrap();
+        let outcome = instance.run_ideal(&circuit, 256).unwrap();
+        assert_eq!(outcome.recovered_shift, Some(1));
+        assert!((outcome.success_probability - 1.0).abs() < 1e-9);
+        assert_eq!(outcome.planted_shift, 1);
+    }
+
+    #[test]
+    fn all_shifts_are_recovered_for_the_inner_product_function() {
+        let f = Expr::parse("(x0 & x1) ^ (x2 & x3)")
+            .unwrap()
+            .truth_table(4)
+            .unwrap();
+        for shift in 0..16usize {
+            let instance = HiddenShiftInstance::from_bent_function(&f, shift).unwrap();
+            let circuit = instance.build_circuit(OracleStyle::TruthTable).unwrap();
+            let outcome = instance.run_ideal(&circuit, 64).unwrap();
+            assert_eq!(outcome.recovered_shift, Some(shift), "shift {shift}");
+            assert!((outcome.success_probability - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig7_instance_recovers_shift_with_truth_table_oracles() {
+        let instance = fig7_instance();
+        let circuit = instance.build_circuit(OracleStyle::TruthTable).unwrap();
+        let outcome = instance.run_ideal(&circuit, 64).unwrap();
+        assert_eq!(outcome.recovered_shift, Some(5));
+    }
+
+    #[test]
+    fn fig7_instance_recovers_shift_with_structured_oracles() {
+        let instance = fig7_instance();
+        for synthesis in [
+            SynthesisChoice::TransformationBased,
+            SynthesisChoice::DecompositionBased,
+        ] {
+            let circuit = instance
+                .build_circuit(OracleStyle::MaioranaMcFarland { synthesis })
+                .unwrap();
+            let outcome = instance.run_ideal(&circuit, 64).unwrap();
+            assert_eq!(outcome.recovered_shift, Some(5), "{synthesis:?}");
+            assert!((outcome.success_probability - 1.0).abs() < 1e-9);
+            assert!(circuit.is_clifford_t());
+        }
+    }
+
+    #[test]
+    fn structured_instances_with_nonzero_h_work() {
+        let pi = Permutation::random_seeded(2, 11);
+        let h = TruthTable::from_fn(2, |y| y == 2).unwrap();
+        let mm = MaioranaMcFarland::new(pi, h).unwrap();
+        let instance = HiddenShiftInstance::from_maiorana_mcfarland(&mm, 6).unwrap();
+        for style in [
+            OracleStyle::TruthTable,
+            OracleStyle::MaioranaMcFarland {
+                synthesis: SynthesisChoice::TransformationBased,
+            },
+        ] {
+            let circuit = instance.build_circuit(style).unwrap();
+            let outcome = instance.run_ideal(&circuit, 64).unwrap();
+            assert_eq!(outcome.recovered_shift, Some(6), "{style:?}");
+        }
+    }
+
+    #[test]
+    fn structured_style_falls_back_to_truth_tables_for_unstructured_instances() {
+        let instance = fig4_instance();
+        let circuit = instance
+            .build_circuit(OracleStyle::MaioranaMcFarland {
+                synthesis: SynthesisChoice::TransformationBased,
+            })
+            .unwrap();
+        let outcome = instance.run_ideal(&circuit, 64).unwrap();
+        assert_eq!(outcome.recovered_shift, Some(1));
+    }
+
+    #[test]
+    fn noisy_execution_degrades_but_still_finds_the_shift() {
+        let instance = fig4_instance();
+        let circuit = instance.build_circuit(OracleStyle::TruthTable).unwrap();
+        let outcome = instance
+            .run_noisy(&circuit, NoiseModel::ibm_qx_2017(), 1024, 7)
+            .unwrap();
+        assert!(outcome.success_probability < 1.0);
+        assert!(
+            outcome.success_probability > 0.4,
+            "success probability {}",
+            outcome.success_probability
+        );
+        assert_eq!(outcome.recovered_shift, Some(1));
+    }
+
+    #[test]
+    fn accessors_expose_the_specification() {
+        let instance = fig4_instance();
+        assert_eq!(instance.num_vars(), 4);
+        assert_eq!(instance.shift(), 1);
+        assert_eq!(instance.shifted_function(), instance.function().xor_shift(1));
+        // f is self-dual for the inner-product function.
+        assert_eq!(instance.dual(), instance.function());
+    }
+
+    #[test]
+    fn emit_algorithm_checks_register_width() {
+        let instance = fig4_instance();
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(3);
+        assert!(matches!(
+            instance.emit_algorithm(&mut engine, &qubits, OracleStyle::TruthTable),
+            Err(EngineError::RegisterSizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! # qdaflow — programming quantum computers using design automation
+//!
+//! `qdaflow` is a Rust reproduction of the automatic quantum programming flow
+//! described by Soeken, Häner and Roetteler in *"Programming Quantum
+//! Computers Using Design Automation"* (DATE 2018): a high-level quantum
+//! algorithm is expressed against a ProjectQ-style engine, its combinational
+//! (classical) components are compiled automatically by RevKit-style
+//! reversible logic synthesis, the result is mapped to the Clifford+T gate
+//! set, optimized, and executed on a simulator or a noisy hardware model.
+//!
+//! The crate re-exports the building blocks of the flow and adds the paper's
+//! end-to-end application — the Boolean **hidden shift problem** for bent
+//! functions — together with a classical baseline solver and a one-call
+//! compilation API.
+//!
+//! ## Layers
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | Boolean functions | [`boolfn`] | truth tables, ESOP, spectra, bent functions, permutations |
+//! | Reversible logic  | [`reversible`] | Toffoli networks, TBS/DBS/ESOP synthesis, simplification |
+//! | Quantum circuits  | [`quantum`] | Clifford+T IR, statevector & noisy simulators, QASM |
+//! | Mapping           | [`mapping`] | Toffoli→Clifford+T, phase oracles, T-count optimization |
+//! | Shell             | [`revkit`] | `revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c` |
+//! | Engine            | [`engine`] | `MainEngine`, Compute/Uncompute/Dagger, oracles, backends |
+//! | Code generation   | [`codegen`] | Q#-style emission (Fig. 9/10) |
+//! | Application       | [`hidden_shift`], [`classical`], [`flow`] | the paper's benchmark |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
+//! use qdaflow::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The instance of Fig. 4: f = x0x1 ^ x2x3, hidden shift s = 1.
+//! let f = Expr::parse("(x0 & x1) ^ (x2 & x3)")?.truth_table(4)?;
+//! let instance = HiddenShiftInstance::from_bent_function(&f, 1)?;
+//! let circuit = instance.build_circuit(OracleStyle::TruthTable)?;
+//! let outcome = instance.run_ideal(&circuit, 128)?;
+//! assert_eq!(outcome.recovered_shift, Some(1));
+//! assert!((outcome.success_probability - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classical;
+pub mod flow;
+pub mod hidden_shift;
+pub mod prelude;
+
+pub use qdaflow_boolfn as boolfn;
+pub use qdaflow_codegen as codegen;
+pub use qdaflow_engine as engine;
+pub use qdaflow_mapping as mapping;
+pub use qdaflow_quantum as quantum;
+pub use qdaflow_reversible as reversible;
+pub use qdaflow_revkit as revkit;

@@ -1,0 +1,33 @@
+//! Convenience re-exports of the most commonly used types of the flow.
+
+pub use qdaflow_boolfn::{
+    bent::{InnerProduct, MaioranaMcFarland},
+    Expr, Permutation, TruthTable,
+};
+pub use qdaflow_engine::{MainEngine, Qubit, SynthesisChoice};
+pub use qdaflow_mapping::map::MappingOptions;
+pub use qdaflow_quantum::{
+    backend::{Backend, ExecutionResult, NoisyHardwareBackend, StatevectorBackend},
+    noise::NoiseModel,
+    resource::ResourceCounts,
+    QuantumCircuit, QuantumGate,
+};
+pub use qdaflow_reversible::{ReversibleCircuit, MctGate};
+pub use qdaflow_revkit::Shell;
+
+pub use crate::classical::ClassicalSolver;
+pub use crate::flow::{compile_permutation, compile_phase_function, CompilationReport};
+pub use crate::hidden_shift::{HiddenShiftInstance, HiddenShiftOutcome, OracleStyle};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_are_usable() {
+        use super::*;
+        let _ = Permutation::identity(2);
+        let _ = QuantumCircuit::new(1);
+        let _ = NoiseModel::noiseless();
+        let _ = MappingOptions::default();
+        let _ = SynthesisChoice::default();
+    }
+}

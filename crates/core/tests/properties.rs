@@ -1,0 +1,77 @@
+//! Property-based tests of the hidden shift application: for random bent
+//! instances and random shifts the algorithm is deterministic on the ideal
+//! simulator, and the classical baseline agrees with the planted shift.
+
+use proptest::prelude::*;
+use qdaflow::classical::ClassicalSolver;
+use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
+use qdaflow::prelude::*;
+
+fn mm_instance(n_half: usize) -> impl Strategy<Value = MaioranaMcFarland> {
+    (any::<u64>(), prop::collection::vec(any::<bool>(), 1 << n_half)).prop_map(
+        move |(seed, bits)| {
+            let pi = Permutation::random_seeded(n_half, seed);
+            let h = TruthTable::from_bits(n_half, bits).expect("n_half is small");
+            MaioranaMcFarland::new(pi, h).expect("widths match by construction")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hidden_shift_is_deterministic_for_random_instances(
+        mm in mm_instance(2),
+        shift in 0usize..16,
+    ) {
+        let instance = HiddenShiftInstance::from_maiorana_mcfarland(&mm, shift).unwrap();
+        let circuit = instance.build_circuit(OracleStyle::TruthTable).unwrap();
+        let outcome = instance.run_ideal(&circuit, 32).unwrap();
+        prop_assert_eq!(outcome.recovered_shift, Some(shift));
+        prop_assert!((outcome.success_probability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structured_and_truth_table_oracles_agree(
+        mm in mm_instance(2),
+        shift in 0usize..16,
+    ) {
+        let instance = HiddenShiftInstance::from_maiorana_mcfarland(&mm, shift).unwrap();
+        let plain = instance.build_circuit(OracleStyle::TruthTable).unwrap();
+        let structured = instance
+            .build_circuit(OracleStyle::MaioranaMcFarland {
+                synthesis: SynthesisChoice::TransformationBased,
+            })
+            .unwrap();
+        let a = instance.run_ideal(&plain, 32).unwrap();
+        let b = instance.run_ideal(&structured, 32).unwrap();
+        prop_assert_eq!(a.recovered_shift, b.recovered_shift);
+        prop_assert_eq!(a.recovered_shift, Some(shift));
+    }
+
+    #[test]
+    fn classical_elimination_agrees_with_the_plant(
+        mm in mm_instance(2),
+        shift in 0usize..16,
+    ) {
+        let f = mm.truth_table().unwrap();
+        let g = f.xor_shift(shift);
+        let result = ClassicalSolver::new().solve_by_elimination(&f, &g);
+        prop_assert_eq!(result.shift, Some(shift));
+        prop_assert!(result.queries >= 2);
+    }
+
+    #[test]
+    fn compilation_reports_are_internally_consistent(seed in any::<u64>()) {
+        let permutation = Permutation::random_seeded(3, seed);
+        let report = qdaflow::flow::compile_permutation(
+            &permutation,
+            qdaflow::reversible::synthesis::SynthesisMethod::TransformationBased,
+        )
+        .unwrap();
+        prop_assert!(report.simplified_gates <= report.reversible_gates);
+        prop_assert!(report.optimized.t_count <= report.mapped.t_count);
+        prop_assert_eq!(report.optimized.total_gates, report.circuit.num_gates());
+    }
+}

@@ -1,0 +1,601 @@
+//! The `MainEngine`: qubit allocation, gate application, meta-sections and
+//! backend dispatch.
+
+use crate::oracle::{compile_permutation_oracle, compile_phase_oracle, SynthesisChoice};
+use crate::EngineError;
+use qdaflow_boolfn::{Expr, Permutation, TruthTable};
+use qdaflow_quantum::backend::{
+    Backend, ExecutionResult, NoisyHardwareBackend, ResourceCounterBackend, StatevectorBackend,
+};
+use qdaflow_quantum::noise::NoiseModel;
+use qdaflow_quantum::{QuantumCircuit, QuantumGate};
+
+/// A handle to a qubit allocated by a [`MainEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Qubit(usize);
+
+impl Qubit {
+    /// The engine-global index of the qubit.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A recorded compute section, used for automatic uncomputation
+/// (the `Compute`/`Uncompute` meta-statements of ProjectQ).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputeSection {
+    start: usize,
+    end: Option<usize>,
+}
+
+/// The ProjectQ-style main engine: it records the gates emitted by the
+/// program (including compiled oracles) and finally hands the circuit to a
+/// [`Backend`] on [`MainEngine::flush`].
+pub struct MainEngine {
+    backend: Box<dyn Backend>,
+    gates: Vec<QuantumGate>,
+    num_qubits: usize,
+}
+
+impl MainEngine {
+    /// Creates an engine with an explicit backend.
+    pub fn new(backend: Box<dyn Backend>) -> Self {
+        Self {
+            backend,
+            gates: Vec::new(),
+            num_qubits: 0,
+        }
+    }
+
+    /// Creates an engine targeting the exact statevector simulator.
+    pub fn with_simulator() -> Self {
+        Self::new(Box::new(StatevectorBackend::default()))
+    }
+
+    /// Creates an engine targeting the noisy hardware model (the stand-in for
+    /// the IBM Quantum Experience backend of the paper).
+    pub fn with_noisy_hardware(model: NoiseModel, seed: u64) -> Self {
+        Self::new(Box::new(NoisyHardwareBackend::new(model, seed)))
+    }
+
+    /// Creates an engine targeting the resource counter backend.
+    pub fn with_resource_counter() -> Self {
+        Self::new(Box::new(ResourceCounterBackend))
+    }
+
+    /// Name of the configured backend.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Allocates a register of `size` fresh qubits (initialised to `|0⟩`).
+    pub fn allocate_qureg(&mut self, size: usize) -> Vec<Qubit> {
+        let start = self.num_qubits;
+        self.num_qubits += size;
+        (start..start + size).map(Qubit).collect()
+    }
+
+    /// Allocates a single fresh qubit.
+    pub fn allocate_qubit(&mut self) -> Qubit {
+        self.allocate_qureg(1)[0]
+    }
+
+    /// Number of qubits allocated so far.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The circuit recorded so far.
+    pub fn circuit(&self) -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(self.num_qubits);
+        for gate in &self.gates {
+            circuit
+                .push(gate.clone())
+                .expect("recorded gates always fit the allocated register");
+        }
+        circuit
+    }
+
+    fn check_qubit(&self, qubit: Qubit) -> Result<usize, EngineError> {
+        if qubit.index() >= self.num_qubits {
+            return Err(EngineError::ForeignQubit {
+                index: qubit.index(),
+                allocated: self.num_qubits,
+            });
+        }
+        Ok(qubit.index())
+    }
+
+    /// Applies a raw gate expressed over engine-global qubit indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Quantum`] if the gate is malformed (for
+    /// example, it repeats a qubit) and [`EngineError::ForeignQubit`] if it
+    /// references unallocated qubits.
+    pub fn apply_gate(&mut self, gate: QuantumGate) -> Result<(), EngineError> {
+        for qubit in gate.qubits() {
+            self.check_qubit(Qubit(qubit))?;
+        }
+        // Validate through a throwaway circuit so duplicate-qubit errors are
+        // reported eagerly.
+        let mut probe = QuantumCircuit::new(self.num_qubits);
+        probe.push(gate.clone())?;
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Applies a Hadamard gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ForeignQubit`] for unallocated qubits.
+    pub fn h(&mut self, qubit: Qubit) -> Result<(), EngineError> {
+        let index = self.check_qubit(qubit)?;
+        self.apply_gate(QuantumGate::H(index))
+    }
+
+    /// Applies a Pauli-X gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ForeignQubit`] for unallocated qubits.
+    pub fn x(&mut self, qubit: Qubit) -> Result<(), EngineError> {
+        let index = self.check_qubit(qubit)?;
+        self.apply_gate(QuantumGate::X(index))
+    }
+
+    /// Applies a Pauli-Z gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ForeignQubit`] for unallocated qubits.
+    pub fn z(&mut self, qubit: Qubit) -> Result<(), EngineError> {
+        let index = self.check_qubit(qubit)?;
+        self.apply_gate(QuantumGate::Z(index))
+    }
+
+    /// Applies a CNOT gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ForeignQubit`] for unallocated qubits and
+    /// [`EngineError::Quantum`] if control and target coincide.
+    pub fn cnot(&mut self, control: Qubit, target: Qubit) -> Result<(), EngineError> {
+        let control = self.check_qubit(control)?;
+        let target = self.check_qubit(target)?;
+        self.apply_gate(QuantumGate::Cx { control, target })
+    }
+
+    /// Applies a controlled-Z gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ForeignQubit`] for unallocated qubits and
+    /// [`EngineError::Quantum`] if the two qubits coincide.
+    pub fn cz(&mut self, a: Qubit, b: Qubit) -> Result<(), EngineError> {
+        let a = self.check_qubit(a)?;
+        let b = self.check_qubit(b)?;
+        self.apply_gate(QuantumGate::Cz { a, b })
+    }
+
+    /// Applies a Hadamard to every qubit of a register (the `All(H) | qubits`
+    /// construct of the paper's programs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ForeignQubit`] for unallocated qubits.
+    pub fn all_h(&mut self, qubits: &[Qubit]) -> Result<(), EngineError> {
+        for &qubit in qubits {
+            self.h(qubit)?;
+        }
+        Ok(())
+    }
+
+    /// Applies an X to every qubit of a register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ForeignQubit`] for unallocated qubits.
+    pub fn all_x(&mut self, qubits: &[Qubit]) -> Result<(), EngineError> {
+        for &qubit in qubits {
+            self.x(qubit)?;
+        }
+        Ok(())
+    }
+
+    /// Starts a compute section (the `with Compute(eng):` statement).
+    pub fn begin_compute(&mut self) -> ComputeSection {
+        ComputeSection {
+            start: self.gates.len(),
+            end: None,
+        }
+    }
+
+    /// Ends a compute section, capturing the recorded gate range.
+    pub fn end_compute(&mut self, mut section: ComputeSection) -> ComputeSection {
+        section.end = Some(self.gates.len());
+        section
+    }
+
+    /// Appends the adjoint of the gates recorded in `section`
+    /// (the `Uncompute(eng)` statement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidComputeSection`] if the section was not
+    /// closed with [`MainEngine::end_compute`] or does not describe a valid
+    /// gate range.
+    pub fn uncompute(&mut self, section: &ComputeSection) -> Result<(), EngineError> {
+        let end = section.end.ok_or(EngineError::InvalidComputeSection)?;
+        if section.start > end || end > self.gates.len() {
+            return Err(EngineError::InvalidComputeSection);
+        }
+        let inverse: Vec<QuantumGate> = self.gates[section.start..end]
+            .iter()
+            .rev()
+            .map(QuantumGate::dagger)
+            .collect();
+        self.gates.extend(inverse);
+        Ok(())
+    }
+
+    /// Records the gates emitted by `body` and appends their adjoint instead
+    /// (the `with Dagger(eng):` statement of the paper's Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `body`; on error the partially recorded gates
+    /// are discarded.
+    pub fn dagger<F>(&mut self, body: F) -> Result<(), EngineError>
+    where
+        F: FnOnce(&mut Self) -> Result<(), EngineError>,
+    {
+        let start = self.gates.len();
+        match body(self) {
+            Ok(()) => {
+                let recorded: Vec<QuantumGate> = self.gates.drain(start..).collect();
+                self.gates
+                    .extend(recorded.iter().rev().map(QuantumGate::dagger));
+                Ok(())
+            }
+            Err(error) => {
+                self.gates.truncate(start);
+                Err(error)
+            }
+        }
+    }
+
+    /// Applies the diagonal phase oracle `U_f` of the Boolean function `f`
+    /// (given as an expression over the register's qubits, variable `x_i`
+    /// referring to `qubits[i]`) — the `PhaseOracle(f) | qubits` primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::RegisterSizeMismatch`] if the expression uses
+    /// more variables than qubits were provided, plus any compilation error.
+    pub fn phase_oracle_expr(&mut self, f: &Expr, qubits: &[Qubit]) -> Result<(), EngineError> {
+        if f.num_vars() > qubits.len() {
+            return Err(EngineError::RegisterSizeMismatch {
+                expected: f.num_vars(),
+                provided: qubits.len(),
+            });
+        }
+        let table = f.truth_table(qubits.len())?;
+        self.phase_oracle(&table, qubits)
+    }
+
+    /// Applies the diagonal phase oracle of a Boolean function given as a
+    /// truth table over `qubits.len()` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::RegisterSizeMismatch`] if the table width does
+    /// not match the register, plus any compilation error.
+    pub fn phase_oracle(
+        &mut self,
+        function: &TruthTable,
+        qubits: &[Qubit],
+    ) -> Result<(), EngineError> {
+        if function.num_vars() != qubits.len() {
+            return Err(EngineError::RegisterSizeMismatch {
+                expected: function.num_vars(),
+                provided: qubits.len(),
+            });
+        }
+        let oracle = compile_phase_oracle(function)?;
+        self.append_local_circuit(&oracle, qubits)
+    }
+
+    /// Applies the permutation oracle `|x⟩ → |π(x)⟩` to the register, with
+    /// qubit `qubits[i]` carrying bit `i` of `x` — the
+    /// `PermutationOracle(pi) | qubits` primitive. Ancilla qubits required by
+    /// the Clifford+T mapping are allocated automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::RegisterSizeMismatch`] if the permutation width
+    /// does not match the register, plus any synthesis or mapping error.
+    pub fn permutation_oracle(
+        &mut self,
+        permutation: &Permutation,
+        qubits: &[Qubit],
+        synthesis: SynthesisChoice,
+    ) -> Result<(), EngineError> {
+        if permutation.num_vars() != qubits.len() {
+            return Err(EngineError::RegisterSizeMismatch {
+                expected: permutation.num_vars(),
+                provided: qubits.len(),
+            });
+        }
+        let oracle = compile_permutation_oracle(permutation, synthesis)?;
+        self.append_local_circuit(&oracle, qubits)
+    }
+
+    /// Appends the adjoint of a permutation oracle (used for `π⁻¹` via the
+    /// `Dagger` construction of the paper's Fig. 7).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MainEngine::permutation_oracle`].
+    pub fn permutation_oracle_dagger(
+        &mut self,
+        permutation: &Permutation,
+        qubits: &[Qubit],
+        synthesis: SynthesisChoice,
+    ) -> Result<(), EngineError> {
+        self.dagger(|engine| engine.permutation_oracle(permutation, qubits, synthesis))
+    }
+
+    /// Relabels a circuit expressed over a local register `0..k` (plus
+    /// optional ancillas `k..`) onto the engine's qubits, allocating fresh
+    /// engine qubits for the ancillas.
+    fn append_local_circuit(
+        &mut self,
+        local: &QuantumCircuit,
+        qubits: &[Qubit],
+    ) -> Result<(), EngineError> {
+        for &qubit in qubits {
+            self.check_qubit(qubit)?;
+        }
+        let num_ancillas = local.num_qubits().saturating_sub(qubits.len());
+        let ancillas = self.allocate_qureg(num_ancillas);
+        let mut mapping: Vec<usize> = qubits.iter().map(Qubit::index).collect();
+        mapping.extend(ancillas.iter().map(Qubit::index));
+        for gate in local {
+            let relabeled = relabel_gate(gate, &mapping);
+            self.apply_gate(relabeled)?;
+        }
+        Ok(())
+    }
+
+    /// Sends the recorded circuit to the backend, measuring all qubits for
+    /// `shots` shots (the `eng.flush()` plus measurement of the paper's
+    /// programs). The recorded circuit is kept, so `flush` can be called
+    /// again (e.g. with another shot count).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend execution errors.
+    pub fn flush(&mut self, shots: usize) -> Result<ExecutionResult, EngineError> {
+        let circuit = self.circuit();
+        Ok(self.backend.run(&circuit, shots)?)
+    }
+
+    /// Resets the engine: forgets all gates and qubits, keeping the backend.
+    pub fn reset(&mut self) {
+        self.gates.clear();
+        self.num_qubits = 0;
+    }
+}
+
+/// Relabels the qubits of a gate through `mapping[local] = global`.
+fn relabel_gate(gate: &QuantumGate, mapping: &[usize]) -> QuantumGate {
+    let map = |q: usize| mapping[q];
+    match gate {
+        QuantumGate::H(q) => QuantumGate::H(map(*q)),
+        QuantumGate::X(q) => QuantumGate::X(map(*q)),
+        QuantumGate::Y(q) => QuantumGate::Y(map(*q)),
+        QuantumGate::Z(q) => QuantumGate::Z(map(*q)),
+        QuantumGate::S(q) => QuantumGate::S(map(*q)),
+        QuantumGate::Sdg(q) => QuantumGate::Sdg(map(*q)),
+        QuantumGate::T(q) => QuantumGate::T(map(*q)),
+        QuantumGate::Tdg(q) => QuantumGate::Tdg(map(*q)),
+        QuantumGate::Rz { qubit, angle } => QuantumGate::Rz {
+            qubit: map(*qubit),
+            angle: *angle,
+        },
+        QuantumGate::Cx { control, target } => QuantumGate::Cx {
+            control: map(*control),
+            target: map(*target),
+        },
+        QuantumGate::Cz { a, b } => QuantumGate::Cz {
+            a: map(*a),
+            b: map(*b),
+        },
+        QuantumGate::Swap { a, b } => QuantumGate::Swap {
+            a: map(*a),
+            b: map(*b),
+        },
+        QuantumGate::Ccx {
+            control_a,
+            control_b,
+            target,
+        } => QuantumGate::Ccx {
+            control_a: map(*control_a),
+            control_b: map(*control_b),
+            target: map(*target),
+        },
+        QuantumGate::Mcx { controls, target } => QuantumGate::Mcx {
+            controls: controls.iter().map(|&q| map(q)).collect(),
+            target: map(*target),
+        },
+        QuantumGate::Mcz { qubits } => QuantumGate::Mcz {
+            qubits: qubits.iter().map(|&q| map(q)).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_gate_recording() {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(3);
+        assert_eq!(engine.num_qubits(), 3);
+        engine.h(qubits[0]).unwrap();
+        engine.cnot(qubits[0], qubits[2]).unwrap();
+        let circuit = engine.circuit();
+        assert_eq!(circuit.num_gates(), 2);
+        assert_eq!(engine.backend_name(), "statevector-simulator");
+    }
+
+    #[test]
+    fn foreign_qubits_are_rejected() {
+        let mut engine = MainEngine::with_simulator();
+        let _ = engine.allocate_qureg(1);
+        assert!(matches!(
+            engine.h(Qubit(5)),
+            Err(EngineError::ForeignQubit { .. })
+        ));
+        assert!(matches!(
+            engine.cnot(Qubit(0), Qubit(0)),
+            Err(EngineError::Quantum(_))
+        ));
+    }
+
+    #[test]
+    fn compute_uncompute_restores_the_state() {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(2);
+        let section = engine.begin_compute();
+        engine.all_h(&qubits).unwrap();
+        engine.x(qubits[0]).unwrap();
+        let section = engine.end_compute(section);
+        engine.uncompute(&section).unwrap();
+        let result = engine.flush(128).unwrap();
+        assert_eq!(result.most_likely(), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn uncompute_requires_a_closed_section() {
+        let mut engine = MainEngine::with_simulator();
+        let _ = engine.allocate_qureg(1);
+        let open = engine.begin_compute();
+        assert!(matches!(
+            engine.uncompute(&open),
+            Err(EngineError::InvalidComputeSection)
+        ));
+    }
+
+    #[test]
+    fn dagger_appends_the_adjoint() {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(1);
+        engine.h(qubits[0]).unwrap();
+        engine
+            .dagger(|e| {
+                e.apply_gate(QuantumGate::T(0))?;
+                e.h(qubits[0])
+            })
+            .unwrap();
+        let gates = engine.circuit();
+        assert_eq!(gates.gates()[1], QuantumGate::H(0));
+        assert_eq!(gates.gates()[2], QuantumGate::Tdg(0));
+    }
+
+    #[test]
+    fn dagger_rolls_back_on_error() {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(1);
+        let result = engine.dagger(|e| {
+            e.h(qubits[0])?;
+            e.h(Qubit(99))
+        });
+        assert!(result.is_err());
+        assert_eq!(engine.circuit().num_gates(), 0);
+    }
+
+    #[test]
+    fn phase_oracle_validates_register_size() {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(2);
+        let f = Expr::parse("(x0 & x1) ^ (x2 & x3)").unwrap();
+        assert!(matches!(
+            engine.phase_oracle_expr(&f, &qubits),
+            Err(EngineError::RegisterSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn permutation_oracle_applies_the_permutation_classically() {
+        let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+        for basis in 0..8usize {
+            let mut engine = MainEngine::with_simulator();
+            let qubits = engine.allocate_qureg(3);
+            // Prepare |basis⟩.
+            for (bit, &qubit) in qubits.iter().enumerate() {
+                if (basis >> bit) & 1 == 1 {
+                    engine.x(qubit).unwrap();
+                }
+            }
+            engine
+                .permutation_oracle(&pi, &qubits, SynthesisChoice::TransformationBased)
+                .unwrap();
+            let result = engine.flush(64).unwrap();
+            let expected = pi.apply(basis);
+            assert_eq!(
+                result.most_likely(),
+                Some((expected, 1.0)),
+                "basis {basis}"
+            );
+        }
+    }
+
+    #[test]
+    fn resource_counter_backend_reports_gate_counts() {
+        let mut engine = MainEngine::with_resource_counter();
+        let qubits = engine.allocate_qureg(3);
+        let pi = Permutation::random_seeded(3, 5);
+        engine
+            .permutation_oracle(&pi, &qubits, SynthesisChoice::DecompositionBased)
+            .unwrap();
+        let result = engine.flush(0).unwrap();
+        assert!(result.resources.total_gates > 0);
+        assert!(result.counts.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_the_engine() {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(2);
+        engine.h(qubits[0]).unwrap();
+        engine.reset();
+        assert_eq!(engine.num_qubits(), 0);
+        assert_eq!(engine.circuit().num_gates(), 0);
+    }
+
+    #[test]
+    fn fig4_program_recovers_the_shift_deterministically() {
+        // The complete program of Fig. 4 (hidden shift, f = x0x1 ^ x2x3, s = 1):
+        // the compute section prepares H^n and the shift X_0, the phase oracle
+        // is the action, and Uncompute restores the basis so that
+        // U_g = X_0 U_f X_0 is applied between Hadamard layers.
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(4);
+        let f = Expr::parse("(x0 & x1) ^ (x2 & x3)").unwrap();
+        let section = engine.begin_compute();
+        engine.all_h(&qubits).unwrap();
+        engine.x(qubits[0]).unwrap();
+        let section = engine.end_compute(section);
+        engine.phase_oracle_expr(&f, &qubits).unwrap();
+        engine.uncompute(&section).unwrap();
+        engine.phase_oracle_expr(&f, &qubits).unwrap();
+        engine.all_h(&qubits).unwrap();
+        let result = engine.flush(512).unwrap();
+        assert_eq!(result.most_likely(), Some((1, 1.0)));
+    }
+}

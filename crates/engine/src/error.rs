@@ -1,0 +1,108 @@
+//! Error types for the engine crate.
+
+use qdaflow_boolfn::BoolfnError;
+use qdaflow_mapping::MappingError;
+use qdaflow_quantum::QuantumError;
+use qdaflow_reversible::ReversibleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ProjectQ-style engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A qubit handle does not belong to this engine.
+    ForeignQubit {
+        /// The offending qubit index.
+        index: usize,
+        /// Number of qubits currently allocated.
+        allocated: usize,
+    },
+    /// The oracle specification does not match the provided register size.
+    RegisterSizeMismatch {
+        /// Number of qubits the oracle needs.
+        expected: usize,
+        /// Number of qubits that were provided.
+        provided: usize,
+    },
+    /// A compute section was closed twice or belongs to a different engine
+    /// state.
+    InvalidComputeSection,
+    /// An error from the Boolean function substrate.
+    Boolfn(BoolfnError),
+    /// An error from the reversible layer.
+    Reversible(ReversibleError),
+    /// An error from the quantum layer.
+    Quantum(QuantumError),
+    /// An error from the mapping layer.
+    Mapping(MappingError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ForeignQubit { index, allocated } => write!(
+                f,
+                "qubit {index} does not belong to this engine ({allocated} qubits allocated)"
+            ),
+            Self::RegisterSizeMismatch { expected, provided } => write!(
+                f,
+                "oracle expects a register of {expected} qubits but {provided} were provided"
+            ),
+            Self::InvalidComputeSection => write!(f, "compute section is not valid for uncompute"),
+            Self::Boolfn(inner) => write!(f, "{inner}"),
+            Self::Reversible(inner) => write!(f, "{inner}"),
+            Self::Quantum(inner) => write!(f, "{inner}"),
+            Self::Mapping(inner) => write!(f, "{inner}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Boolfn(inner) => Some(inner),
+            Self::Reversible(inner) => Some(inner),
+            Self::Quantum(inner) => Some(inner),
+            Self::Mapping(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<BoolfnError> for EngineError {
+    fn from(inner: BoolfnError) -> Self {
+        Self::Boolfn(inner)
+    }
+}
+
+impl From<ReversibleError> for EngineError {
+    fn from(inner: ReversibleError) -> Self {
+        Self::Reversible(inner)
+    }
+}
+
+impl From<QuantumError> for EngineError {
+    fn from(inner: QuantumError) -> Self {
+        Self::Quantum(inner)
+    }
+}
+
+impl From<MappingError> for EngineError {
+    fn from(inner: MappingError) -> Self {
+        Self::Mapping(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: EngineError = QuantumError::DuplicateQubit { qubit: 1 }.into();
+        assert!(matches!(err, EngineError::Quantum(_)));
+        assert!(EngineError::InvalidComputeSection.to_string().contains("compute"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

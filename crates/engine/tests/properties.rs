@@ -1,0 +1,85 @@
+//! Property-based tests of the engine's meta-sections and oracles.
+
+use proptest::prelude::*;
+use qdaflow_boolfn::{Permutation, TruthTable};
+use qdaflow_engine::{MainEngine, SynthesisChoice};
+
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    any::<u64>().prop_map(move |seed| Permutation::random_seeded(n, seed))
+}
+
+fn truth_table(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<bool>(), 1 << n)
+        .prop_map(move |bits| TruthTable::from_bits(n, bits).expect("n is small"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compute_uncompute_of_random_preparations_is_identity(bits in prop::collection::vec(any::<bool>(), 3)) {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(3);
+        let section = engine.begin_compute();
+        for (index, &flip) in bits.iter().enumerate() {
+            engine.h(qubits[index]).unwrap();
+            if flip {
+                engine.x(qubits[index]).unwrap();
+            }
+        }
+        let section = engine.end_compute(section);
+        engine.uncompute(&section).unwrap();
+        let result = engine.flush(32).unwrap();
+        prop_assert_eq!(result.most_likely(), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn permutation_oracle_acts_as_the_permutation(p in permutation(3), basis in 0usize..8) {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(3);
+        for (bit, &qubit) in qubits.iter().enumerate() {
+            if (basis >> bit) & 1 == 1 {
+                engine.x(qubit).unwrap();
+            }
+        }
+        engine
+            .permutation_oracle(&p, &qubits, SynthesisChoice::TransformationBased)
+            .unwrap();
+        let result = engine.flush(16).unwrap();
+        let measured = result.most_likely().unwrap().0 & 0b111;
+        prop_assert_eq!(measured, p.apply(basis));
+    }
+
+    #[test]
+    fn oracle_followed_by_dagger_restores_every_basis_state(p in permutation(3), basis in 0usize..8) {
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(3);
+        for (bit, &qubit) in qubits.iter().enumerate() {
+            if (basis >> bit) & 1 == 1 {
+                engine.x(qubit).unwrap();
+            }
+        }
+        engine
+            .permutation_oracle(&p, &qubits, SynthesisChoice::DecompositionBased)
+            .unwrap();
+        engine
+            .permutation_oracle_dagger(&p, &qubits, SynthesisChoice::DecompositionBased)
+            .unwrap();
+        let result = engine.flush(16).unwrap();
+        prop_assert_eq!(result.most_likely().unwrap().0 & 0b111, basis);
+    }
+
+    #[test]
+    fn double_phase_oracle_is_identity(f in truth_table(3)) {
+        // U_f is an involution, so applying it twice between Hadamard layers
+        // leaves the all-zeros state untouched.
+        let mut engine = MainEngine::with_simulator();
+        let qubits = engine.allocate_qureg(3);
+        engine.all_h(&qubits).unwrap();
+        engine.phase_oracle(&f, &qubits).unwrap();
+        engine.phase_oracle(&f, &qubits).unwrap();
+        engine.all_h(&qubits).unwrap();
+        let result = engine.flush(32).unwrap();
+        prop_assert_eq!(result.most_likely(), Some((0, 1.0)));
+    }
+}

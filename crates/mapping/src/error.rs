@@ -1,0 +1,71 @@
+//! Error types for the mapping crate.
+
+use qdaflow_boolfn::BoolfnError;
+use qdaflow_quantum::QuantumError;
+use qdaflow_reversible::ReversibleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while mapping reversible circuits to Clifford+T.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// An error was reported by the quantum circuit layer.
+    Quantum(QuantumError),
+    /// An error was reported by the reversible circuit layer.
+    Reversible(ReversibleError),
+    /// An error was reported by the Boolean function substrate.
+    Boolfn(BoolfnError),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Quantum(inner) => write!(f, "{inner}"),
+            Self::Reversible(inner) => write!(f, "{inner}"),
+            Self::Boolfn(inner) => write!(f, "{inner}"),
+        }
+    }
+}
+
+impl Error for MappingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Quantum(inner) => Some(inner),
+            Self::Reversible(inner) => Some(inner),
+            Self::Boolfn(inner) => Some(inner),
+        }
+    }
+}
+
+impl From<QuantumError> for MappingError {
+    fn from(inner: QuantumError) -> Self {
+        Self::Quantum(inner)
+    }
+}
+
+impl From<ReversibleError> for MappingError {
+    fn from(inner: ReversibleError) -> Self {
+        Self::Reversible(inner)
+    }
+}
+
+impl From<BoolfnError> for MappingError {
+    fn from(inner: BoolfnError) -> Self {
+        Self::Boolfn(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: MappingError = QuantumError::DuplicateQubit { qubit: 2 }.into();
+        assert!(err.to_string().contains('2'));
+        let err: MappingError = BoolfnError::NotBent.into();
+        assert!(matches!(err, MappingError::Boolfn(_)));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappingError>();
+    }
+}

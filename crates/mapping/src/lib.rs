@@ -1,0 +1,44 @@
+//! Mapping of reversible circuits to Clifford+T quantum circuits and
+//! T-count optimization.
+//!
+//! This crate implements the `rptm` (reversible-to-quantum mapping) and
+//! `tpar` (T-count optimization) steps of the RevKit pipeline used by the
+//! paper (equation (5)):
+//!
+//! * [`toffoli`] — Clifford+T decompositions of the Toffoli gate, Maslov's
+//!   relative-phase variant, and ancilla-based decompositions of larger
+//!   multiple-controlled gates,
+//! * [`map`] — translation of a whole [`qdaflow_reversible::ReversibleCircuit`]
+//!   into a [`qdaflow_quantum::QuantumCircuit`] over the Clifford+T library,
+//! * [`phase_oracle`] — direct compilation of Boolean functions into diagonal
+//!   phase oracles (the `PhaseOracle` primitive of the paper's ProjectQ flow),
+//! * [`optimize`] — phase folding (`tpar`) and adjacent-gate cancellation.
+//!
+//! # Example
+//!
+//! ```
+//! use qdaflow_boolfn::Permutation;
+//! use qdaflow_mapping::{map, optimize};
+//! use qdaflow_reversible::synthesis;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6])?;
+//! let reversible = synthesis::transformation_based(&pi)?;
+//! let mapped = map::to_clifford_t(&reversible, &map::MappingOptions::default())?;
+//! let optimized = optimize::phase_folding(&mapped);
+//! assert!(optimized.t_count() <= mapped.t_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod map;
+pub mod optimize;
+pub mod phase_oracle;
+pub mod toffoli;
+
+pub use error::MappingError;
+pub use map::{to_clifford_t, MappingOptions};

@@ -1,0 +1,111 @@
+//! Property-based tests: the Clifford+T mapping and the optimization passes
+//! must preserve circuit semantics for arbitrary reversible inputs.
+
+use proptest::prelude::*;
+use qdaflow_boolfn::{Permutation, TruthTable};
+use qdaflow_mapping::{map, optimize, phase_oracle};
+use qdaflow_quantum::statevector::Statevector;
+use qdaflow_quantum::{QuantumCircuit, QuantumGate};
+use qdaflow_reversible::synthesis;
+
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    any::<u64>().prop_map(move |seed| Permutation::random_seeded(n, seed))
+}
+
+fn truth_table(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<bool>(), 1 << n)
+        .prop_map(move |bits| TruthTable::from_bits(n, bits).expect("n is small"))
+}
+
+/// A random Clifford+T circuit over `n` qubits.
+fn clifford_t_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = QuantumCircuit> {
+    let gate = prop_oneof![
+        (0..n).prop_map(QuantumGate::H),
+        (0..n).prop_map(QuantumGate::X),
+        (0..n).prop_map(QuantumGate::T),
+        (0..n).prop_map(QuantumGate::Tdg),
+        (0..n).prop_map(QuantumGate::S),
+        ((0..n), (0..n))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(control, target)| QuantumGate::Cx { control, target }),
+    ];
+    prop::collection::vec(gate, 0..max_gates).prop_map(move |gates| {
+        let mut circuit = QuantumCircuit::new(n);
+        for gate in gates {
+            circuit.push(gate).expect("generated gates are in range");
+        }
+        circuit
+    })
+}
+
+fn states_match(a: &QuantumCircuit, b: &QuantumCircuit) -> bool {
+    // Compare on a phase-sensitive input state.
+    let n = a.num_qubits().max(b.num_qubits());
+    let mut preparation = QuantumCircuit::new(n);
+    for qubit in 0..n {
+        preparation.push(QuantumGate::H(qubit)).unwrap();
+        preparation
+            .push(QuantumGate::Rz {
+                qubit,
+                angle: 0.37 * (qubit as f64 + 1.0),
+            })
+            .unwrap();
+    }
+    let mut lhs = preparation.clone();
+    lhs.append(&a.extended_to(n)).unwrap();
+    let mut rhs = preparation;
+    rhs.append(&b.extended_to(n)).unwrap();
+    let x = Statevector::from_circuit(&lhs).unwrap();
+    let y = Statevector::from_circuit(&rhs).unwrap();
+    x.fidelity(&y) > 1.0 - 1e-9
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mapping_preserves_the_permutation(p in permutation(3)) {
+        let reversible = synthesis::transformation_based(&p).unwrap();
+        let quantum = map::to_clifford_t(&reversible, &map::MappingOptions::default()).unwrap();
+        for basis in 0..8usize {
+            let mut state = Statevector::basis_state(quantum.num_qubits(), basis).unwrap();
+            state.apply_circuit(&quantum);
+            prop_assert!(state.probability_of(p.apply(basis)) > 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase_folding_preserves_semantics(c in clifford_t_circuit(3, 25)) {
+        let optimized = optimize::phase_folding(&c);
+        prop_assert!(states_match(&c, &optimized));
+        prop_assert!(optimized.t_count() <= c.t_count());
+    }
+
+    #[test]
+    fn cancellation_preserves_semantics(c in clifford_t_circuit(3, 25)) {
+        let optimized = optimize::cancel_adjacent(&c);
+        prop_assert!(states_match(&c, &optimized));
+        prop_assert!(optimized.num_gates() <= c.num_gates());
+    }
+
+    #[test]
+    fn combined_optimization_preserves_semantics(c in clifford_t_circuit(3, 25)) {
+        let optimized = optimize::optimize_clifford_t(&c);
+        prop_assert!(states_match(&c, &optimized));
+        prop_assert!(optimized.t_count() <= c.t_count());
+    }
+
+    #[test]
+    fn phase_oracles_match_their_functions(f in truth_table(4)) {
+        let oracle = phase_oracle::phase_oracle(&f, &Default::default()).unwrap();
+        prop_assert!(phase_oracle::oracle_matches_function(&oracle, &f));
+    }
+
+    #[test]
+    fn circuit_followed_by_dagger_optimizes_to_zero_t(c in clifford_t_circuit(3, 15)) {
+        let mut round_trip = c.clone();
+        round_trip.append(&c.dagger()).unwrap();
+        let optimized = optimize::optimize_clifford_t(&round_trip);
+        prop_assert_eq!(optimized.t_count(), 0);
+    }
+}

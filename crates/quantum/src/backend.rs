@@ -1,0 +1,264 @@
+//! Execution backends.
+//!
+//! The ProjectQ flow of the paper can target "various types of backends, be
+//! it software (simulator, emulator, resource counter, etc.) or hardware".
+//! This module defines the [`Backend`] trait used by the engine crate and the
+//! three software backends of this reproduction: the exact
+//! [`StatevectorBackend`], the [`NoisyHardwareBackend`] standing in for the
+//! IBM Quantum Experience chip, and the [`ResourceCounterBackend`].
+
+use crate::noise::{NoiseModel, NoisySimulator};
+use crate::resource::ResourceCounts;
+use crate::statevector::Statevector;
+use crate::{QuantumCircuit, QuantumError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// The result of executing a circuit on a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// Number of qubits that were measured.
+    pub num_qubits: usize,
+    /// Number of shots executed.
+    pub shots: usize,
+    /// Histogram of measured basis states (missing entries mean zero counts).
+    pub counts: BTreeMap<usize, usize>,
+    /// Resource counts of the executed circuit.
+    pub resources: ResourceCounts,
+}
+
+impl ExecutionResult {
+    /// Empirical probability of an outcome.
+    pub fn probability_of(&self, outcome: usize) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&outcome).unwrap_or(&0) as f64 / self.shots as f64
+    }
+
+    /// The most frequent outcome and its empirical probability; `None` when
+    /// no shots were taken.
+    pub fn most_likely(&self) -> Option<(usize, f64)> {
+        self.counts
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(&outcome, &count)| (outcome, count as f64 / self.shots.max(1) as f64))
+    }
+}
+
+/// A target that can execute quantum circuits, mirroring the backend concept
+/// of ProjectQ and the machine concept of Q#.
+pub trait Backend {
+    /// Human-readable backend name.
+    fn name(&self) -> &str;
+
+    /// Executes `circuit` for `shots` measurement shots.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit cannot be executed on this backend
+    /// (for example, too many qubits for a simulator).
+    fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError>;
+}
+
+fn histogram_to_counts(histogram: &[usize]) -> BTreeMap<usize, usize> {
+    histogram
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(outcome, &count)| (outcome, count))
+        .collect()
+}
+
+/// Exact statevector simulation backend: the measurement statistics are
+/// sampled from the exact output distribution.
+#[derive(Debug, Clone)]
+pub struct StatevectorBackend {
+    rng: StdRng,
+}
+
+impl StatevectorBackend {
+    /// Creates a backend with a fixed random seed (sampling is the only
+    /// source of randomness).
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs the circuit and returns the exact final state instead of sampled
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] for oversized circuits.
+    pub fn statevector(&self, circuit: &QuantumCircuit) -> Result<Statevector, QuantumError> {
+        Statevector::from_circuit(circuit)
+    }
+}
+
+impl Default for StatevectorBackend {
+    fn default() -> Self {
+        Self::seeded(0xC0FFEE)
+    }
+}
+
+impl Backend for StatevectorBackend {
+    fn name(&self) -> &str {
+        "statevector-simulator"
+    }
+
+    fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
+        let state = Statevector::from_circuit(circuit)?;
+        let histogram = state.sample_counts(&mut self.rng, shots);
+        Ok(ExecutionResult {
+            num_qubits: circuit.num_qubits(),
+            shots,
+            counts: histogram_to_counts(&histogram),
+            resources: ResourceCounts::of(circuit),
+        })
+    }
+}
+
+/// Noisy-hardware backend: Monte-Carlo simulation with a gate-level noise
+/// model, standing in for the IBM Quantum Experience chip of the paper.
+#[derive(Debug, Clone)]
+pub struct NoisyHardwareBackend {
+    simulator: NoisySimulator,
+    rng: StdRng,
+    name: String,
+}
+
+impl NoisyHardwareBackend {
+    /// Creates a backend with the given noise model and random seed.
+    pub fn new(model: NoiseModel, seed: u64) -> Self {
+        Self {
+            simulator: NoisySimulator::new(model),
+            rng: StdRng::seed_from_u64(seed),
+            name: "noisy-hardware-model(ibmqx)".to_owned(),
+        }
+    }
+
+    /// The noise model in use.
+    pub fn model(&self) -> &NoiseModel {
+        self.simulator.model()
+    }
+}
+
+impl Default for NoisyHardwareBackend {
+    fn default() -> Self {
+        Self::new(NoiseModel::ibm_qx_2017(), 0x1B3)
+    }
+}
+
+impl Backend for NoisyHardwareBackend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
+        let histogram = self.simulator.run(circuit, shots, &mut self.rng)?;
+        Ok(ExecutionResult {
+            num_qubits: circuit.num_qubits(),
+            shots,
+            counts: histogram_to_counts(&histogram),
+            resources: ResourceCounts::of(circuit),
+        })
+    }
+}
+
+/// Resource-counting backend: never simulates, only reports gate counts.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceCounterBackend;
+
+impl Backend for ResourceCounterBackend {
+    fn name(&self) -> &str {
+        "resource-counter"
+    }
+
+    fn run(
+        &mut self,
+        circuit: &QuantumCircuit,
+        _shots: usize,
+    ) -> Result<ExecutionResult, QuantumError> {
+        Ok(ExecutionResult {
+            num_qubits: circuit.num_qubits(),
+            shots: 0,
+            counts: BTreeMap::new(),
+            resources: ResourceCounts::of(circuit),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuantumGate;
+
+    fn bell() -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 1,
+            })
+            .unwrap();
+        circuit
+    }
+
+    #[test]
+    fn statevector_backend_samples_bell_distribution() {
+        let mut backend = StatevectorBackend::seeded(11);
+        let result = backend.run(&bell(), 2048).unwrap();
+        assert_eq!(result.shots, 2048);
+        assert!(result.probability_of(0b01) < 1e-9);
+        assert!((result.probability_of(0b00) - 0.5).abs() < 0.05);
+        assert_eq!(result.resources.cnot_count, 1);
+        let (outcome, probability) = result.most_likely().unwrap();
+        assert!(outcome == 0b00 || outcome == 0b11);
+        assert!(probability > 0.4);
+        assert_eq!(backend.name(), "statevector-simulator");
+    }
+
+    #[test]
+    fn noisy_backend_spreads_probability_mass() {
+        let mut ideal = StatevectorBackend::seeded(1);
+        let mut noisy = NoisyHardwareBackend::default();
+        let ideal_result = ideal.run(&bell(), 1024).unwrap();
+        let noisy_result = noisy.run(&bell(), 1024).unwrap();
+        let ideal_mass = ideal_result.probability_of(0b00) + ideal_result.probability_of(0b11);
+        let noisy_mass = noisy_result.probability_of(0b00) + noisy_result.probability_of(0b11);
+        assert!((ideal_mass - 1.0).abs() < 1e-9);
+        assert!(noisy_mass < 0.999);
+        assert!(noisy_mass > 0.75);
+        assert!(noisy.name().contains("noisy"));
+    }
+
+    #[test]
+    fn resource_counter_backend_reports_without_sampling() {
+        let mut backend = ResourceCounterBackend;
+        let result = backend.run(&bell(), 1000).unwrap();
+        assert_eq!(result.shots, 0);
+        assert!(result.counts.is_empty());
+        assert_eq!(result.resources.total_gates, 2);
+        assert_eq!(result.probability_of(0), 0.0);
+        assert!(result.most_likely().is_none());
+        assert_eq!(backend.name(), "resource-counter");
+    }
+
+    #[test]
+    fn reproducibility_with_fixed_seed() {
+        let mut a = StatevectorBackend::seeded(99);
+        let mut b = StatevectorBackend::seeded(99);
+        assert_eq!(a.run(&bell(), 100).unwrap(), b.run(&bell(), 100).unwrap());
+    }
+
+    #[test]
+    fn statevector_accessor_returns_exact_state() {
+        let backend = StatevectorBackend::default();
+        let state = backend.statevector(&bell()).unwrap();
+        assert!((state.probability_of(0b11) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,214 @@
+//! A minimal complex-number type for the statevector simulator.
+//!
+//! The simulator only needs addition, multiplication, conjugation and norms,
+//! so a small local implementation keeps the crate dependency-free.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The complex one.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a real complex number.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates the unit-magnitude complex number `e^{i angle}`.
+    pub fn from_angle(angle: f64) -> Self {
+        Self {
+            re: angle.cos(),
+            im: angle.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|^2`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, factor: f64) -> Self {
+        Self {
+            re: self.re * factor,
+            im: self.im * factor,
+        }
+    }
+
+    /// Returns `true` if both components are within `tolerance` of `other`.
+    pub fn approx_eq(self, other: Self, tolerance: f64) -> bool {
+        (self.re - other.re).abs() <= tolerance && (self.im - other.im).abs() <= tolerance
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(1.5, -2.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert_eq!(-z + z, Complex::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_formula() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let product = a * b;
+        assert!((product.re - 5.0).abs() < 1e-12);
+        assert!((product.im - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::I * Complex::I).approx_eq(Complex::real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn conjugation_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+        assert!((z * z.conj()).im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_angle_lies_on_unit_circle() {
+        for step in 0..8 {
+            let angle = step as f64 * std::f64::consts::FRAC_PI_4;
+            let z = Complex::from_angle(angle);
+            assert!((z.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!(Complex::from_angle(std::f64::consts::PI).approx_eq(Complex::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::new(2.0, -1.0);
+        assert_eq!(z, Complex::new(3.0, 0.0));
+        z *= Complex::I;
+        assert!(z.approx_eq(Complex::new(0.0, 3.0), 1e-15));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, -1.0).to_string(), "1.0000-1.0000i");
+        assert_eq!(Complex::new(0.5, 0.25).to_string(), "0.5000+0.2500i");
+    }
+
+    #[test]
+    fn scale_and_from() {
+        let z = Complex::from(2.0).scale(1.5);
+        assert_eq!(z, Complex::real(3.0));
+    }
+}

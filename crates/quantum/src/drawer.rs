@@ -1,0 +1,166 @@
+//! ASCII circuit drawing.
+//!
+//! Produces a text rendering of a quantum circuit in the style of the circuit
+//! figures of the paper: one row per qubit, time flowing left to right,
+//! controls drawn as `*`, CNOT targets as `+`, and boxed single-qubit gates.
+
+use crate::{QuantumCircuit, QuantumGate};
+
+/// Renders the circuit as ASCII art, one line per qubit.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_quantum::{circuit::QuantumCircuit, drawer, gate::QuantumGate};
+///
+/// # fn main() -> Result<(), qdaflow_quantum::QuantumError> {
+/// let mut circuit = QuantumCircuit::new(2);
+/// circuit.push(QuantumGate::H(0))?;
+/// circuit.push(QuantumGate::Cx { control: 0, target: 1 })?;
+/// let drawing = drawer::draw(&circuit);
+/// assert!(drawing.contains("[H]"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn draw(circuit: &QuantumCircuit) -> String {
+    let num_qubits = circuit.num_qubits();
+    if num_qubits == 0 {
+        return String::new();
+    }
+    // Columns of symbols; each gate gets one column.
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for gate in circuit {
+        let mut column = vec!["---".to_owned(); num_qubits];
+        match gate {
+            QuantumGate::Cx { control, target } => {
+                column[*control] = "-*-".to_owned();
+                column[*target] = "-+-".to_owned();
+            }
+            QuantumGate::Cz { a, b } => {
+                column[*a] = "-*-".to_owned();
+                column[*b] = "-*-".to_owned();
+            }
+            QuantumGate::Swap { a, b } => {
+                column[*a] = "-x-".to_owned();
+                column[*b] = "-x-".to_owned();
+            }
+            QuantumGate::Ccx {
+                control_a,
+                control_b,
+                target,
+            } => {
+                column[*control_a] = "-*-".to_owned();
+                column[*control_b] = "-*-".to_owned();
+                column[*target] = "-+-".to_owned();
+            }
+            QuantumGate::Mcx { controls, target } => {
+                for &control in controls {
+                    column[control] = "-*-".to_owned();
+                }
+                column[*target] = "-+-".to_owned();
+            }
+            QuantumGate::Mcz { qubits } => {
+                for &qubit in qubits {
+                    column[qubit] = "-*-".to_owned();
+                }
+            }
+            QuantumGate::Rz { qubit, .. } => {
+                column[*qubit] = "[R]".to_owned();
+            }
+            single => {
+                let label = match single {
+                    QuantumGate::H(_) => "H",
+                    QuantumGate::X(_) => "X",
+                    QuantumGate::Y(_) => "Y",
+                    QuantumGate::Z(_) => "Z",
+                    QuantumGate::S(_) => "S",
+                    QuantumGate::Sdg(_) => "s",
+                    QuantumGate::T(_) => "T",
+                    QuantumGate::Tdg(_) => "t",
+                    _ => "?",
+                };
+                column[single.qubits()[0]] = format!("[{label}]");
+            }
+        }
+        columns.push(column);
+    }
+    let mut lines = Vec::with_capacity(num_qubits);
+    for qubit in 0..num_qubits {
+        let mut line = format!("q{qubit}: |0>-");
+        for column in &columns {
+            line.push_str(&column[qubit]);
+            line.push('-');
+        }
+        lines.push(line);
+    }
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_single_and_two_qubit_gates() {
+        let mut circuit = QuantumCircuit::new(3);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit.push(QuantumGate::T(1)).unwrap();
+        circuit.push(QuantumGate::Tdg(2)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 2,
+            })
+            .unwrap();
+        let drawing = draw(&circuit);
+        let lines: Vec<&str> = drawing.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("[H]"));
+        assert!(lines[1].contains("[T]"));
+        assert!(lines[2].contains("[t]"));
+        assert!(lines[0].contains("-*-"));
+        assert!(lines[2].contains("-+-"));
+    }
+
+    #[test]
+    fn all_lines_have_equal_length() {
+        let mut circuit = QuantumCircuit::new(4);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit
+            .push(QuantumGate::Ccx {
+                control_a: 0,
+                control_b: 1,
+                target: 3,
+            })
+            .unwrap();
+        circuit.push(QuantumGate::Swap { a: 1, b: 2 }).unwrap();
+        circuit
+            .push(QuantumGate::Mcz {
+                qubits: vec![0, 2, 3],
+            })
+            .unwrap();
+        let drawing = draw(&circuit);
+        let lengths: Vec<usize> = drawing.lines().map(str::len).collect();
+        assert!(lengths.windows(2).all(|pair| pair[0] == pair[1]));
+    }
+
+    #[test]
+    fn empty_circuit_draws_bare_wires() {
+        let drawing = draw(&QuantumCircuit::new(2));
+        assert_eq!(drawing.lines().count(), 2);
+        assert!(drawing.contains("q0: |0>-"));
+        assert_eq!(draw(&QuantumCircuit::new(0)), "");
+    }
+
+    #[test]
+    fn rz_uses_rotation_box() {
+        let mut circuit = QuantumCircuit::new(1);
+        circuit
+            .push(QuantumGate::Rz {
+                qubit: 0,
+                angle: 1.0,
+            })
+            .unwrap();
+        assert!(draw(&circuit).contains("[R]"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Reversible circuits as cascades of multiple-controlled Toffoli gates.
+
+use crate::{Control, MctGate, ReversibleError};
+use qdaflow_boolfn::Permutation;
+use std::fmt;
+
+/// A reversible circuit: an ordered cascade of [`MctGate`]s over a fixed
+/// number of lines.
+///
+/// Gates are applied left to right, i.e. `gates()[0]` acts first on the
+/// input.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_reversible::{MctGate, ReversibleCircuit};
+///
+/// # fn main() -> Result<(), qdaflow_reversible::ReversibleError> {
+/// let mut circuit = ReversibleCircuit::new(3);
+/// circuit.add_gate(MctGate::cnot(0, 1))?;
+/// circuit.add_gate(MctGate::toffoli(0, 1, 2))?;
+/// assert_eq!(circuit.apply(0b001), 0b111);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReversibleCircuit {
+    num_lines: usize,
+    gates: Vec<MctGate>,
+}
+
+impl ReversibleCircuit {
+    /// Creates an empty circuit over `num_lines` lines.
+    pub fn new(num_lines: usize) -> Self {
+        Self {
+            num_lines,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of lines (bits) of the circuit.
+    pub fn num_lines(&self) -> usize {
+        self.num_lines
+    }
+
+    /// The gate cascade, first gate first.
+    pub fn gates(&self) -> &[MctGate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Appends a gate to the end of the cascade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReversibleError::LineOutOfRange`] if the gate uses a line
+    /// `>= num_lines`.
+    pub fn add_gate(&mut self, gate: MctGate) -> Result<(), ReversibleError> {
+        if gate.max_line() >= self.num_lines {
+            return Err(ReversibleError::LineOutOfRange {
+                line: gate.max_line(),
+                num_lines: self.num_lines,
+            });
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends a NOT gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReversibleError::LineOutOfRange`] for an out-of-range line.
+    pub fn add_not(&mut self, target: usize) -> Result<(), ReversibleError> {
+        self.add_gate(MctGate::not(target))
+    }
+
+    /// Appends a CNOT gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReversibleError::LineOutOfRange`] for out-of-range lines.
+    pub fn add_cnot(&mut self, control: usize, target: usize) -> Result<(), ReversibleError> {
+        self.add_gate(MctGate::cnot(control, target))
+    }
+
+    /// Appends a Toffoli gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReversibleError::LineOutOfRange`] for out-of-range lines.
+    pub fn add_toffoli(
+        &mut self,
+        control_a: usize,
+        control_b: usize,
+        target: usize,
+    ) -> Result<(), ReversibleError> {
+        self.add_gate(MctGate::toffoli(control_a, control_b, target))
+    }
+
+    /// Appends all gates of `other` to this circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReversibleError::LineCountMismatch`] if the circuits act on
+    /// a different number of lines.
+    pub fn append_circuit(&mut self, other: &Self) -> Result<(), ReversibleError> {
+        if self.num_lines != other.num_lines {
+            return Err(ReversibleError::LineCountMismatch {
+                left: self.num_lines,
+                right: other.num_lines,
+            });
+        }
+        self.gates.extend(other.gates.iter().cloned());
+        Ok(())
+    }
+
+    /// Returns the inverse circuit. Because every MCT gate is an involution,
+    /// the inverse is simply the reversed cascade.
+    pub fn inverse(&self) -> Self {
+        Self {
+            num_lines: self.num_lines,
+            gates: self.gates.iter().rev().cloned().collect(),
+        }
+    }
+
+    /// Applies the circuit to a classical bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= 2^{num_lines}` (the word uses lines the circuit
+    /// does not have).
+    pub fn apply(&self, word: usize) -> usize {
+        assert!(
+            self.num_lines >= usize::BITS as usize || word < (1usize << self.num_lines),
+            "input word {word} does not fit on {} lines",
+            self.num_lines
+        );
+        self.gates.iter().fold(word, |w, gate| gate.apply(w))
+    }
+
+    /// Exhaustively simulates the circuit and returns the permutation of
+    /// `B^{num_lines}` it realizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit has too many lines for exhaustive
+    /// simulation (more than [`qdaflow_boolfn::MAX_TRUTH_TABLE_VARS`]).
+    pub fn permutation(&self) -> Result<Permutation, ReversibleError> {
+        if self.num_lines > qdaflow_boolfn::MAX_TRUTH_TABLE_VARS {
+            return Err(ReversibleError::SpecificationTooLarge {
+                num_vars: self.num_lines,
+                maximum: qdaflow_boolfn::MAX_TRUTH_TABLE_VARS,
+            });
+        }
+        Ok(Permutation::from_fn(self.num_lines, |x| self.apply(x))
+            .expect("a reversible circuit always realizes a bijection"))
+    }
+
+    /// Total number of gates, split by control count: `(not, cnot, toffoli,
+    /// larger)`.
+    pub fn gate_profile(&self) -> GateProfile {
+        let mut profile = GateProfile::default();
+        for gate in &self.gates {
+            match gate.num_controls() {
+                0 => profile.not += 1,
+                1 => profile.cnot += 1,
+                2 => profile.toffoli += 1,
+                _ => profile.larger += 1,
+            }
+        }
+        profile
+    }
+
+    /// Sum over all gates of the number of controls, a common cost metric
+    /// for reversible circuits.
+    pub fn control_count(&self) -> usize {
+        self.gates.iter().map(MctGate::num_controls).sum()
+    }
+
+    /// Naive quantum-cost estimate following the classic table used by
+    /// RevKit: a gate with `c` controls costs `2^{c+1} - 3` elementary
+    /// operations (1 for NOT/CNOT, 5 for Toffoli, 13, 29, ...).
+    pub fn quantum_cost(&self) -> usize {
+        self.gates
+            .iter()
+            .map(|gate| match gate.num_controls() {
+                0 | 1 => 1,
+                c => (1usize << (c + 1)) - 3,
+            })
+            .sum()
+    }
+
+    /// Returns a copy of the circuit extended to `num_lines` lines (the new
+    /// lines are unused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lines` is smaller than the current line count.
+    pub fn extended_to(&self, num_lines: usize) -> Self {
+        assert!(
+            num_lines >= self.num_lines,
+            "cannot shrink a circuit from {} to {num_lines} lines",
+            self.num_lines
+        );
+        Self {
+            num_lines,
+            gates: self.gates.clone(),
+        }
+    }
+
+    /// Iterates over the gates.
+    pub fn iter(&self) -> std::slice::Iter<'_, MctGate> {
+        self.gates.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ReversibleCircuit {
+    type Item = &'a MctGate;
+    type IntoIter = std::slice::Iter<'a, MctGate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl Extend<MctGate> for ReversibleCircuit {
+    /// Extends the circuit with the given gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate uses a line outside of the circuit; use
+    /// [`ReversibleCircuit::add_gate`] for a fallible interface.
+    fn extend<T: IntoIterator<Item = MctGate>>(&mut self, iter: T) {
+        for gate in iter {
+            self.add_gate(gate).expect("gate must fit the circuit");
+        }
+    }
+}
+
+/// Gate counts by control arity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateProfile {
+    /// Number of uncontrolled NOT gates.
+    pub not: usize,
+    /// Number of singly-controlled NOT (CNOT) gates.
+    pub cnot: usize,
+    /// Number of doubly-controlled NOT (Toffoli) gates.
+    pub toffoli: usize,
+    /// Number of gates with three or more controls.
+    pub larger: usize,
+}
+
+impl GateProfile {
+    /// Total number of gates.
+    pub fn total(&self) -> usize {
+        self.not + self.cnot + self.toffoli + self.larger
+    }
+}
+
+impl fmt::Display for GateProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NOT: {}, CNOT: {}, Toffoli: {}, MCT(>2): {}",
+            self.not, self.cnot, self.toffoli, self.larger
+        )
+    }
+}
+
+impl fmt::Display for ReversibleCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".numvars {}", self.num_lines)?;
+        for gate in &self.gates {
+            let mut parts: Vec<String> = gate
+                .controls()
+                .iter()
+                .map(|c| {
+                    if c.is_positive() {
+                        format!("x{}", c.line())
+                    } else {
+                        format!("-x{}", c.line())
+                    }
+                })
+                .collect();
+            parts.push(format!("x{}", gate.target()));
+            writeln!(f, "t{} {}", gate.num_controls() + 1, parts.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the circuit consisting of a single swap of two lines, expanded into
+/// three CNOT gates.
+///
+/// # Panics
+///
+/// Panics if `a == b` or either line is out of range.
+pub fn swap_circuit(num_lines: usize, a: usize, b: usize) -> ReversibleCircuit {
+    assert!(a != b, "cannot swap a line with itself");
+    assert!(a < num_lines && b < num_lines, "swap lines out of range");
+    let mut circuit = ReversibleCircuit::new(num_lines);
+    circuit.add_cnot(a, b).expect("lines validated above");
+    circuit.add_cnot(b, a).expect("lines validated above");
+    circuit.add_cnot(a, b).expect("lines validated above");
+    circuit
+}
+
+/// Convenience helper: the list of positive controls for the set bits of a
+/// mask restricted to `num_lines` lines.
+pub fn controls_from_mask(mask: usize, num_lines: usize) -> Vec<Control> {
+    (0..num_lines)
+        .filter(|&line| (mask >> line) & 1 == 1)
+        .map(Control::positive)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_is_identity() {
+        let circuit = ReversibleCircuit::new(4);
+        for word in 0..16usize {
+            assert_eq!(circuit.apply(word), word);
+        }
+        assert!(circuit.permutation().unwrap().is_identity());
+        assert!(circuit.is_empty());
+    }
+
+    #[test]
+    fn add_gate_checks_line_range() {
+        let mut circuit = ReversibleCircuit::new(2);
+        assert!(circuit.add_gate(MctGate::toffoli(0, 1, 2)).is_err());
+        assert!(circuit.add_cnot(0, 1).is_ok());
+        assert_eq!(circuit.num_gates(), 1);
+    }
+
+    #[test]
+    fn inverse_undoes_the_circuit() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_not(0).unwrap();
+        circuit.add_cnot(0, 1).unwrap();
+        circuit.add_toffoli(0, 1, 2).unwrap();
+        let inverse = circuit.inverse();
+        for word in 0..8usize {
+            assert_eq!(inverse.apply(circuit.apply(word)), word);
+        }
+    }
+
+    #[test]
+    fn append_circuit_composes() {
+        let mut first = ReversibleCircuit::new(3);
+        first.add_cnot(0, 1).unwrap();
+        let mut second = ReversibleCircuit::new(3);
+        second.add_toffoli(0, 1, 2).unwrap();
+        let mut combined = first.clone();
+        combined.append_circuit(&second).unwrap();
+        for word in 0..8usize {
+            assert_eq!(combined.apply(word), second.apply(first.apply(word)));
+        }
+        let mismatched = ReversibleCircuit::new(4);
+        assert!(combined.append_circuit(&mismatched).is_err());
+    }
+
+    #[test]
+    fn permutation_matches_apply() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_toffoli(0, 1, 2).unwrap();
+        circuit.add_not(0).unwrap();
+        let perm = circuit.permutation().unwrap();
+        for word in 0..8usize {
+            assert_eq!(perm.apply(word), circuit.apply(word));
+        }
+    }
+
+    #[test]
+    fn gate_profile_and_costs() {
+        let mut circuit = ReversibleCircuit::new(5);
+        circuit.add_not(0).unwrap();
+        circuit.add_cnot(0, 1).unwrap();
+        circuit.add_toffoli(0, 1, 2).unwrap();
+        circuit
+            .add_gate(MctGate::new(
+                vec![
+                    Control::positive(0),
+                    Control::positive(1),
+                    Control::positive(2),
+                ],
+                3,
+            ))
+            .unwrap();
+        let profile = circuit.gate_profile();
+        assert_eq!(profile.not, 1);
+        assert_eq!(profile.cnot, 1);
+        assert_eq!(profile.toffoli, 1);
+        assert_eq!(profile.larger, 1);
+        assert_eq!(profile.total(), 4);
+        assert_eq!(circuit.control_count(), 0 + 1 + 2 + 3);
+        assert_eq!(circuit.quantum_cost(), 1 + 1 + 5 + 13);
+        assert!(profile.to_string().contains("Toffoli: 1"));
+    }
+
+    #[test]
+    fn swap_circuit_swaps() {
+        let swap = swap_circuit(3, 0, 2);
+        assert_eq!(swap.apply(0b001), 0b100);
+        assert_eq!(swap.apply(0b100), 0b001);
+        assert_eq!(swap.apply(0b010), 0b010);
+        assert_eq!(swap.apply(0b101), 0b101);
+    }
+
+    #[test]
+    fn extended_circuit_keeps_behaviour_on_old_lines() {
+        let mut circuit = ReversibleCircuit::new(2);
+        circuit.add_cnot(0, 1).unwrap();
+        let extended = circuit.extended_to(4);
+        assert_eq!(extended.num_lines(), 4);
+        assert_eq!(extended.apply(0b0001), 0b0011);
+        assert_eq!(extended.apply(0b1001), 0b1011);
+    }
+
+    #[test]
+    fn display_uses_real_like_format() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit
+            .add_gate(MctGate::new(
+                vec![Control::positive(0), Control::negative(1)],
+                2,
+            ))
+            .unwrap();
+        let text = circuit.to_string();
+        assert!(text.contains(".numvars 3"));
+        assert!(text.contains("t3 x0 -x1 x2"));
+    }
+
+    #[test]
+    fn controls_from_mask_filters_lines() {
+        let controls = controls_from_mask(0b1011, 3);
+        assert_eq!(controls.len(), 2);
+        assert_eq!(controls[0].line(), 0);
+        assert_eq!(controls[1].line(), 1);
+    }
+
+    #[test]
+    fn extend_trait_appends_gates() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.extend(vec![MctGate::not(0), MctGate::cnot(0, 2)]);
+        assert_eq!(circuit.num_gates(), 2);
+        let collected: Vec<_> = (&circuit).into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn apply_panics_on_oversized_word() {
+        ReversibleCircuit::new(2).apply(0b100);
+    }
+}

@@ -1,0 +1,115 @@
+//! Reversible embeddings of irreversible functions.
+//!
+//! A quantum circuit can only realize reversible functions, so an
+//! irreversible `f : B^n -> B^m` first has to be *embedded* into a
+//! permutation (Section V of the paper). This module provides the standard
+//! Bennett embedding `g(x, y) = (x, y ⊕ f(x))` (equation (3)) and a helper
+//! that searches for a minimum-width in-place embedding by brute force for
+//! small functions (the explicit embedding of equation (2), which is
+//! coNP-hard in general).
+
+use crate::ReversibleError;
+use qdaflow_boolfn::{truth_table::MultiTruthTable, Permutation};
+
+/// Builds the Bennett embedding of `f` as a permutation over
+/// `f.num_vars() + f.num_outputs()` variables: the low `n` bits carry `x`,
+/// the high `m` bits carry `y`, and the image is `(x, y ⊕ f(x))`.
+///
+/// # Errors
+///
+/// Returns [`ReversibleError::SpecificationTooLarge`] if `n + m` exceeds the
+/// explicit-representation limit.
+pub fn bennett_embedding(function: &MultiTruthTable) -> Result<Permutation, ReversibleError> {
+    let n = function.num_vars();
+    let m = function.num_outputs();
+    if n + m > qdaflow_boolfn::MAX_TRUTH_TABLE_VARS {
+        return Err(ReversibleError::SpecificationTooLarge {
+            num_vars: n + m,
+            maximum: qdaflow_boolfn::MAX_TRUTH_TABLE_VARS,
+        });
+    }
+    let mask = (1usize << n) - 1;
+    Ok(Permutation::from_fn(n + m, |word| {
+        let x = word & mask;
+        let y = word >> n;
+        x | ((y ^ function.evaluate(x)) << n)
+    })
+    .expect("the bennett embedding is always a bijection"))
+}
+
+/// Counts the minimum number of additional garbage outputs required by any
+/// in-place embedding of `f`: `ceil(log2(max multiplicity of an output
+/// pattern))`. This is the lower bound used when discussing equation (2) of
+/// the paper.
+pub fn minimum_garbage_bits(function: &MultiTruthTable) -> usize {
+    let mut counts = vec![0usize; 1 << function.num_outputs()];
+    for x in 0..(1usize << function.num_vars()) {
+        counts[function.evaluate(x)] += 1;
+    }
+    let max = counts.into_iter().max().unwrap_or(1).max(1);
+    usize::BITS as usize - (max - 1).leading_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdaflow_boolfn::TruthTable;
+
+    #[test]
+    fn bennett_embedding_matches_definition() {
+        let f = MultiTruthTable::from_fn(3, 2, |x| (x * 3) & 0b11).unwrap();
+        let embedding = bennett_embedding(&f).unwrap();
+        assert_eq!(embedding.num_vars(), 5);
+        for x in 0..8usize {
+            for y in 0..4usize {
+                let word = x | (y << 3);
+                let expected = x | ((y ^ f.evaluate(x)) << 3);
+                assert_eq!(embedding.apply(word), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn bennett_embedding_of_constant_function_is_a_not_layer() {
+        let one = TruthTable::one(2).unwrap();
+        let f = MultiTruthTable::new(vec![one]).unwrap();
+        let embedding = bennett_embedding(&f).unwrap();
+        for x in 0..4usize {
+            assert_eq!(embedding.apply(x), x | 0b100);
+            assert_eq!(embedding.apply(x | 0b100), x);
+        }
+    }
+
+    #[test]
+    fn garbage_bits_of_a_permutation_is_zero() {
+        let f = MultiTruthTable::from_fn(3, 3, |x| (x + 1) & 0b111).unwrap();
+        assert_eq!(minimum_garbage_bits(&f), 0);
+    }
+
+    #[test]
+    fn garbage_bits_of_and_is_two() {
+        // AND maps three inputs to 0, so two garbage bits are needed.
+        let and = TruthTable::from_fn(2, |x| x == 0b11).unwrap();
+        let f = MultiTruthTable::new(vec![and]).unwrap();
+        assert_eq!(minimum_garbage_bits(&f), 2);
+    }
+
+    #[test]
+    fn garbage_bits_of_constant_function() {
+        let zero = TruthTable::zero(3).unwrap();
+        let f = MultiTruthTable::new(vec![zero]).unwrap();
+        assert_eq!(minimum_garbage_bits(&f), 3);
+    }
+
+    #[test]
+    fn oversized_embedding_is_rejected() {
+        // 20 inputs + 8 outputs exceeds the explicit limit of 24.
+        // Construct lazily: MultiTruthTable::from_fn would allocate 2^20 words,
+        // which is fine, but the embedding over 28 variables must be refused.
+        let f = MultiTruthTable::from_fn(20, 8, |x| x & 0xff).unwrap();
+        assert!(matches!(
+            bennett_embedding(&f),
+            Err(ReversibleError::SpecificationTooLarge { .. })
+        ));
+    }
+}

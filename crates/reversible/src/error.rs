@@ -1,0 +1,94 @@
+//! Error types for reversible circuits and synthesis.
+
+use qdaflow_boolfn::BoolfnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing reversible circuits or running
+/// synthesis algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReversibleError {
+    /// A gate references a line outside of the circuit.
+    LineOutOfRange {
+        /// The referenced line.
+        line: usize,
+        /// Number of lines in the circuit.
+        num_lines: usize,
+    },
+    /// A gate lists the same line as target and control, or lists a control
+    /// twice.
+    OverlappingLines {
+        /// The line that appears more than once.
+        line: usize,
+    },
+    /// Circuits with different line counts were combined.
+    LineCountMismatch {
+        /// Line count of the left circuit.
+        left: usize,
+        /// Line count of the right circuit.
+        right: usize,
+    },
+    /// The synthesis input is too large for the chosen algorithm.
+    SpecificationTooLarge {
+        /// Number of variables of the specification.
+        num_vars: usize,
+        /// Maximum supported by the algorithm.
+        maximum: usize,
+    },
+    /// An error was reported by the Boolean function substrate.
+    Boolfn(BoolfnError),
+}
+
+impl fmt::Display for ReversibleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LineOutOfRange { line, num_lines } => {
+                write!(f, "line {line} is out of range for a circuit on {num_lines} lines")
+            }
+            Self::OverlappingLines { line } => {
+                write!(f, "line {line} is used more than once by the same gate")
+            }
+            Self::LineCountMismatch { left, right } => {
+                write!(f, "circuits have mismatched line counts ({left} vs {right})")
+            }
+            Self::SpecificationTooLarge { num_vars, maximum } => write!(
+                f,
+                "specification over {num_vars} variables exceeds the algorithm limit of {maximum}"
+            ),
+            Self::Boolfn(inner) => write!(f, "{inner}"),
+        }
+    }
+}
+
+impl Error for ReversibleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Boolfn(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<BoolfnError> for ReversibleError {
+    fn from(inner: BoolfnError) -> Self {
+        Self::Boolfn(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolfn_errors_convert() {
+        let err: ReversibleError = BoolfnError::NotBent.into();
+        assert!(matches!(err, ReversibleError::Boolfn(_)));
+        assert!(err.to_string().contains("bent"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReversibleError>();
+    }
+}

@@ -1,0 +1,320 @@
+//! Multiple-controlled Toffoli gates with mixed-polarity controls.
+
+use std::fmt;
+
+/// A control line of a reversible gate, either positive (active on `1`) or
+/// negative (active on `0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Control {
+    line: usize,
+    positive: bool,
+}
+
+impl Control {
+    /// A positive control on `line`.
+    pub fn positive(line: usize) -> Self {
+        Self {
+            line,
+            positive: true,
+        }
+    }
+
+    /// A negative control on `line`.
+    pub fn negative(line: usize) -> Self {
+        Self {
+            line,
+            positive: false,
+        }
+    }
+
+    /// The controlled line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Returns `true` for a positive control.
+    pub fn is_positive(&self) -> bool {
+        self.positive
+    }
+
+    /// Returns whether the control is satisfied by the given input word.
+    pub fn is_active(&self, word: usize) -> bool {
+        ((word >> self.line) & 1 == 1) == self.positive
+    }
+}
+
+impl fmt::Display for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{}", self.line)
+        } else {
+            write!(f, "!{}", self.line)
+        }
+    }
+}
+
+/// A multiple-controlled Toffoli (MCT) gate: the target line is inverted
+/// whenever every control is active.
+///
+/// With zero controls the gate is a NOT, with one control a CNOT, with two
+/// controls the classic Toffoli gate.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_reversible::{Control, MctGate};
+///
+/// let gate = MctGate::new(vec![Control::positive(0), Control::negative(2)], 1);
+/// assert_eq!(gate.apply(0b001), 0b011); // controls satisfied, flips line 1
+/// assert_eq!(gate.apply(0b101), 0b101); // negative control on line 2 blocks
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MctGate {
+    controls: Vec<Control>,
+    target: usize,
+}
+
+impl MctGate {
+    /// Creates an MCT gate from its controls and target. Controls are sorted
+    /// by line for a canonical representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a control uses the target line or if a line is listed as a
+    /// control more than once; use
+    /// [`crate::ReversibleCircuit::add_gate`] for a fallible interface.
+    pub fn new(mut controls: Vec<Control>, target: usize) -> Self {
+        controls.sort_by_key(Control::line);
+        for pair in controls.windows(2) {
+            assert_ne!(
+                pair[0].line(),
+                pair[1].line(),
+                "line {} listed as a control more than once",
+                pair[0].line()
+            );
+        }
+        assert!(
+            controls.iter().all(|c| c.line() != target),
+            "target line {target} cannot also be a control"
+        );
+        Self { controls, target }
+    }
+
+    /// A NOT gate on `target`.
+    pub fn not(target: usize) -> Self {
+        Self::new(Vec::new(), target)
+    }
+
+    /// A CNOT gate with a positive control.
+    pub fn cnot(control: usize, target: usize) -> Self {
+        Self::new(vec![Control::positive(control)], target)
+    }
+
+    /// A Toffoli gate with two positive controls.
+    pub fn toffoli(control_a: usize, control_b: usize, target: usize) -> Self {
+        Self::new(
+            vec![Control::positive(control_a), Control::positive(control_b)],
+            target,
+        )
+    }
+
+    /// Builds a gate whose positive controls are given by the set bits of
+    /// `mask` (useful when translating cube/ESOP data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` has the target bit set.
+    pub fn from_mask(mask: u64, target: usize) -> Self {
+        let controls = (0..64)
+            .filter(|&line| (mask >> line) & 1 == 1)
+            .map(Control::positive)
+            .collect();
+        Self::new(controls, target)
+    }
+
+    /// The controls of the gate, sorted by line.
+    pub fn controls(&self) -> &[Control] {
+        &self.controls
+    }
+
+    /// The target line.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Number of controls.
+    pub fn num_controls(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Largest line index used by the gate.
+    pub fn max_line(&self) -> usize {
+        self.controls
+            .iter()
+            .map(Control::line)
+            .chain(std::iter::once(self.target))
+            .max()
+            .expect("a gate always has a target line")
+    }
+
+    /// Returns `true` if every control is active for the given word.
+    pub fn is_active(&self, word: usize) -> bool {
+        self.controls.iter().all(|c| c.is_active(word))
+    }
+
+    /// Applies the gate to a classical bit word.
+    pub fn apply(&self, word: usize) -> usize {
+        if self.is_active(word) {
+            word ^ (1usize << self.target)
+        } else {
+            word
+        }
+    }
+
+    /// Returns the same gate acting on lines shifted by `offset` (used when
+    /// embedding a sub-circuit into a larger register).
+    pub fn shifted(&self, offset: usize) -> Self {
+        Self {
+            controls: self
+                .controls
+                .iter()
+                .map(|c| {
+                    if c.is_positive() {
+                        Control::positive(c.line() + offset)
+                    } else {
+                        Control::negative(c.line() + offset)
+                    }
+                })
+                .collect(),
+            target: self.target + offset,
+        }
+    }
+
+    /// Returns the same gate with its lines renamed through `map` (the map
+    /// must be injective on the used lines).
+    pub fn relabeled<F: Fn(usize) -> usize>(&self, map: F) -> Self {
+        Self::new(
+            self.controls
+                .iter()
+                .map(|c| {
+                    if c.is_positive() {
+                        Control::positive(map(c.line()))
+                    } else {
+                        Control::negative(map(c.line()))
+                    }
+                })
+                .collect(),
+            map(self.target),
+        )
+    }
+
+    /// Returns `true` if two gates trivially commute: neither gate's target
+    /// is used (as control or target) by the other gate... unless both gates
+    /// share the same target, in which case they also commute.
+    pub fn commutes_with(&self, other: &Self) -> bool {
+        if self.target == other.target {
+            // Same target: both flip the same line; the flips commute as long
+            // as neither uses the other's target as control, which is
+            // guaranteed because the shared line is a target in both.
+            return true;
+        }
+        let self_touches_other_target = self.controls.iter().any(|c| c.line() == other.target);
+        let other_touches_self_target = other.controls.iter().any(|c| c.line() == self.target);
+        !self_touches_other_target && !other_touches_self_target
+    }
+}
+
+impl fmt::Display for MctGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let controls: Vec<String> = self.controls.iter().map(|c| c.to_string()).collect();
+        write!(f, "t({} ; {})", controls.join(","), self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_cnot_toffoli_semantics() {
+        assert_eq!(MctGate::not(1).apply(0b000), 0b010);
+        assert_eq!(MctGate::cnot(0, 1).apply(0b001), 0b011);
+        assert_eq!(MctGate::cnot(0, 1).apply(0b010), 0b010);
+        assert_eq!(MctGate::toffoli(0, 1, 2).apply(0b011), 0b111);
+        assert_eq!(MctGate::toffoli(0, 1, 2).apply(0b001), 0b001);
+    }
+
+    #[test]
+    fn gates_are_involutions() {
+        let gate = MctGate::new(vec![Control::positive(0), Control::negative(3)], 2);
+        for word in 0..16usize {
+            assert_eq!(gate.apply(gate.apply(word)), word);
+        }
+    }
+
+    #[test]
+    fn negative_controls_activate_on_zero() {
+        let gate = MctGate::new(vec![Control::negative(0)], 1);
+        assert_eq!(gate.apply(0b00), 0b10);
+        assert_eq!(gate.apply(0b01), 0b01);
+    }
+
+    #[test]
+    fn from_mask_builds_positive_controls() {
+        let gate = MctGate::from_mask(0b1010, 0);
+        assert_eq!(gate.num_controls(), 2);
+        assert!(gate.controls().iter().all(Control::is_positive));
+        assert_eq!(gate.apply(0b1010), 0b1011);
+        assert_eq!(gate.apply(0b0010), 0b0010);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot also be a control")]
+    fn target_equal_to_control_panics() {
+        MctGate::new(vec![Control::positive(1)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than once")]
+    fn duplicate_control_panics() {
+        MctGate::new(vec![Control::positive(1), Control::negative(1)], 0);
+    }
+
+    #[test]
+    fn shifted_and_relabeled() {
+        let gate = MctGate::toffoli(0, 1, 2);
+        let shifted = gate.shifted(3);
+        assert_eq!(shifted.target(), 5);
+        assert_eq!(shifted.apply(0b011000), 0b111000);
+        let swapped = gate.relabeled(|l| [2, 1, 0][l]);
+        assert_eq!(swapped.target(), 0);
+        assert_eq!(swapped.apply(0b110), 0b111);
+    }
+
+    #[test]
+    fn commutation_checks() {
+        let a = MctGate::cnot(0, 1);
+        let b = MctGate::cnot(0, 2);
+        let c = MctGate::cnot(1, 2);
+        let d = MctGate::cnot(2, 1);
+        assert!(a.commutes_with(&b));
+        assert!(!a.commutes_with(&c)); // a's target 1 is c's control
+        assert!(!c.commutes_with(&d));
+        assert!(MctGate::not(1).commutes_with(&MctGate::cnot(0, 1)));
+        // Same target, disjoint controls: the conditional flips commute.
+        assert!(a.commutes_with(&MctGate::cnot(2, 1)));
+    }
+
+    #[test]
+    fn display_format() {
+        let gate = MctGate::new(vec![Control::positive(2), Control::negative(0)], 1);
+        assert_eq!(gate.to_string(), "t(!0,2 ; 1)");
+        assert_eq!(Control::positive(3).to_string(), "3");
+    }
+
+    #[test]
+    fn max_line() {
+        assert_eq!(MctGate::toffoli(0, 4, 2).max_line(), 4);
+        assert_eq!(MctGate::not(7).max_line(), 7);
+    }
+}

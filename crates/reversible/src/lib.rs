@@ -1,0 +1,47 @@
+//! Reversible circuits and reversible logic synthesis for the `qdaflow`
+//! quantum design automation flow.
+//!
+//! Reversible logic synthesis is the step of the paper's flow that translates
+//! classical combinational operations into networks of reversible gates
+//! (Section V). This crate provides
+//!
+//! * [`MctGate`] and [`ReversibleCircuit`] — multiple-controlled Toffoli
+//!   networks with mixed-polarity controls,
+//! * [`synthesis::transformation_based`] — the transformation-based algorithm
+//!   of Miller, Maslov and Dueck (`tbs` in RevKit),
+//! * [`synthesis::decomposition_based`] — Young-subgroup decomposition-based
+//!   synthesis of De Vos and Van Rentergem (`dbs` in RevKit),
+//! * [`synthesis::esop_based`] — ESOP-based synthesis of irreversible
+//!   functions through a Bennett embedding (`esopbs`),
+//! * [`optimize::simplify`] — the `revsimp` post-synthesis clean-up pass,
+//! * [`simulation`] — exhaustive simulation and equivalence checking.
+//!
+//! # Example
+//!
+//! ```
+//! use qdaflow_boolfn::Permutation;
+//! use qdaflow_reversible::{synthesis, simulation};
+//!
+//! # fn main() -> Result<(), qdaflow_reversible::ReversibleError> {
+//! let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6])
+//!     .map_err(qdaflow_reversible::ReversibleError::from)?;
+//! let circuit = synthesis::transformation_based(&pi)?;
+//! assert!(simulation::realizes_permutation(&circuit, &pi));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod embedding;
+pub mod error;
+pub mod gate;
+pub mod optimize;
+pub mod simulation;
+pub mod synthesis;
+
+pub use circuit::ReversibleCircuit;
+pub use error::ReversibleError;
+pub use gate::{Control, MctGate};

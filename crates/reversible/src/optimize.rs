@@ -1,0 +1,281 @@
+//! Post-synthesis simplification of reversible circuits (`revsimp`).
+//!
+//! The pass repeatedly applies local rewrite rules until a fixed point is
+//! reached:
+//!
+//! 1. **Cancellation** — two identical gates that are adjacent, or separated
+//!    only by gates they commute with, cancel out (every MCT gate is an
+//!    involution).
+//! 2. **Control merging** — two adjacent gates on the same target whose
+//!    controls differ only in the polarity of a single line merge into one
+//!    gate without that control
+//!    (`t(C, x; t) ; t(C, !x; t)  →  t(C; t)`).
+//!
+//! The pass preserves functional equivalence, which the test-suite checks
+//! exhaustively on small circuits.
+
+use crate::{MctGate, ReversibleCircuit};
+
+/// Statistics reported by [`simplify`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Number of gate pairs removed by cancellation.
+    pub cancellations: usize,
+    /// Number of gate pairs merged into a single gate.
+    pub merges: usize,
+    /// Number of fixed-point iterations executed.
+    pub iterations: usize,
+}
+
+/// Simplifies a reversible circuit, returning the simplified circuit and
+/// statistics about the applied rewrites. This is the `revsimp` command of
+/// the RevKit pipeline in the paper.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_reversible::{optimize, MctGate, ReversibleCircuit};
+///
+/// # fn main() -> Result<(), qdaflow_reversible::ReversibleError> {
+/// let mut circuit = ReversibleCircuit::new(3);
+/// circuit.add_cnot(0, 1)?;
+/// circuit.add_cnot(0, 1)?;
+/// let (simplified, stats) = optimize::simplify(&circuit);
+/// assert_eq!(simplified.num_gates(), 0);
+/// assert_eq!(stats.cancellations, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simplify(circuit: &ReversibleCircuit) -> (ReversibleCircuit, SimplifyStats) {
+    let mut gates: Vec<MctGate> = circuit.gates().to_vec();
+    let mut stats = SimplifyStats::default();
+    loop {
+        stats.iterations += 1;
+        let mut changed = false;
+        changed |= cancellation_pass(&mut gates, &mut stats);
+        changed |= merge_pass(&mut gates, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    let mut simplified = ReversibleCircuit::new(circuit.num_lines());
+    for gate in gates {
+        simplified
+            .add_gate(gate)
+            .expect("simplification never introduces new lines");
+    }
+    (simplified, stats)
+}
+
+/// Removes pairs of identical gates that can be brought next to each other by
+/// commuting over intermediate gates. Returns `true` if anything changed.
+fn cancellation_pass(gates: &mut Vec<MctGate>, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    let mut index = 0usize;
+    'outer: while index < gates.len() {
+        let gate = gates[index].clone();
+        let mut probe = index + 1;
+        while probe < gates.len() {
+            if gates[probe] == gate {
+                gates.remove(probe);
+                gates.remove(index);
+                stats.cancellations += 1;
+                changed = true;
+                continue 'outer;
+            }
+            if !gate.commutes_with(&gates[probe]) {
+                break;
+            }
+            probe += 1;
+        }
+        index += 1;
+    }
+    changed
+}
+
+/// Merges adjacent gates on the same target whose controls differ only in one
+/// polarity. Returns `true` if anything changed.
+fn merge_pass(gates: &mut Vec<MctGate>, stats: &mut SimplifyStats) -> bool {
+    let mut changed = false;
+    let mut index = 0usize;
+    while index + 1 < gates.len() {
+        if let Some(merged) = merge_pair(&gates[index], &gates[index + 1]) {
+            gates[index] = merged;
+            gates.remove(index + 1);
+            stats.merges += 1;
+            changed = true;
+            // Re-examine from the previous position: the merged gate may
+            // enable another merge or cancellation.
+            index = index.saturating_sub(1);
+        } else {
+            index += 1;
+        }
+    }
+    changed
+}
+
+/// If the two gates share the target and their controls differ only in the
+/// polarity of exactly one line, returns the merged gate without that control.
+fn merge_pair(left: &MctGate, right: &MctGate) -> Option<MctGate> {
+    if left.target() != right.target() || left.num_controls() != right.num_controls() {
+        return None;
+    }
+    let left_controls = left.controls();
+    let right_controls = right.controls();
+    // Controls are sorted by line, so a positional comparison suffices.
+    if left_controls
+        .iter()
+        .zip(right_controls)
+        .any(|(a, b)| a.line() != b.line())
+    {
+        return None;
+    }
+    let differing: Vec<usize> = left_controls
+        .iter()
+        .zip(right_controls)
+        .enumerate()
+        .filter(|(_, (a, b))| a.is_positive() != b.is_positive())
+        .map(|(position, _)| position)
+        .collect();
+    if differing.len() != 1 {
+        return None;
+    }
+    let keep: Vec<_> = left_controls
+        .iter()
+        .enumerate()
+        .filter(|(position, _)| *position != differing[0])
+        .map(|(_, control)| *control)
+        .collect();
+    Some(MctGate::new(keep, left.target()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::equivalent;
+    use crate::Control;
+    use qdaflow_boolfn::Permutation;
+
+    fn assert_preserves_function(circuit: &ReversibleCircuit) {
+        let (simplified, _) = simplify(circuit);
+        assert!(
+            equivalent(circuit, &simplified),
+            "simplification changed the function of\n{circuit}"
+        );
+    }
+
+    #[test]
+    fn adjacent_identical_gates_cancel() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_toffoli(0, 1, 2).unwrap();
+        circuit.add_toffoli(0, 1, 2).unwrap();
+        let (simplified, stats) = simplify(&circuit);
+        assert_eq!(simplified.num_gates(), 0);
+        assert_eq!(stats.cancellations, 1);
+    }
+
+    #[test]
+    fn cancellation_across_commuting_gates() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_cnot(0, 1).unwrap();
+        circuit.add_cnot(0, 2).unwrap(); // commutes with the surrounding pair
+        circuit.add_cnot(0, 1).unwrap();
+        let (simplified, stats) = simplify(&circuit);
+        assert_eq!(simplified.num_gates(), 1);
+        assert_eq!(stats.cancellations, 1);
+        assert_preserves_function(&circuit);
+    }
+
+    #[test]
+    fn blocked_cancellation_is_not_applied() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_cnot(0, 1).unwrap();
+        circuit.add_cnot(1, 2).unwrap(); // does not commute: control on line 1
+        circuit.add_cnot(0, 1).unwrap();
+        let (simplified, _) = simplify(&circuit);
+        assert_eq!(simplified.num_gates(), 3);
+        assert_preserves_function(&circuit);
+    }
+
+    #[test]
+    fn polarity_merge_removes_a_control() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit
+            .add_gate(MctGate::new(
+                vec![Control::positive(0), Control::positive(1)],
+                2,
+            ))
+            .unwrap();
+        circuit
+            .add_gate(MctGate::new(
+                vec![Control::positive(0), Control::negative(1)],
+                2,
+            ))
+            .unwrap();
+        let (simplified, stats) = simplify(&circuit);
+        assert_eq!(stats.merges, 1);
+        assert_eq!(simplified.num_gates(), 1);
+        assert_eq!(simplified.gates()[0], MctGate::cnot(0, 2));
+        assert_preserves_function(&circuit);
+    }
+
+    #[test]
+    fn merge_then_cancel_chain() {
+        // After merging the first two gates into a CNOT, it cancels with the
+        // trailing CNOT.
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit
+            .add_gate(MctGate::new(
+                vec![Control::positive(0), Control::positive(1)],
+                2,
+            ))
+            .unwrap();
+        circuit
+            .add_gate(MctGate::new(
+                vec![Control::positive(0), Control::negative(1)],
+                2,
+            ))
+            .unwrap();
+        circuit.add_cnot(0, 2).unwrap();
+        let (simplified, _) = simplify(&circuit);
+        assert_eq!(simplified.num_gates(), 0);
+        assert_preserves_function(&circuit);
+    }
+
+    #[test]
+    fn simplification_preserves_synthesized_circuits() {
+        for seed in 0..8u64 {
+            let permutation = Permutation::random_seeded(4, seed);
+            let circuit = crate::synthesis::transformation_based(&permutation).unwrap();
+            let (simplified, _) = simplify(&circuit);
+            assert!(crate::simulation::realizes_permutation(
+                &simplified,
+                &permutation
+            ));
+            assert!(simplified.num_gates() <= circuit.num_gates());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_gate_circuits_are_untouched() {
+        let empty = ReversibleCircuit::new(2);
+        let (simplified, stats) = simplify(&empty);
+        assert!(simplified.is_empty());
+        assert_eq!(stats.cancellations + stats.merges, 0);
+
+        let mut single = ReversibleCircuit::new(2);
+        single.add_not(0).unwrap();
+        let (simplified, _) = simplify(&single);
+        assert_eq!(simplified.num_gates(), 1);
+    }
+
+    #[test]
+    fn different_targets_never_merge() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_cnot(0, 1).unwrap();
+        circuit.add_cnot(0, 2).unwrap();
+        let (simplified, stats) = simplify(&circuit);
+        assert_eq!(simplified.num_gates(), 2);
+        assert_eq!(stats.merges, 0);
+    }
+}

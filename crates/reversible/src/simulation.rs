@@ -1,0 +1,182 @@
+//! Exhaustive simulation and equivalence checking of reversible circuits.
+
+use crate::ReversibleCircuit;
+use qdaflow_boolfn::{truth_table::MultiTruthTable, Permutation};
+
+/// Returns `true` if the circuit realizes the given permutation on all of
+/// its lines.
+///
+/// # Panics
+///
+/// Panics if the permutation acts on a different number of variables than
+/// the circuit has lines.
+pub fn realizes_permutation(circuit: &ReversibleCircuit, permutation: &Permutation) -> bool {
+    assert_eq!(
+        circuit.num_lines(),
+        permutation.num_vars(),
+        "circuit has {} lines but the permutation acts on {} variables",
+        circuit.num_lines(),
+        permutation.num_vars()
+    );
+    (0..permutation.len()).all(|x| circuit.apply(x) == permutation.apply(x))
+}
+
+/// Returns `true` if `circuit` realizes the Bennett-style embedding
+/// `|x⟩|y⟩ → |x⟩|y ⊕ f(x)⟩` of the multi-output function `f`, where the
+/// first `f.num_vars()` lines carry `x` and the next `f.num_outputs()` lines
+/// carry `y`. Any additional lines are required to be restored to their
+/// input value (clean ancillae).
+pub fn realizes_xor_embedding(circuit: &ReversibleCircuit, function: &MultiTruthTable) -> bool {
+    let n = function.num_vars();
+    let m = function.num_outputs();
+    if circuit.num_lines() < n + m {
+        return false;
+    }
+    let extra = circuit.num_lines() - n - m;
+    // Check all x, all y, ancillae fixed at zero; additionally check that
+    // ancillae initialised to zero come back to zero (clean reuse).
+    for x in 0..(1usize << n) {
+        for y in 0..(1usize << m) {
+            let word = x | (y << n);
+            let expected = x | ((y ^ function.evaluate(x)) << n);
+            let result = circuit.apply(word);
+            if result & ((1usize << (n + m)) - 1) != expected {
+                return false;
+            }
+            if extra > 0 && (result >> (n + m)) != 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if two circuits over the same number of lines realize the
+/// same permutation.
+///
+/// # Panics
+///
+/// Panics if the circuits have a different number of lines.
+pub fn equivalent(left: &ReversibleCircuit, right: &ReversibleCircuit) -> bool {
+    assert_eq!(
+        left.num_lines(),
+        right.num_lines(),
+        "cannot compare circuits over {} and {} lines",
+        left.num_lines(),
+        right.num_lines()
+    );
+    (0..(1usize << left.num_lines())).all(|x| left.apply(x) == right.apply(x))
+}
+
+/// Computes the truth table of every output line of the circuit when the
+/// input lines are driven exhaustively — the multi-output function realized
+/// on the first `num_inputs` lines with the remaining lines held at zero.
+pub fn output_functions(circuit: &ReversibleCircuit, num_inputs: usize) -> MultiTruthTable {
+    let num_lines = circuit.num_lines();
+    assert!(
+        num_inputs <= num_lines,
+        "cannot drive {num_inputs} inputs on a circuit with {num_lines} lines"
+    );
+    MultiTruthTable::from_fn(num_inputs, num_lines, |x| circuit.apply(x))
+        .expect("line counts are bounded by the circuit size")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MctGate;
+    use qdaflow_boolfn::TruthTable;
+
+    #[test]
+    fn identity_realizes_identity_permutation() {
+        let circuit = ReversibleCircuit::new(3);
+        assert!(realizes_permutation(&circuit, &Permutation::identity(3)));
+        assert!(!realizes_permutation(
+            &circuit,
+            &Permutation::new(vec![1, 0, 2, 3, 4, 5, 6, 7]).unwrap()
+        ));
+    }
+
+    #[test]
+    fn cnot_realizes_xor_embedding_of_identity_function() {
+        // One input, one output: y ^= x.
+        let mut circuit = ReversibleCircuit::new(2);
+        circuit.add_cnot(0, 1).unwrap();
+        let f = MultiTruthTable::new(vec![TruthTable::variable(1, 0).unwrap()]).unwrap();
+        assert!(realizes_xor_embedding(&circuit, &f));
+    }
+
+    #[test]
+    fn toffoli_realizes_and_embedding() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_toffoli(0, 1, 2).unwrap();
+        let and = TruthTable::from_fn(2, |x| x == 0b11).unwrap();
+        let f = MultiTruthTable::new(vec![and]).unwrap();
+        assert!(realizes_xor_embedding(&circuit, &f));
+        // The same circuit does not realize OR.
+        let or = TruthTable::from_fn(2, |x| x != 0).unwrap();
+        let g = MultiTruthTable::new(vec![or]).unwrap();
+        assert!(!realizes_xor_embedding(&circuit, &g));
+    }
+
+    #[test]
+    fn embedding_with_dirty_ancilla_is_rejected() {
+        // A circuit that computes into the ancilla but never uncomputes it.
+        let mut circuit = ReversibleCircuit::new(4);
+        circuit.add_toffoli(0, 1, 3).unwrap();
+        circuit.add_cnot(3, 2).unwrap();
+        let and = TruthTable::from_fn(2, |x| x == 0b11).unwrap();
+        let f = MultiTruthTable::new(vec![and]).unwrap();
+        assert!(!realizes_xor_embedding(&circuit, &f));
+        // Uncomputing the ancilla makes it a valid implementation.
+        circuit.add_toffoli(0, 1, 3).unwrap();
+        assert!(realizes_xor_embedding(&circuit, &f));
+    }
+
+    #[test]
+    fn equivalence_detects_reordered_but_equal_circuits() {
+        let mut left = ReversibleCircuit::new(3);
+        left.add_cnot(0, 1).unwrap();
+        left.add_cnot(0, 2).unwrap();
+        let mut right = ReversibleCircuit::new(3);
+        right.add_cnot(0, 2).unwrap();
+        right.add_cnot(0, 1).unwrap();
+        assert!(equivalent(&left, &right));
+        let mut different = ReversibleCircuit::new(3);
+        different.add_cnot(1, 0).unwrap();
+        assert!(!equivalent(&left, &different));
+    }
+
+    #[test]
+    fn output_functions_capture_all_lines() {
+        let mut circuit = ReversibleCircuit::new(3);
+        circuit.add_toffoli(0, 1, 2).unwrap();
+        let functions = output_functions(&circuit, 2);
+        assert_eq!(functions.num_outputs(), 3);
+        // Line 2 carries the AND of the two inputs when initialised to zero.
+        assert_eq!(
+            functions.output(2),
+            &TruthTable::from_fn(2, |x| x == 0b11).unwrap()
+        );
+        // Lines 0 and 1 pass through.
+        assert_eq!(functions.output(0), &TruthTable::variable(2, 0).unwrap());
+        assert_eq!(functions.output(1), &TruthTable::variable(2, 1).unwrap());
+    }
+
+    #[test]
+    fn xor_embedding_requires_enough_lines() {
+        let circuit = ReversibleCircuit::new(2);
+        let f = MultiTruthTable::from_fn(2, 2, |x| x).unwrap();
+        assert!(!realizes_xor_embedding(&circuit, &f));
+    }
+
+    #[test]
+    fn swap_gate_equivalence() {
+        let swap = crate::circuit::swap_circuit(2, 0, 1);
+        let perm = Permutation::new(vec![0, 2, 1, 3]).unwrap();
+        assert!(realizes_permutation(&swap, &perm));
+        let mut single = ReversibleCircuit::new(2);
+        single.add_gate(MctGate::cnot(0, 1)).unwrap();
+        assert!(!equivalent(&swap, &single));
+    }
+}

@@ -1,0 +1,213 @@
+//! ESOP-based reversible synthesis of irreversible functions.
+//!
+//! Given an irreversible multi-output function `f : B^n -> B^m`, the Bennett
+//! embedding `|x⟩|y⟩ → |x⟩|y ⊕ f(x)⟩` (equation (3) of the paper) is realized
+//! directly: an ESOP expression is extracted for every output and each cube
+//! becomes one multiple-controlled Toffoli gate whose controls are the cube's
+//! literals on the input lines and whose target is the output line.
+//!
+//! This is the ancilla-free class of scalable synthesis methods the paper uses
+//! for the phase oracles of the hidden shift circuits.
+
+use crate::{Control, MctGate, ReversibleCircuit, ReversibleError};
+use qdaflow_boolfn::{truth_table::MultiTruthTable, Esop, TruthTable};
+
+/// Maximum number of input variables accepted by ESOP-based synthesis (the
+/// ESOP extraction materializes the full truth table).
+pub const MAX_ESOP_VARS: usize = 20;
+
+/// Options for ESOP-based synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EsopSynthesisOptions {
+    /// Run the greedy polarity optimization before emitting gates; when
+    /// `false` the canonical PPRM is used.
+    pub minimize: bool,
+}
+
+impl Default for EsopSynthesisOptions {
+    fn default() -> Self {
+        Self { minimize: true }
+    }
+}
+
+/// Synthesizes the Bennett embedding of a multi-output function.
+///
+/// The circuit acts on `f.num_vars() + f.num_outputs()` lines: lines
+/// `0..n` carry the inputs `x` (and are left unchanged), lines `n..n+m`
+/// carry the outputs and are XOR-ed with `f(x)`.
+///
+/// # Errors
+///
+/// Returns [`ReversibleError::SpecificationTooLarge`] if the function has
+/// more than [`MAX_ESOP_VARS`] inputs.
+///
+/// # Example
+///
+/// ```
+/// use qdaflow_boolfn::{truth_table::MultiTruthTable, TruthTable};
+/// use qdaflow_reversible::{simulation, synthesis};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let and = TruthTable::from_fn(2, |x| x == 0b11)?;
+/// let f = MultiTruthTable::new(vec![and])?;
+/// let circuit = synthesis::esop_based(&f, Default::default())?;
+/// assert!(simulation::realizes_xor_embedding(&circuit, &f));
+/// # Ok(())
+/// # }
+/// ```
+pub fn esop_based(
+    function: &MultiTruthTable,
+    options: EsopSynthesisOptions,
+) -> Result<ReversibleCircuit, ReversibleError> {
+    let n = function.num_vars();
+    let m = function.num_outputs();
+    if n > MAX_ESOP_VARS {
+        return Err(ReversibleError::SpecificationTooLarge {
+            num_vars: n,
+            maximum: MAX_ESOP_VARS,
+        });
+    }
+    let mut circuit = ReversibleCircuit::new(n + m);
+    for (output_index, output) in function.outputs().iter().enumerate() {
+        append_output(&mut circuit, output, n + output_index, options)?;
+    }
+    Ok(circuit)
+}
+
+/// Synthesizes the Bennett embedding of a single-output function
+/// `f : B^n -> B` onto `n + 1` lines (the last line is the target).
+///
+/// # Errors
+///
+/// Returns [`ReversibleError::SpecificationTooLarge`] if the function has
+/// more than [`MAX_ESOP_VARS`] inputs.
+pub fn esop_based_single(
+    function: &TruthTable,
+    options: EsopSynthesisOptions,
+) -> Result<ReversibleCircuit, ReversibleError> {
+    let multi = MultiTruthTable::new(vec![function.clone()])
+        .expect("a single output can never mismatch itself");
+    esop_based(&multi, options)
+}
+
+fn append_output(
+    circuit: &mut ReversibleCircuit,
+    output: &TruthTable,
+    target: usize,
+    options: EsopSynthesisOptions,
+) -> Result<(), ReversibleError> {
+    let esop = if options.minimize {
+        Esop::minimized(output)
+    } else {
+        Esop::pprm(output)
+    };
+    for cube in esop.cubes() {
+        let controls: Vec<Control> = cube
+            .literals()
+            .map(|(line, positive)| {
+                if positive {
+                    Control::positive(line)
+                } else {
+                    Control::negative(line)
+                }
+            })
+            .collect();
+        circuit.add_gate(MctGate::new(controls, target))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::realizes_xor_embedding;
+    use qdaflow_boolfn::Expr;
+
+    fn check(function: &MultiTruthTable) {
+        for minimize in [false, true] {
+            let circuit = esop_based(function, EsopSynthesisOptions { minimize }).unwrap();
+            assert!(
+                realizes_xor_embedding(&circuit, function),
+                "minimize={minimize}"
+            );
+            assert_eq!(
+                circuit.num_lines(),
+                function.num_vars() + function.num_outputs()
+            );
+        }
+    }
+
+    #[test]
+    fn single_and_gate() {
+        let and = TruthTable::from_fn(2, |x| x == 0b11).unwrap();
+        let circuit = esop_based_single(&and, Default::default()).unwrap();
+        assert_eq!(circuit.num_gates(), 1);
+        assert_eq!(circuit.gates()[0].num_controls(), 2);
+        check(&MultiTruthTable::new(vec![and]).unwrap());
+    }
+
+    #[test]
+    fn paper_bent_function_needs_two_toffolis() {
+        let f = Expr::parse("(a & b) ^ (c & d)")
+            .unwrap()
+            .truth_table(4)
+            .unwrap();
+        let circuit = esop_based_single(&f, Default::default()).unwrap();
+        assert_eq!(circuit.num_gates(), 2);
+        assert!(circuit.gates().iter().all(|g| g.num_controls() == 2));
+        check(&MultiTruthTable::new(vec![f]).unwrap());
+    }
+
+    #[test]
+    fn multi_output_adder_slice() {
+        // 2-bit adder without carry-in: sum and carry outputs.
+        let f = MultiTruthTable::from_fn(4, 3, |x| {
+            let a = x & 0b11;
+            let b = (x >> 2) & 0b11;
+            (a + b) & 0b111
+        })
+        .unwrap();
+        check(&f);
+    }
+
+    #[test]
+    fn random_functions_round_trip() {
+        for seed in 0..6usize {
+            let f = MultiTruthTable::from_fn(3, 2, |x| (x.wrapping_mul(seed + 3) + seed) & 0b11)
+                .unwrap();
+            check(&f);
+        }
+    }
+
+    #[test]
+    fn constant_outputs_use_unconditional_nots() {
+        let one = TruthTable::one(2).unwrap();
+        let circuit = esop_based_single(&one, Default::default()).unwrap();
+        assert_eq!(circuit.num_gates(), 1);
+        assert_eq!(circuit.gates()[0].num_controls(), 0);
+        let zero = TruthTable::zero(2).unwrap();
+        let empty = esop_based_single(&zero, Default::default()).unwrap();
+        assert_eq!(empty.num_gates(), 0);
+    }
+
+    #[test]
+    fn inputs_are_preserved() {
+        let f = MultiTruthTable::from_fn(3, 1, |x| usize::from(x.count_ones() % 2 == 1)).unwrap();
+        let circuit = esop_based(&f, Default::default()).unwrap();
+        for x in 0..8usize {
+            let result = circuit.apply(x);
+            assert_eq!(result & 0b111, x);
+        }
+    }
+
+    #[test]
+    fn minimized_option_never_increases_gate_count() {
+        for seed in 0..8usize {
+            let tt = TruthTable::from_fn(4, |x| ((x * 13 + seed * 7) % 11) < 4).unwrap();
+            let plain = esop_based_single(&tt, EsopSynthesisOptions { minimize: false }).unwrap();
+            let minimized =
+                esop_based_single(&tt, EsopSynthesisOptions { minimize: true }).unwrap();
+            assert!(minimized.num_gates() <= plain.num_gates());
+        }
+    }
+}

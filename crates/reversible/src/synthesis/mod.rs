@@ -1,0 +1,86 @@
+//! Reversible logic synthesis algorithms.
+//!
+//! The paper distinguishes (Section V) between algorithms that take a
+//! *reversible* specification — a permutation of `B^n` — and algorithms that
+//! take an *irreversible* function `f : B^n -> B^m` which first has to be
+//! embedded into a reversible one.
+//!
+//! * [`transformation_based`] (`tbs`) and [`decomposition_based`] (`dbs`)
+//!   belong to the first class; they synthesize ancilla-free circuits
+//!   directly from a [`Permutation`].
+//! * [`esop_based`] belongs to the second class; it realizes the Bennett
+//!   embedding `|x⟩|y⟩ → |x⟩|y ⊕ f(x)⟩` with one multiple-controlled Toffoli
+//!   gate per ESOP cube.
+
+mod dbs;
+mod esop;
+mod tbs;
+
+pub use dbs::{decomposition_based, decomposition_based_with, DbsOptions};
+pub use esop::{esop_based, esop_based_single, EsopSynthesisOptions};
+pub use tbs::{transformation_based, transformation_based_with, TbsDirection, TbsOptions};
+
+use crate::{ReversibleCircuit, ReversibleError};
+use qdaflow_boolfn::Permutation;
+
+/// The reversible synthesis methods available in the flow, mirroring the
+/// RevKit commands used by the paper (`tbs`, `dbs`, `esopbs` for the phase
+/// oracles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SynthesisMethod {
+    /// Transformation-based synthesis (Miller–Maslov–Dueck).
+    #[default]
+    TransformationBased,
+    /// Decomposition-based synthesis (Young subgroups, De Vos–Van Rentergem).
+    DecompositionBased,
+}
+
+impl SynthesisMethod {
+    /// Runs the selected method on a permutation specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of the underlying algorithm (e.g. a
+    /// specification that is too large for explicit synthesis).
+    pub fn synthesize(
+        &self,
+        permutation: &Permutation,
+    ) -> Result<ReversibleCircuit, ReversibleError> {
+        match self {
+            Self::TransformationBased => transformation_based(permutation),
+            Self::DecompositionBased => decomposition_based(permutation),
+        }
+    }
+
+    /// The RevKit command name of the method.
+    pub fn command_name(&self) -> &'static str {
+        match self {
+            Self::TransformationBased => "tbs",
+            Self::DecompositionBased => "dbs",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::realizes_permutation;
+
+    #[test]
+    fn method_selector_dispatches_both_algorithms() {
+        let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+        for method in [
+            SynthesisMethod::TransformationBased,
+            SynthesisMethod::DecompositionBased,
+        ] {
+            let circuit = method.synthesize(&pi).unwrap();
+            assert!(realizes_permutation(&circuit, &pi), "{method:?}");
+        }
+        assert_eq!(SynthesisMethod::TransformationBased.command_name(), "tbs");
+        assert_eq!(SynthesisMethod::DecompositionBased.command_name(), "dbs");
+        assert_eq!(
+            SynthesisMethod::default(),
+            SynthesisMethod::TransformationBased
+        );
+    }
+}

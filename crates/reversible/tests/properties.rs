@@ -1,0 +1,83 @@
+//! Property-based tests for reversible synthesis and optimization.
+
+use proptest::prelude::*;
+use qdaflow_boolfn::{truth_table::MultiTruthTable, Permutation, TruthTable};
+use qdaflow_reversible::{optimize, simulation, synthesis, ReversibleCircuit};
+
+fn permutation(n: usize) -> impl Strategy<Value = Permutation> {
+    any::<u64>().prop_map(move |seed| Permutation::random_seeded(n, seed))
+}
+
+fn single_output_function(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<bool>(), 1 << n)
+        .prop_map(move |bits| TruthTable::from_bits(n, bits).expect("n is small"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tbs_realizes_random_permutations(p in permutation(4)) {
+        let circuit = synthesis::transformation_based(&p).unwrap();
+        prop_assert!(simulation::realizes_permutation(&circuit, &p));
+    }
+
+    #[test]
+    fn dbs_realizes_random_permutations(p in permutation(4)) {
+        let circuit = synthesis::decomposition_based(&p).unwrap();
+        prop_assert!(simulation::realizes_permutation(&circuit, &p));
+    }
+
+    #[test]
+    fn tbs_and_dbs_are_functionally_equivalent(p in permutation(3)) {
+        let tbs = synthesis::transformation_based(&p).unwrap();
+        let dbs = synthesis::decomposition_based(&p).unwrap();
+        prop_assert!(simulation::equivalent(&tbs, &dbs));
+    }
+
+    #[test]
+    fn esop_synthesis_realizes_bennett_embedding(f in single_output_function(4)) {
+        let multi = MultiTruthTable::new(vec![f]).unwrap();
+        let circuit = synthesis::esop_based(&multi, Default::default()).unwrap();
+        prop_assert!(simulation::realizes_xor_embedding(&circuit, &multi));
+    }
+
+    #[test]
+    fn simplification_preserves_semantics(p in permutation(4)) {
+        let circuit = synthesis::transformation_based(&p).unwrap();
+        let (simplified, _) = optimize::simplify(&circuit);
+        prop_assert!(simulation::realizes_permutation(&simplified, &p));
+        prop_assert!(simplified.num_gates() <= circuit.num_gates());
+    }
+
+    #[test]
+    fn inverse_circuit_realizes_inverse_permutation(p in permutation(4)) {
+        let circuit = synthesis::transformation_based(&p).unwrap();
+        prop_assert!(simulation::realizes_permutation(&circuit.inverse(), &p.inverse()));
+    }
+
+    #[test]
+    fn synthesized_circuit_of_composition_matches_composed_circuits(
+        p in permutation(3),
+        q in permutation(3),
+    ) {
+        let composed = p.compose(&q).unwrap();
+        let mut concatenated = ReversibleCircuit::new(3);
+        // q is applied first, then p.
+        concatenated
+            .append_circuit(&synthesis::transformation_based(&q).unwrap())
+            .unwrap();
+        concatenated
+            .append_circuit(&synthesis::transformation_based(&p).unwrap())
+            .unwrap();
+        prop_assert!(simulation::realizes_permutation(&concatenated, &composed));
+    }
+
+    #[test]
+    fn bennett_embedding_permutation_matches_esop_circuit(f in single_output_function(3)) {
+        let multi = MultiTruthTable::new(vec![f]).unwrap();
+        let embedding = qdaflow_reversible::embedding::bennett_embedding(&multi).unwrap();
+        let circuit = synthesis::esop_based(&multi, Default::default()).unwrap();
+        prop_assert!(simulation::realizes_permutation(&circuit, &embedding));
+    }
+}

@@ -1,0 +1,616 @@
+//! The shell commands.
+//!
+//! Each command mirrors one RevKit command used (or implied) by the paper's
+//! pipeline `revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c`:
+//!
+//! | command   | effect                                                        |
+//! |-----------|---------------------------------------------------------------|
+//! | `revgen`  | generate a specification (`--hwb`, `--random`, `--perm`, `--expr`) |
+//! | `tbs`     | transformation-based synthesis of the current permutation     |
+//! | `dbs`     | decomposition-based synthesis of the current permutation      |
+//! | `esopbs`  | ESOP-based synthesis of the current single-output function    |
+//! | `revsimp` | simplify the current reversible circuit                        |
+//! | `rptm`    | map the reversible circuit to Clifford+T                       |
+//! | `tpar`    | T-count optimization of the quantum circuit                    |
+//! | `ps`      | print statistics (`-c` selects the circuit stores)            |
+//! | `simulate`| check the quantum circuit against the reversible circuit       |
+//! | `qasm`    | print the quantum circuit as OpenQASM                          |
+//! | `draw`    | print an ASCII rendering of the quantum circuit                |
+
+use crate::{RevkitError, Store};
+use qdaflow_boolfn::{hwb, Expr, Permutation};
+use qdaflow_mapping::{map, optimize};
+use qdaflow_quantum::{drawer, qasm, resource::ResourceCounts};
+use qdaflow_reversible::{
+    optimize as revopt, synthesis, synthesis::EsopSynthesisOptions,
+};
+
+/// A shell command.
+pub trait Command {
+    /// The command name as typed in a script.
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `help`.
+    fn description(&self) -> &'static str;
+
+    /// Executes the command with the given (already tokenized) arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RevkitError`] describing invalid arguments, missing store
+    /// entries, or failures of the underlying algorithms.
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError>;
+}
+
+/// Returns the full set of built-in commands.
+pub fn builtin_commands() -> Vec<Box<dyn Command>> {
+    vec![
+        Box::new(Revgen),
+        Box::new(Tbs),
+        Box::new(Dbs),
+        Box::new(Esopbs),
+        Box::new(Revsimp),
+        Box::new(Rptm),
+        Box::new(Tpar),
+        Box::new(Ps),
+        Box::new(Simulate),
+        Box::new(Qasm),
+        Box::new(Draw),
+    ]
+}
+
+fn parse_usize(command: &'static str, text: &str) -> Result<usize, RevkitError> {
+    text.parse().map_err(|_| RevkitError::InvalidArguments {
+        command,
+        message: format!("expected a number, found '{text}'"),
+    })
+}
+
+fn find_flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|index| args.get(index + 1))
+        .map(String::as_str)
+}
+
+/// `revgen` — generate a specification.
+pub struct Revgen;
+
+impl Command for Revgen {
+    fn name(&self) -> &'static str {
+        "revgen"
+    }
+
+    fn description(&self) -> &'static str {
+        "generate a reversible or Boolean specification (--hwb N | --random N --seed S | --perm \"0 2 1 3\" | --expr \"(a & b) ^ c\")"
+    }
+
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        if let Some(n) = find_flag_value(args, "--hwb") {
+            let n = parse_usize(self.name(), n)?;
+            store.set_permutation(hwb::hwb_permutation(n));
+            store.log(format!("[revgen] hidden-weighted-bit function on {n} variables"));
+            return Ok(());
+        }
+        if let Some(n) = find_flag_value(args, "--random") {
+            let n = parse_usize(self.name(), n)?;
+            let seed = find_flag_value(args, "--seed")
+                .map(|s| parse_usize(self.name(), s))
+                .transpose()?
+                .unwrap_or(1) as u64;
+            store.set_permutation(Permutation::random_seeded(n, seed));
+            store.log(format!("[revgen] random permutation on {n} variables (seed {seed})"));
+            return Ok(());
+        }
+        if let Some(list) = find_flag_value(args, "--perm") {
+            let values: Result<Vec<usize>, _> = list
+                .split([',', ' '])
+                .filter(|t| !t.is_empty())
+                .map(|t| parse_usize(self.name(), t))
+                .collect();
+            let permutation = Permutation::new(values?)?;
+            store.log(format!(
+                "[revgen] explicit permutation on {} variables",
+                permutation.num_vars()
+            ));
+            store.set_permutation(permutation);
+            return Ok(());
+        }
+        if let Some(expression) = find_flag_value(args, "--expr") {
+            let expr = Expr::parse(expression)?;
+            let num_vars = find_flag_value(args, "--vars")
+                .map(|s| parse_usize(self.name(), s))
+                .transpose()?
+                .unwrap_or_else(|| expr.num_vars());
+            let function = expr.truth_table(num_vars)?;
+            store.log(format!("[revgen] boolean function on {num_vars} variables"));
+            store.set_function(function);
+            return Ok(());
+        }
+        Err(RevkitError::InvalidArguments {
+            command: self.name(),
+            message: "expected one of --hwb, --random, --perm, --expr".to_owned(),
+        })
+    }
+}
+
+/// `tbs` — transformation-based synthesis.
+pub struct Tbs;
+
+impl Command for Tbs {
+    fn name(&self) -> &'static str {
+        "tbs"
+    }
+
+    fn description(&self) -> &'static str {
+        "transformation-based reversible synthesis of the current permutation"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let permutation = store
+            .permutation()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "permutation",
+            })?
+            .clone();
+        let circuit = synthesis::transformation_based(&permutation)?;
+        store.log(format!(
+            "[tbs] synthesized {} gates on {} lines",
+            circuit.num_gates(),
+            circuit.num_lines()
+        ));
+        store.set_reversible(circuit);
+        Ok(())
+    }
+}
+
+/// `dbs` — decomposition-based synthesis.
+pub struct Dbs;
+
+impl Command for Dbs {
+    fn name(&self) -> &'static str {
+        "dbs"
+    }
+
+    fn description(&self) -> &'static str {
+        "decomposition-based (Young subgroup) reversible synthesis of the current permutation"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let permutation = store
+            .permutation()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "permutation",
+            })?
+            .clone();
+        let circuit = synthesis::decomposition_based(&permutation)?;
+        store.log(format!(
+            "[dbs] synthesized {} gates on {} lines",
+            circuit.num_gates(),
+            circuit.num_lines()
+        ));
+        store.set_reversible(circuit);
+        Ok(())
+    }
+}
+
+/// `esopbs` — ESOP-based synthesis of a single-output Boolean function.
+pub struct Esopbs;
+
+impl Command for Esopbs {
+    fn name(&self) -> &'static str {
+        "esopbs"
+    }
+
+    fn description(&self) -> &'static str {
+        "ESOP-based synthesis (Bennett embedding) of the current Boolean function"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let function = store
+            .function()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "boolean function",
+            })?
+            .clone();
+        let circuit = synthesis::esop_based_single(&function, EsopSynthesisOptions::default())?;
+        store.log(format!(
+            "[esopbs] synthesized {} gates on {} lines",
+            circuit.num_gates(),
+            circuit.num_lines()
+        ));
+        store.set_reversible(circuit);
+        Ok(())
+    }
+}
+
+/// `revsimp` — reversible circuit simplification.
+pub struct Revsimp;
+
+impl Command for Revsimp {
+    fn name(&self) -> &'static str {
+        "revsimp"
+    }
+
+    fn description(&self) -> &'static str {
+        "simplify the current reversible circuit (cancellation and control merging)"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let circuit = store
+            .reversible()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "reversible circuit",
+            })?
+            .clone();
+        let before = circuit.num_gates();
+        let (simplified, stats) = revopt::simplify(&circuit);
+        store.log(format!(
+            "[revsimp] {before} -> {} gates ({} cancellations, {} merges)",
+            simplified.num_gates(),
+            stats.cancellations,
+            stats.merges
+        ));
+        store.set_reversible(simplified);
+        Ok(())
+    }
+}
+
+/// `rptm` — reversible-to-quantum mapping.
+pub struct Rptm;
+
+impl Command for Rptm {
+    fn name(&self) -> &'static str {
+        "rptm"
+    }
+
+    fn description(&self) -> &'static str {
+        "map the current reversible circuit to a Clifford+T quantum circuit"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let circuit = store
+            .reversible()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "reversible circuit",
+            })?
+            .clone();
+        let quantum = map::to_clifford_t(&circuit, &map::MappingOptions::default())?;
+        store.log(format!(
+            "[rptm] mapped to {} Clifford+T gates on {} qubits (T-count {})",
+            quantum.num_gates(),
+            quantum.num_qubits(),
+            quantum.t_count()
+        ));
+        store.set_quantum(quantum);
+        Ok(())
+    }
+}
+
+/// `tpar` — T-count optimization.
+pub struct Tpar;
+
+impl Command for Tpar {
+    fn name(&self) -> &'static str {
+        "tpar"
+    }
+
+    fn description(&self) -> &'static str {
+        "optimize the T-count of the current quantum circuit by phase folding"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let circuit = store
+            .quantum()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "quantum circuit",
+            })?
+            .clone();
+        let before = circuit.t_count();
+        let optimized = optimize::optimize_clifford_t(&circuit);
+        store.log(format!(
+            "[tpar] T-count {before} -> {}, gates {} -> {}",
+            optimized.t_count(),
+            circuit.num_gates(),
+            optimized.num_gates()
+        ));
+        store.set_quantum(optimized);
+        Ok(())
+    }
+}
+
+/// `ps` — print statistics.
+pub struct Ps;
+
+impl Command for Ps {
+    fn name(&self) -> &'static str {
+        "ps"
+    }
+
+    fn description(&self) -> &'static str {
+        "print statistics of the current circuits (-c selects circuit stores)"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let mut printed = false;
+        if let Some(reversible) = store.reversible().cloned() {
+            let profile = reversible.gate_profile();
+            store.log(format!(
+                "[ps] reversible circuit: {} lines, {} gates ({profile}), quantum cost {}",
+                reversible.num_lines(),
+                reversible.num_gates(),
+                reversible.quantum_cost()
+            ));
+            printed = true;
+        }
+        if let Some(quantum) = store.quantum().cloned() {
+            let counts = ResourceCounts::of(&quantum);
+            store.log(format!(
+                "[ps] quantum circuit: {} qubits, {} gates, depth {}, T-count {}, T-depth {}, CNOTs {}",
+                counts.num_qubits,
+                counts.total_gates,
+                counts.depth,
+                counts.t_count,
+                counts.t_depth,
+                counts.cnot_count
+            ));
+            printed = true;
+        }
+        if let Some(permutation) = store.permutation() {
+            store.log(format!(
+                "[ps] permutation on {} variables ({} fixed points)",
+                permutation.num_vars(),
+                permutation.fixed_points()
+            ));
+            printed = true;
+        }
+        if let Some(function) = store.function() {
+            store.log(format!(
+                "[ps] boolean function on {} variables ({} ones)",
+                function.num_vars(),
+                function.count_ones()
+            ));
+            printed = true;
+        }
+        if !printed {
+            store.log("[ps] store is empty".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// `simulate` — check the quantum circuit against the reversible circuit.
+pub struct Simulate;
+
+impl Command for Simulate {
+    fn name(&self) -> &'static str {
+        "simulate"
+    }
+
+    fn description(&self) -> &'static str {
+        "verify that the quantum circuit implements the reversible circuit on the computational basis"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let reversible = store
+            .reversible()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "reversible circuit",
+            })?
+            .clone();
+        let quantum = store
+            .quantum()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "quantum circuit",
+            })?
+            .clone();
+        let matches = quantum_matches_reversible(&quantum, &reversible)?;
+        store.log(format!(
+            "[simulate] quantum circuit {} the reversible specification",
+            if matches { "matches" } else { "DOES NOT match" }
+        ));
+        Ok(())
+    }
+}
+
+/// Verifies (by exhaustive basis-state simulation) that `quantum` realizes the
+/// same permutation as `reversible` on the original lines, with ancillas
+/// returned to zero.
+pub fn quantum_matches_reversible(
+    quantum: &qdaflow_quantum::QuantumCircuit,
+    reversible: &qdaflow_reversible::ReversibleCircuit,
+) -> Result<bool, RevkitError> {
+    use qdaflow_quantum::statevector::Statevector;
+    let lines = reversible.num_lines();
+    for basis in 0..(1usize << lines) {
+        let mut state = Statevector::basis_state(quantum.num_qubits(), basis)?;
+        state.apply_circuit(quantum);
+        let expected = reversible.apply(basis);
+        if state.probability_of(expected) < 1.0 - 1e-9 {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// `qasm` — print the quantum circuit as OpenQASM 2.0.
+pub struct Qasm;
+
+impl Command for Qasm {
+    fn name(&self) -> &'static str {
+        "qasm"
+    }
+
+    fn description(&self) -> &'static str {
+        "print the current quantum circuit as OpenQASM 2.0"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let quantum = store
+            .quantum()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "quantum circuit",
+            })?
+            .clone();
+        for line in qasm::to_qasm(&quantum).lines() {
+            store.log(line.to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// `draw` — print an ASCII rendering of the quantum circuit.
+pub struct Draw;
+
+impl Command for Draw {
+    fn name(&self) -> &'static str {
+        "draw"
+    }
+
+    fn description(&self) -> &'static str {
+        "print an ASCII drawing of the current quantum circuit"
+    }
+
+    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let quantum = store
+            .quantum()
+            .ok_or(RevkitError::MissingStoreEntry {
+                command: self.name(),
+                expected: "quantum circuit",
+            })?
+            .clone();
+        for line in drawer::draw(&quantum).lines() {
+            store.log(line.to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(command: &dyn Command, args: &[&str], store: &mut Store) -> Result<(), RevkitError> {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        command.execute(&args, store)
+    }
+
+    #[test]
+    fn revgen_hwb_sets_a_permutation() {
+        let mut store = Store::new();
+        run(&Revgen, &["--hwb", "3"], &mut store).unwrap();
+        assert_eq!(store.permutation().unwrap().num_vars(), 3);
+    }
+
+    #[test]
+    fn revgen_requires_a_mode() {
+        let mut store = Store::new();
+        assert!(matches!(
+            run(&Revgen, &[], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
+        assert!(matches!(
+            run(&Revgen, &["--hwb", "abc"], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
+    }
+
+    #[test]
+    fn revgen_parses_explicit_permutations_and_expressions() {
+        let mut store = Store::new();
+        run(&Revgen, &["--perm", "0 2 3 5 7 1 4 6"], &mut store).unwrap();
+        assert_eq!(store.permutation().unwrap().num_vars(), 3);
+        run(&Revgen, &["--expr", "(a & b) ^ (c & d)"], &mut store).unwrap();
+        assert_eq!(store.function().unwrap().num_vars(), 4);
+        run(
+            &Revgen,
+            &["--expr", "a ^ b", "--vars", "5"],
+            &mut store,
+        )
+        .unwrap();
+        assert_eq!(store.function().unwrap().num_vars(), 5);
+    }
+
+    #[test]
+    fn synthesis_commands_require_a_specification() {
+        let mut store = Store::new();
+        assert!(matches!(
+            run(&Tbs, &[], &mut store),
+            Err(RevkitError::MissingStoreEntry { .. })
+        ));
+        assert!(matches!(
+            run(&Esopbs, &[], &mut store),
+            Err(RevkitError::MissingStoreEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn tbs_and_dbs_fill_the_reversible_store() {
+        for synthesizer in [&Tbs as &dyn Command, &Dbs as &dyn Command] {
+            let mut store = Store::new();
+            run(&Revgen, &["--hwb", "4"], &mut store).unwrap();
+            run(synthesizer, &[], &mut store).unwrap();
+            let circuit = store.reversible().unwrap();
+            assert!(qdaflow_reversible::simulation::realizes_permutation(
+                circuit,
+                store.permutation().unwrap()
+            ));
+        }
+    }
+
+    #[test]
+    fn esopbs_synthesizes_functions() {
+        let mut store = Store::new();
+        run(&Revgen, &["--expr", "(a & b) ^ (c & d)"], &mut store).unwrap();
+        run(&Esopbs, &[], &mut store).unwrap();
+        assert_eq!(store.reversible().unwrap().num_lines(), 5);
+    }
+
+    #[test]
+    fn full_pipeline_commands_compose() {
+        let mut store = Store::new();
+        run(&Revgen, &["--hwb", "4"], &mut store).unwrap();
+        run(&Tbs, &[], &mut store).unwrap();
+        run(&Revsimp, &[], &mut store).unwrap();
+        run(&Rptm, &[], &mut store).unwrap();
+        run(&Tpar, &[], &mut store).unwrap();
+        run(&Ps, &["-c"], &mut store).unwrap();
+        run(&Simulate, &[], &mut store).unwrap();
+        run(&Qasm, &[], &mut store).unwrap();
+        run(&Draw, &[], &mut store).unwrap();
+        let log = store.log_lines().join("\n");
+        assert!(log.contains("[tbs]"));
+        assert!(log.contains("[tpar]"));
+        assert!(log.contains("T-count"));
+        assert!(log.contains("matches"));
+        assert!(log.contains("OPENQASM"));
+        assert!(!log.contains("DOES NOT"));
+    }
+
+    #[test]
+    fn ps_reports_empty_store() {
+        let mut store = Store::new();
+        run(&Ps, &[], &mut store).unwrap();
+        assert!(store.log_lines()[0].contains("empty"));
+    }
+
+    #[test]
+    fn builtin_commands_have_unique_names() {
+        let commands = builtin_commands();
+        let mut names: Vec<&str> = commands.iter().map(|c| c.name()).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+        assert!(commands.iter().all(|c| !c.description().is_empty()));
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the RevKit-style shell.
+
+use qdaflow_boolfn::BoolfnError;
+use qdaflow_mapping::MappingError;
+use qdaflow_quantum::QuantumError;
+use qdaflow_reversible::ReversibleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing or executing shell commands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RevkitError {
+    /// The command name is not registered.
+    UnknownCommand {
+        /// The offending command name.
+        name: String,
+    },
+    /// A command was called with malformed arguments.
+    InvalidArguments {
+        /// The command name.
+        command: &'static str,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A command needs data that is not yet in the store (for example `tbs`
+    /// before `revgen`).
+    MissingStoreEntry {
+        /// The command that failed.
+        command: &'static str,
+        /// The kind of store entry that is missing.
+        expected: &'static str,
+    },
+    /// An error from the Boolean function substrate.
+    Boolfn(BoolfnError),
+    /// An error from the reversible circuit layer.
+    Reversible(ReversibleError),
+    /// An error from the quantum circuit layer.
+    Quantum(QuantumError),
+    /// An error from the mapping layer.
+    Mapping(MappingError),
+}
+
+impl fmt::Display for RevkitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownCommand { name } => write!(f, "unknown command '{name}'"),
+            Self::InvalidArguments { command, message } => {
+                write!(f, "invalid arguments for '{command}': {message}")
+            }
+            Self::MissingStoreEntry { command, expected } => {
+                write!(f, "command '{command}' requires a {expected} in the store")
+            }
+            Self::Boolfn(inner) => write!(f, "{inner}"),
+            Self::Reversible(inner) => write!(f, "{inner}"),
+            Self::Quantum(inner) => write!(f, "{inner}"),
+            Self::Mapping(inner) => write!(f, "{inner}"),
+        }
+    }
+}
+
+impl Error for RevkitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Boolfn(inner) => Some(inner),
+            Self::Reversible(inner) => Some(inner),
+            Self::Quantum(inner) => Some(inner),
+            Self::Mapping(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<BoolfnError> for RevkitError {
+    fn from(inner: BoolfnError) -> Self {
+        Self::Boolfn(inner)
+    }
+}
+
+impl From<ReversibleError> for RevkitError {
+    fn from(inner: ReversibleError) -> Self {
+        Self::Reversible(inner)
+    }
+}
+
+impl From<QuantumError> for RevkitError {
+    fn from(inner: QuantumError) -> Self {
+        Self::Quantum(inner)
+    }
+}
+
+impl From<MappingError> for RevkitError {
+    fn from(inner: MappingError) -> Self {
+        Self::Mapping(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(RevkitError::UnknownCommand {
+            name: "foo".to_owned()
+        }
+        .to_string()
+        .contains("foo"));
+        let err: RevkitError = BoolfnError::NotBent.into();
+        assert!(matches!(err, RevkitError::Boolfn(_)));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RevkitError>();
+    }
+}

@@ -1,0 +1,213 @@
+//! The command shell: parsing and executing command pipelines.
+
+use crate::command::{builtin_commands, Command};
+use crate::{RevkitError, Store};
+
+/// A RevKit-style shell holding a [`Store`] and a command registry.
+///
+/// Scripts are semicolon- or newline-separated command invocations; arguments
+/// are whitespace-separated, with double quotes grouping an argument that
+/// contains spaces (as needed for `revgen --expr "(a & b) ^ c"`).
+pub struct Shell {
+    commands: Vec<Box<dyn Command>>,
+    store: Store,
+}
+
+impl Shell {
+    /// Creates a shell with the built-in command set and an empty store.
+    pub fn new() -> Self {
+        Self {
+            commands: builtin_commands(),
+            store: Store::new(),
+        }
+    }
+
+    /// Read access to the store (for inspecting results after a script run).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the store (for seeding specifications directly).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Registers an additional command; a command with the same name replaces
+    /// the existing one.
+    pub fn register(&mut self, command: Box<dyn Command>) {
+        self.commands.retain(|c| c.name() != command.name());
+        self.commands.push(command);
+    }
+
+    /// Names and descriptions of all registered commands.
+    pub fn help(&self) -> Vec<(String, String)> {
+        self.commands
+            .iter()
+            .map(|c| (c.name().to_owned(), c.description().to_owned()))
+            .collect()
+    }
+
+    /// Runs a single command line (name plus arguments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevkitError::UnknownCommand`] for unregistered commands and
+    /// propagates command execution errors.
+    pub fn run_command(&mut self, line: &str) -> Result<(), RevkitError> {
+        let tokens = tokenize(line);
+        let Some((name, args)) = tokens.split_first() else {
+            return Ok(());
+        };
+        let command = self
+            .commands
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| RevkitError::UnknownCommand { name: name.clone() })?;
+        command.execute(args, &mut self.store)
+    }
+
+    /// Runs a whole script (commands separated by `;` or newlines) and
+    /// returns the log lines produced by this run.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first command error.
+    pub fn run_script(&mut self, script: &str) -> Result<Vec<String>, RevkitError> {
+        let before = self.store.log_lines().len();
+        for line in script.split([';', '\n']) {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            self.run_command(line)?;
+        }
+        Ok(self.store.log_lines()[before..].to_vec())
+    }
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Splits a command line into tokens, honouring double quotes.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for character in line.chars() {
+        match character {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_handles_quotes() {
+        assert_eq!(
+            tokenize("revgen --expr \"(a & b) ^ c\""),
+            vec!["revgen", "--expr", "(a & b) ^ c"]
+        );
+        assert_eq!(tokenize("  ps   -c "), vec!["ps", "-c"]);
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn paper_pipeline_runs_end_to_end() {
+        // Equation (5) of the paper.
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c")
+            .unwrap();
+        assert!(output.iter().any(|l| l.contains("[tbs]")));
+        assert!(output.iter().any(|l| l.contains("[revsimp]")));
+        assert!(output.iter().any(|l| l.contains("[rptm]")));
+        assert!(output.iter().any(|l| l.contains("[tpar]")));
+        assert!(output.iter().any(|l| l.contains("T-count")));
+        assert!(shell.store().quantum().is_some());
+    }
+
+    #[test]
+    fn unknown_commands_are_reported() {
+        let mut shell = Shell::new();
+        assert!(matches!(
+            shell.run_command("frobnicate --now"),
+            Err(RevkitError::UnknownCommand { .. })
+        ));
+    }
+
+    #[test]
+    fn scripts_skip_comments_and_blank_lines() {
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script("# a comment\n\nrevgen --hwb 3\n tbs ;; ps -c")
+            .unwrap();
+        assert!(output.iter().any(|l| l.contains("[tbs]")));
+    }
+
+    #[test]
+    fn help_lists_builtin_commands() {
+        let shell = Shell::new();
+        let help = shell.help();
+        for expected in ["revgen", "tbs", "dbs", "esopbs", "revsimp", "rptm", "tpar", "ps"] {
+            assert!(help.iter().any(|(name, _)| name == expected), "{expected}");
+        }
+    }
+
+    #[test]
+    fn register_replaces_commands_by_name() {
+        struct Fake;
+        impl Command for Fake {
+            fn name(&self) -> &'static str {
+                "tbs"
+            }
+            fn description(&self) -> &'static str {
+                "fake"
+            }
+            fn execute(&self, _: &[String], store: &mut Store) -> Result<(), RevkitError> {
+                store.log("[fake-tbs]");
+                Ok(())
+            }
+        }
+        let mut shell = Shell::new();
+        let before = shell.help().len();
+        shell.register(Box::new(Fake));
+        assert_eq!(shell.help().len(), before);
+        shell.run_command("tbs").unwrap();
+        assert!(shell.store().log_lines().iter().any(|l| l == "[fake-tbs]"));
+    }
+
+    #[test]
+    fn dbs_based_pipeline_also_verifies() {
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script("revgen --perm \"0 2 3 5 7 1 4 6\"; dbs; revsimp; rptm; tpar; simulate")
+            .unwrap();
+        assert!(output.iter().any(|l| l.contains("matches")));
+        assert!(!output.iter().any(|l| l.contains("DOES NOT")));
+    }
+
+    #[test]
+    fn errors_propagate_from_commands() {
+        let mut shell = Shell::new();
+        assert!(matches!(
+            shell.run_script("tbs"),
+            Err(RevkitError::MissingStoreEntry { .. })
+        ));
+    }
+}

@@ -1,0 +1,107 @@
+//! The shell's data store.
+//!
+//! RevKit commands communicate through shared stores (one per object kind).
+//! This reproduction keeps one current entry per kind — a Boolean
+//! specification (permutation and/or single-output function), a reversible
+//! circuit, and a quantum circuit — which is exactly what the pipelines used
+//! in the paper need.
+
+use qdaflow_boolfn::{Permutation, TruthTable};
+use qdaflow_quantum::QuantumCircuit;
+use qdaflow_reversible::ReversibleCircuit;
+
+/// The mutable state shared by all shell commands.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    permutation: Option<Permutation>,
+    function: Option<TruthTable>,
+    reversible: Option<ReversibleCircuit>,
+    quantum: Option<QuantumCircuit>,
+    log: Vec<String>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current permutation specification, if any.
+    pub fn permutation(&self) -> Option<&Permutation> {
+        self.permutation.as_ref()
+    }
+
+    /// Replaces the current permutation specification.
+    pub fn set_permutation(&mut self, permutation: Permutation) {
+        self.permutation = Some(permutation);
+    }
+
+    /// The current single-output Boolean function, if any.
+    pub fn function(&self) -> Option<&TruthTable> {
+        self.function.as_ref()
+    }
+
+    /// Replaces the current single-output Boolean function.
+    pub fn set_function(&mut self, function: TruthTable) {
+        self.function = Some(function);
+    }
+
+    /// The current reversible circuit, if any.
+    pub fn reversible(&self) -> Option<&ReversibleCircuit> {
+        self.reversible.as_ref()
+    }
+
+    /// Replaces the current reversible circuit.
+    pub fn set_reversible(&mut self, circuit: ReversibleCircuit) {
+        self.reversible = Some(circuit);
+    }
+
+    /// The current quantum circuit, if any.
+    pub fn quantum(&self) -> Option<&QuantumCircuit> {
+        self.quantum.as_ref()
+    }
+
+    /// Replaces the current quantum circuit.
+    pub fn set_quantum(&mut self, circuit: QuantumCircuit) {
+        self.quantum = Some(circuit);
+    }
+
+    /// Appends a line to the command log (what the shell prints).
+    pub fn log(&mut self, line: impl Into<String>) {
+        self.log.push(line.into());
+    }
+
+    /// All logged output lines in order.
+    pub fn log_lines(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Clears everything, including the log.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_holds_entries_by_kind() {
+        let mut store = Store::new();
+        assert!(store.permutation().is_none());
+        store.set_permutation(Permutation::identity(2));
+        store.set_function(TruthTable::zero(2).unwrap());
+        store.set_reversible(ReversibleCircuit::new(2));
+        store.set_quantum(QuantumCircuit::new(2));
+        assert!(store.permutation().is_some());
+        assert!(store.function().is_some());
+        assert!(store.reversible().is_some());
+        assert!(store.quantum().is_some());
+        store.log("hello");
+        assert_eq!(store.log_lines(), ["hello"]);
+        store.clear();
+        assert!(store.permutation().is_none());
+        assert!(store.log_lines().is_empty());
+    }
+}

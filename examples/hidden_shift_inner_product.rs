@@ -1,0 +1,37 @@
+//! The ProjectQ program of Fig. 4, written against the Rust engine: hidden
+//! shift for `f(x) = x0 x1 ⊕ x2 x3` with `g(x) = f(x + 1)`, i.e. `s = 1`.
+//!
+//! Run with `cargo run -p qdaflow --example hidden_shift_inner_product`.
+
+use qdaflow::prelude::*;
+use qdaflow::quantum::drawer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // phase function (line 7-8 of Fig. 4)
+    let f = Expr::parse("(a & b) ^ (c & d)")?;
+
+    // engine and qubits (lines 10-11)
+    let mut engine = MainEngine::with_simulator();
+    let qubits = engine.allocate_qureg(4);
+
+    // circuit (lines 14-22): Compute block prepares H^n and the shift X|x1,
+    // the PhaseOracle is the action, Uncompute restores the preparation.
+    let section = engine.begin_compute();
+    engine.all_h(&qubits)?;
+    engine.x(qubits[0])?;
+    let section = engine.end_compute(section);
+    engine.phase_oracle_expr(&f, &qubits)?;
+    engine.uncompute(&section)?;
+
+    engine.phase_oracle_expr(&f, &qubits)?; // f is self-dual: U_f~ = U_f
+    engine.all_h(&qubits)?;
+
+    println!("{}", drawer::draw(&engine.circuit()));
+
+    // flush and measure (lines 24-27)
+    let result = engine.flush(1024)?;
+    let (shift, probability) = result.most_likely().expect("shots were taken");
+    println!("Shift is {shift} (probability {probability:.3})");
+    assert_eq!(shift, 1);
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! The RevKit command pipeline of equation (5) of the paper:
+//!
+//! ```text
+//! revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c
+//! ```
+//!
+//! Run with `cargo run -p qdaflow --example revkit_shell`.
+
+use qdaflow::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut shell = Shell::new();
+
+    println!("$ revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c");
+    for line in shell.run_script("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c")? {
+        println!("{line}");
+    }
+
+    println!();
+    println!("$ revgen --perm \"0 2 3 5 7 1 4 6\"; dbs; revsimp; rptm; tpar; simulate; ps -c");
+    for line in shell
+        .run_script("revgen --perm \"0 2 3 5 7 1 4 6\"; dbs; revsimp; rptm; tpar; simulate; ps -c")?
+    {
+        println!("{line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration tests of the full compilation flow:
+//! specification → reversible synthesis → Clifford+T mapping → optimization →
+//! simulation.
+
+use qdaflow::flow::{compile_permutation, compile_phase_function};
+use qdaflow::mapping::phase_oracle::oracle_matches_function;
+use qdaflow::prelude::*;
+use qdaflow::quantum::statevector::Statevector;
+use qdaflow::reversible::synthesis::SynthesisMethod;
+
+fn assert_realizes_permutation(circuit: &QuantumCircuit, permutation: &Permutation) {
+    for basis in 0..permutation.len() {
+        let mut state = Statevector::basis_state(circuit.num_qubits(), basis).unwrap();
+        state.apply_circuit(circuit);
+        assert!(
+            state.probability_of(permutation.apply(basis)) > 1.0 - 1e-9,
+            "basis {basis} mapped incorrectly"
+        );
+    }
+}
+
+#[test]
+fn hwb4_pipeline_matches_the_specification_for_both_methods() {
+    let hwb = qdaflow::boolfn::hwb::hwb_permutation(4);
+    for method in [
+        SynthesisMethod::TransformationBased,
+        SynthesisMethod::DecompositionBased,
+    ] {
+        let report = compile_permutation(&hwb, method).unwrap();
+        assert!(report.circuit.is_clifford_t(), "{method:?}");
+        assert!(report.optimized.t_count <= report.mapped.t_count);
+        assert_realizes_permutation(&report.circuit, &hwb);
+    }
+}
+
+#[test]
+fn random_permutations_compile_correctly_end_to_end() {
+    for seed in 0..5u64 {
+        let permutation = Permutation::random_seeded(3, seed * 7 + 1);
+        let report =
+            compile_permutation(&permutation, SynthesisMethod::TransformationBased).unwrap();
+        assert_realizes_permutation(&report.circuit, &permutation);
+    }
+}
+
+#[test]
+fn compiled_phase_oracles_match_their_functions() {
+    let functions = [
+        "(a & b) ^ (c & d)",
+        "a ^ (b & c & d)",
+        "!a & b | c & d",
+        "(a ^ b) & (c ^ d)",
+    ];
+    for text in functions {
+        let f = Expr::parse(text).unwrap().truth_table(4).unwrap();
+        let report = compile_phase_function(&f).unwrap();
+        assert!(
+            oracle_matches_function(&report.circuit, &f),
+            "oracle for {text} is wrong"
+        );
+    }
+}
+
+#[test]
+fn optimization_reduces_t_count_for_compute_uncompute_structures() {
+    // A permutation followed by its inverse compiles to a circuit whose
+    // optimized T-count collapses dramatically.
+    let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+    let forward = compile_permutation(&pi, SynthesisMethod::TransformationBased).unwrap();
+    let mut round_trip = forward.circuit.clone();
+    round_trip.append(&forward.circuit.dagger()).unwrap();
+    let optimized = qdaflow::mapping::optimize::optimize_clifford_t(&round_trip);
+    assert_eq!(optimized.t_count(), 0);
+}
+
+#[test]
+fn qasm_export_of_a_compiled_circuit_round_trips() {
+    let pi = Permutation::random_seeded(3, 99);
+    let report = compile_permutation(&pi, SynthesisMethod::DecompositionBased).unwrap();
+    let qasm = qdaflow::quantum::qasm::to_qasm(&report.circuit);
+    let parsed = qdaflow::quantum::qasm::from_qasm(&qasm).unwrap();
+    assert_eq!(parsed.gates(), report.circuit.gates());
+}
+
+#[test]
+fn resource_counts_are_consistent_with_the_circuit() {
+    let pi = qdaflow::boolfn::hwb::hwb_permutation(4);
+    let report = compile_permutation(&pi, SynthesisMethod::TransformationBased).unwrap();
+    let counts = ResourceCounts::of(&report.circuit);
+    assert_eq!(counts.total_gates, report.circuit.num_gates());
+    assert_eq!(counts.t_count, report.circuit.t_count());
+    assert_eq!(counts, report.optimized);
+}
