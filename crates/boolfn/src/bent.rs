@@ -296,7 +296,7 @@ mod tests {
     fn closed_form_dual_matches_spectral_dual() {
         for seed in 0..6u64 {
             let pi = Permutation::random_seeded(2, seed);
-            let h = TruthTable::from_fn(2, |y| (y + seed as usize) % 3 == 0).unwrap();
+            let h = TruthTable::from_fn(2, |y| (y + seed as usize).is_multiple_of(3)).unwrap();
             let f = MaioranaMcFarland::new(pi, h).unwrap();
             let spectral = spectrum::dual_bent(&f.truth_table().unwrap()).unwrap();
             assert_eq!(f.dual_truth_table().unwrap(), spectral, "seed {seed}");

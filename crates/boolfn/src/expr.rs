@@ -60,6 +60,7 @@ impl Expr {
     }
 
     /// Negates this expression.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         Self::Not(Box::new(self))
     }

@@ -79,7 +79,7 @@ impl Permutation {
         mut f: F,
     ) -> Result<Self, BoolfnError> {
         let len = 1usize << num_vars;
-        Self::new((0..len).map(|x| f(x)).collect())
+        Self::new((0..len).map(&mut f).collect())
     }
 
     /// Generates a pseudo-random permutation from a seed, using a

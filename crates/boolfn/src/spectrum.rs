@@ -54,7 +54,7 @@ pub fn walsh_hadamard(f: &TruthTable) -> Vec<i64> {
 /// Functions over an odd number of variables are never bent.
 pub fn is_bent(f: &TruthTable) -> bool {
     let n = f.num_vars();
-    if n == 0 || n % 2 != 0 {
+    if n == 0 || !n.is_multiple_of(2) {
         return false;
     }
     let target = 1i64 << (n / 2);
@@ -70,7 +70,7 @@ pub fn is_bent(f: &TruthTable) -> bool {
 /// variables and [`BoolfnError::NotBent`] if the spectrum is not flat.
 pub fn dual_bent(f: &TruthTable) -> Result<TruthTable, BoolfnError> {
     let n = f.num_vars();
-    if n % 2 != 0 {
+    if !n.is_multiple_of(2) {
         return Err(BoolfnError::OddVariableCount { num_vars: n });
     }
     let target = 1i64 << (n / 2);

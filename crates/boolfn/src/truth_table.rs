@@ -217,7 +217,7 @@ impl TruthTable {
             .iter()
             .map(|w| w.count_ones() as usize)
             .sum();
-        if self.len() % 64 != 0 || full == 0 {
+        if !self.len().is_multiple_of(64) || full == 0 {
             let mask = if self.len() >= 64 {
                 u64::MAX
             } else {

@@ -29,6 +29,33 @@ pub struct ExecutionResult {
 }
 
 impl ExecutionResult {
+    /// Builds the uniform result of a sampling backend from a dense
+    /// histogram of measured basis states.
+    ///
+    /// Every backend that takes shots ([`StatevectorBackend`],
+    /// [`NoisyHardwareBackend`]) produces its result through this one
+    /// constructor, so the shape of [`ExecutionResult`] stays identical
+    /// across execution paths.
+    pub fn from_histogram(circuit: &QuantumCircuit, shots: usize, histogram: &[usize]) -> Self {
+        Self {
+            num_qubits: circuit.num_qubits(),
+            shots,
+            counts: histogram
+                .iter()
+                .enumerate()
+                .filter(|(_, &count)| count > 0)
+                .map(|(outcome, &count)| (outcome, count))
+                .collect(),
+            resources: ResourceCounts::of(circuit),
+        }
+    }
+
+    /// Builds the result of a backend that analyzes a circuit without
+    /// sampling it (the [`ResourceCounterBackend`]).
+    pub fn resources_only(circuit: &QuantumCircuit) -> Self {
+        Self::from_histogram(circuit, 0, &[])
+    }
+
     /// Empirical probability of an outcome.
     pub fn probability_of(&self, outcome: usize) -> f64 {
         if self.shots == 0 {
@@ -60,15 +87,6 @@ pub trait Backend {
     /// Returns an error if the circuit cannot be executed on this backend
     /// (for example, too many qubits for a simulator).
     fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError>;
-}
-
-fn histogram_to_counts(histogram: &[usize]) -> BTreeMap<usize, usize> {
-    histogram
-        .iter()
-        .enumerate()
-        .filter(|(_, &count)| count > 0)
-        .map(|(outcome, &count)| (outcome, count))
-        .collect()
 }
 
 /// Exact statevector simulation backend: the measurement statistics are
@@ -112,12 +130,7 @@ impl Backend for StatevectorBackend {
     fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
         let state = Statevector::from_circuit(circuit)?;
         let histogram = state.sample_counts(&mut self.rng, shots);
-        Ok(ExecutionResult {
-            num_qubits: circuit.num_qubits(),
-            shots,
-            counts: histogram_to_counts(&histogram),
-            resources: ResourceCounts::of(circuit),
-        })
+        Ok(ExecutionResult::from_histogram(circuit, shots, &histogram))
     }
 }
 
@@ -159,12 +172,7 @@ impl Backend for NoisyHardwareBackend {
 
     fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
         let histogram = self.simulator.run(circuit, shots, &mut self.rng)?;
-        Ok(ExecutionResult {
-            num_qubits: circuit.num_qubits(),
-            shots,
-            counts: histogram_to_counts(&histogram),
-            resources: ResourceCounts::of(circuit),
-        })
+        Ok(ExecutionResult::from_histogram(circuit, shots, &histogram))
     }
 }
 
@@ -182,12 +190,7 @@ impl Backend for ResourceCounterBackend {
         circuit: &QuantumCircuit,
         _shots: usize,
     ) -> Result<ExecutionResult, QuantumError> {
-        Ok(ExecutionResult {
-            num_qubits: circuit.num_qubits(),
-            shots: 0,
-            counts: BTreeMap::new(),
-            resources: ResourceCounts::of(circuit),
-        })
+        Ok(ExecutionResult::resources_only(circuit))
     }
 }
 

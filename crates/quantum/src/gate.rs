@@ -346,6 +346,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn single_qubit_matrices_are_unitary() {
         let gates = [
             QuantumGate::H(0),
@@ -417,6 +418,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn sdg_matrix_is_inverse_of_s() {
         let s = QuantumGate::S(0).single_qubit_matrix().unwrap();
         let sdg = QuantumGate::Sdg(0).single_qubit_matrix().unwrap();

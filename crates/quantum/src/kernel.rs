@@ -1,0 +1,262 @@
+//! The single statevector gate-application kernel.
+//!
+//! Every execution path of the workspace — [`Statevector`] evolution, the
+//! Monte-Carlo [`NoisySimulator`] and the sampling [`Backend`] impls — funnels
+//! per-gate state updates through [`apply_gate`] in this module. Keeping the
+//! per-gate dispatch in one place means an optimization (or a new gate)
+//! lands in the ideal simulator, the noise model and every backend at once.
+//!
+//! The kernel operates on a raw amplitude slice of length `2^n`, with qubit 0
+//! as the least significant bit of the basis-state index. Three specialized
+//! loops cover the gate classes of the Clifford+T IR:
+//!
+//! * **diagonal gates** (Z, S, S†, T, T†, Rz, CZ, MCZ) multiply a phase onto
+//!   the amplitudes of the matching subspace and never move data,
+//! * **classical bit flips** (X via MCX with no controls, CX, CCX, MCX, SWAP)
+//!   permute amplitudes without arithmetic,
+//! * the remaining **dense single-qubit gates** (H, Y, X when convenient)
+//!   apply a full 2×2 unitary to each amplitude pair.
+//!
+//! [`Statevector`]: crate::statevector::Statevector
+//! [`NoisySimulator`]: crate::noise::NoisySimulator
+//! [`Backend`]: crate::backend::Backend
+
+use crate::complex::Complex;
+use crate::gate::QuantumGate;
+
+/// Number of qubits represented by an amplitude slice.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn num_qubits_of(amplitudes: &[Complex]) -> usize {
+    assert!(
+        amplitudes.len().is_power_of_two(),
+        "amplitude slice length {} is not a power of two",
+        amplitudes.len()
+    );
+    amplitudes.len().trailing_zeros() as usize
+}
+
+/// Applies one gate in place to a `2^n` amplitude slice.
+///
+/// This is the only per-gate dispatch over [`QuantumGate`] that mutates
+/// amplitudes anywhere in the workspace.
+///
+/// # Panics
+///
+/// Panics if the gate references a qubit outside the register.
+pub fn apply_gate(amplitudes: &mut [Complex], gate: &QuantumGate) {
+    match gate {
+        QuantumGate::Cx { control, target } => apply_mcx(amplitudes, &[*control], *target),
+        QuantumGate::Cz { a, b } => apply_mcz(amplitudes, &[*a, *b]),
+        QuantumGate::Swap { a, b } => apply_swap(amplitudes, *a, *b),
+        QuantumGate::Ccx {
+            control_a,
+            control_b,
+            target,
+        } => apply_mcx(amplitudes, &[*control_a, *control_b], *target),
+        QuantumGate::Mcx { controls, target } => apply_mcx(amplitudes, controls, *target),
+        QuantumGate::Mcz { qubits } => apply_mcz(amplitudes, qubits),
+        single => {
+            let qubit = single.qubits()[0];
+            let matrix = single
+                .single_qubit_matrix()
+                .expect("all remaining gates are single-qubit");
+            if single.is_diagonal() {
+                // Diagonal gates have u00 = 1 in this gate set; only the
+                // phase on the |1⟩ subspace matters.
+                debug_assert!(
+                    matrix[0][0].approx_eq(Complex::ONE, 1e-12),
+                    "diagonal fast path requires u00 = 1, got {:?} for {gate:?}",
+                    matrix[0][0]
+                );
+                apply_phase(amplitudes, qubit, matrix[1][1]);
+            } else {
+                apply_single_qubit(amplitudes, qubit, &matrix);
+            }
+        }
+    }
+}
+
+/// Applies every gate of `circuit` in order.
+///
+/// # Panics
+///
+/// Panics if the circuit references a qubit outside the register.
+pub fn apply_circuit(amplitudes: &mut [Complex], circuit: &crate::circuit::QuantumCircuit) {
+    for gate in circuit {
+        apply_gate(amplitudes, gate);
+    }
+}
+
+/// Applies an arbitrary 2×2 unitary to one qubit.
+///
+/// # Panics
+///
+/// Panics if `qubit` is out of range.
+pub fn apply_single_qubit(amplitudes: &mut [Complex], qubit: usize, matrix: &[[Complex; 2]; 2]) {
+    let bit = checked_bit(amplitudes, qubit);
+    for index in 0..amplitudes.len() {
+        if index & bit == 0 {
+            let low = amplitudes[index];
+            let high = amplitudes[index | bit];
+            amplitudes[index] = matrix[0][0] * low + matrix[0][1] * high;
+            amplitudes[index | bit] = matrix[1][0] * low + matrix[1][1] * high;
+        }
+    }
+}
+
+/// Multiplies `phase` onto every amplitude whose `qubit` bit is set — the
+/// fast path for the diagonal gates Z, S, S†, T, T† and Rz.
+///
+/// # Panics
+///
+/// Panics if `qubit` is out of range.
+pub fn apply_phase(amplitudes: &mut [Complex], qubit: usize, phase: Complex) {
+    let bit = checked_bit(amplitudes, qubit);
+    for (index, amplitude) in amplitudes.iter_mut().enumerate() {
+        if index & bit != 0 {
+            *amplitude = phase * *amplitude;
+        }
+    }
+}
+
+/// Applies a multiple-controlled X (X, CX, CCX and MCX for 0, 1, 2 and more
+/// controls respectively).
+///
+/// # Panics
+///
+/// Panics if any qubit is out of range.
+pub fn apply_mcx(amplitudes: &mut [Complex], controls: &[usize], target: usize) {
+    let target_bit = checked_bit(amplitudes, target);
+    let control_mask = checked_mask(amplitudes, controls);
+    for index in 0..amplitudes.len() {
+        if index & control_mask == control_mask && index & target_bit == 0 {
+            amplitudes.swap(index, index | target_bit);
+        }
+    }
+}
+
+/// Applies a multiple-controlled Z: flips the sign of the all-ones subspace
+/// of `qubits` (Z, CZ and MCZ for 1, 2 and more qubits respectively).
+///
+/// # Panics
+///
+/// Panics if any qubit is out of range.
+pub fn apply_mcz(amplitudes: &mut [Complex], qubits: &[usize]) {
+    let mask = checked_mask(amplitudes, qubits);
+    for (index, amplitude) in amplitudes.iter_mut().enumerate() {
+        if index & mask == mask {
+            *amplitude = -*amplitude;
+        }
+    }
+}
+
+/// Exchanges two qubits.
+///
+/// # Panics
+///
+/// Panics if either qubit is out of range.
+pub fn apply_swap(amplitudes: &mut [Complex], a: usize, b: usize) {
+    let bit_a = checked_bit(amplitudes, a);
+    let bit_b = checked_bit(amplitudes, b);
+    for index in 0..amplitudes.len() {
+        // Swap amplitudes of ...a=1,b=0... and ...a=0,b=1... once.
+        if index & bit_a != 0 && index & bit_b == 0 {
+            amplitudes.swap(index, (index & !bit_a) | bit_b);
+        }
+    }
+}
+
+fn checked_bit(amplitudes: &[Complex], qubit: usize) -> usize {
+    assert!(
+        qubit < num_qubits_of(amplitudes),
+        "qubit {qubit} out of range for a {}-qubit register",
+        num_qubits_of(amplitudes)
+    );
+    1usize << qubit
+}
+
+fn checked_mask(amplitudes: &[Complex], qubits: &[usize]) -> usize {
+    qubits
+        .iter()
+        .map(|&qubit| checked_bit(amplitudes, qubit))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::QuantumCircuit;
+
+    fn zero_state(num_qubits: usize) -> Vec<Complex> {
+        let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
+        amplitudes[0] = Complex::ONE;
+        amplitudes
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_dense_application() {
+        let gates = [
+            QuantumGate::Z(1),
+            QuantumGate::S(0),
+            QuantumGate::Sdg(2),
+            QuantumGate::T(1),
+            QuantumGate::Tdg(0),
+            QuantumGate::Rz {
+                qubit: 2,
+                angle: 0.83,
+            },
+        ];
+        for gate in gates {
+            // Prepare an arbitrary superposition.
+            let mut fast = zero_state(3);
+            for qubit in 0..3 {
+                apply_gate(&mut fast, &QuantumGate::H(qubit));
+            }
+            let mut dense = fast.clone();
+            apply_gate(&mut fast, &gate);
+            let matrix = gate.single_qubit_matrix().unwrap();
+            apply_single_qubit(&mut dense, gate.qubits()[0], &matrix);
+            for (a, b) in fast.iter().zip(&dense) {
+                assert!(a.approx_eq(*b, 1e-12), "{gate:?}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_applies_whole_circuits() {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 1,
+            })
+            .unwrap();
+        let mut amplitudes = zero_state(2);
+        apply_circuit(&mut amplitudes, &circuit);
+        assert!((amplitudes[0b00].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((amplitudes[0b11].norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn num_qubits_is_log2_of_length() {
+        assert_eq!(num_qubits_of(&zero_state(0)), 0);
+        assert_eq!(num_qubits_of(&zero_state(4)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut amplitudes = zero_state(2);
+        apply_gate(&mut amplitudes, &QuantumGate::H(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_slice_panics() {
+        let _ = num_qubits_of(&[Complex::ONE; 3]);
+    }
+}

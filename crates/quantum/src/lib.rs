@@ -34,6 +34,7 @@ pub mod complex;
 pub mod drawer;
 pub mod error;
 pub mod gate;
+pub mod kernel;
 pub mod noise;
 pub mod qasm;
 pub mod resource;

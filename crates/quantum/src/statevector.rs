@@ -6,6 +6,7 @@
 //! and applies gates in place.
 
 use crate::complex::Complex;
+use crate::kernel;
 use crate::{QuantumCircuit, QuantumError, QuantumGate, MAX_SIMULATOR_QUBITS};
 use rand::Rng;
 
@@ -133,31 +134,15 @@ impl Statevector {
         self.inner_product(other).norm_sqr()
     }
 
-    /// Applies a single gate in place.
+    /// Applies a single gate in place through the shared
+    /// [`kernel`](crate::kernel) dispatch.
     ///
     /// # Panics
     ///
     /// Panics if the gate references qubits outside of the register; circuits
     /// built through [`QuantumCircuit::push`] can never trigger this.
     pub fn apply_gate(&mut self, gate: &QuantumGate) {
-        match gate {
-            QuantumGate::Cx { control, target } => self.apply_mcx(&[*control], *target),
-            QuantumGate::Cz { a, b } => self.apply_mcz(&[*a, *b]),
-            QuantumGate::Swap { a, b } => self.apply_swap(*a, *b),
-            QuantumGate::Ccx {
-                control_a,
-                control_b,
-                target,
-            } => self.apply_mcx(&[*control_a, *control_b], *target),
-            QuantumGate::Mcx { controls, target } => self.apply_mcx(controls, *target),
-            QuantumGate::Mcz { qubits } => self.apply_mcz(qubits),
-            single => {
-                let matrix = single
-                    .single_qubit_matrix()
-                    .expect("all remaining gates are single-qubit");
-                self.apply_single_qubit(single.qubits()[0], &matrix);
-            }
-        }
+        kernel::apply_gate(&mut self.amplitudes, gate);
     }
 
     /// Applies every gate of a circuit in order.
@@ -172,61 +157,7 @@ impl Statevector {
             circuit.num_qubits(),
             self.num_qubits
         );
-        for gate in circuit {
-            self.apply_gate(gate);
-        }
-    }
-
-    fn apply_single_qubit(&mut self, qubit: usize, matrix: &[[Complex; 2]; 2]) {
-        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
-        let bit = 1usize << qubit;
-        for index in 0..self.amplitudes.len() {
-            if index & bit == 0 {
-                let low = self.amplitudes[index];
-                let high = self.amplitudes[index | bit];
-                self.amplitudes[index] = matrix[0][0] * low + matrix[0][1] * high;
-                self.amplitudes[index | bit] = matrix[1][0] * low + matrix[1][1] * high;
-            }
-        }
-    }
-
-    fn apply_mcx(&mut self, controls: &[usize], target: usize) {
-        assert!(target < self.num_qubits, "target {target} out of range");
-        let target_bit = 1usize << target;
-        let control_mask: usize = controls
-            .iter()
-            .inspect(|&&q| assert!(q < self.num_qubits, "control {q} out of range"))
-            .map(|&q| 1usize << q)
-            .sum();
-        for index in 0..self.amplitudes.len() {
-            if index & control_mask == control_mask && index & target_bit == 0 {
-                self.amplitudes.swap(index, index | target_bit);
-            }
-        }
-    }
-
-    fn apply_mcz(&mut self, qubits: &[usize]) {
-        let mask: usize = qubits
-            .iter()
-            .inspect(|&&q| assert!(q < self.num_qubits, "qubit {q} out of range"))
-            .map(|&q| 1usize << q)
-            .sum();
-        for index in 0..self.amplitudes.len() {
-            if index & mask == mask {
-                self.amplitudes[index] = -self.amplitudes[index];
-            }
-        }
-    }
-
-    fn apply_swap(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_qubits && b < self.num_qubits, "swap out of range");
-        let (bit_a, bit_b) = (1usize << a, 1usize << b);
-        for index in 0..self.amplitudes.len() {
-            // Swap amplitudes of ...a=1,b=0... and ...a=0,b=1... once.
-            if index & bit_a != 0 && index & bit_b == 0 {
-                self.amplitudes.swap(index, (index & !bit_a) | bit_b);
-            }
-        }
+        kernel::apply_circuit(&mut self.amplitudes, circuit);
     }
 
     /// Samples a measurement of all qubits in the computational basis,

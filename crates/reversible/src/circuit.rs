@@ -406,7 +406,7 @@ mod tests {
         assert_eq!(profile.toffoli, 1);
         assert_eq!(profile.larger, 1);
         assert_eq!(profile.total(), 4);
-        assert_eq!(circuit.control_count(), 0 + 1 + 2 + 3);
+        assert_eq!(circuit.control_count(), 1 + 2 + 3);
         assert_eq!(circuit.quantum_cost(), 1 + 1 + 5 + 13);
         assert!(profile.to_string().contains("Toffoli: 1"));
     }

@@ -110,7 +110,7 @@ fn maiorana_mcfarland_dual_identity_holds_on_the_oracle_level() {
     // circuits matches the spectral dual for random instances.
     for seed in 0..4u64 {
         let pi = Permutation::random_seeded(2, seed);
-        let h = TruthTable::from_fn(2, |y| (y + seed as usize) % 2 == 0).unwrap();
+        let h = TruthTable::from_fn(2, |y| (y + seed as usize).is_multiple_of(2)).unwrap();
         let mm = MaioranaMcFarland::new(pi, h).unwrap();
         let spectral = qdaflow::boolfn::spectrum::dual_bent(&mm.truth_table().unwrap()).unwrap();
         assert_eq!(mm.dual_truth_table().unwrap(), spectral);

@@ -1,0 +1,49 @@
+//! Workspace-level smoke test: every example must build, and the
+//! `quickstart` example must run end-to-end and recover the hidden shift.
+//!
+//! The test shells out to the `cargo` that is running the test suite (via the
+//! `CARGO` environment variable), so it always uses the same toolchain and
+//! target directory and never hits the network.
+
+use std::process::Command;
+
+fn cargo() -> Command {
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let mut command = Command::new(cargo);
+    // Run at the workspace root so the root Cargo.toml is picked up.
+    command.current_dir(env!("CARGO_MANIFEST_DIR").to_owned() + "/../..");
+    command.env("CARGO_TERM_COLOR", "never");
+    command
+}
+
+#[test]
+fn all_examples_build() {
+    let output = cargo()
+        .args(["build", "--examples"])
+        .output()
+        .expect("failed to spawn cargo build --examples");
+    assert!(
+        output.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn quickstart_example_runs_end_to_end() {
+    let output = cargo()
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    assert!(
+        output.status.success(),
+        "quickstart example exited with {:?}:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("recovered Some(1)"),
+        "quickstart output did not report the recovered shift:\n{stdout}"
+    );
+}

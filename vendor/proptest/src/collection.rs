@@ -1,0 +1,64 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::{Strategy, TestRng};
+use rand::Rng as _;
+
+/// Length specification for [`vec`]: an exact `usize` or a half-open range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(range: std::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec size range");
+        Self {
+            min: range.start,
+            max_exclusive: range.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            min: *range.start(),
+            max_exclusive: *range.end() + 1,
+        }
+    }
+}
+
+/// Strategy for vectors whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy produced by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,8 @@
+//! One-stop imports for property tests, mirroring `proptest::prelude`.
+
+pub use crate as prop;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+    Just, Strategy,
+};

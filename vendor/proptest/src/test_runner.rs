@@ -1,0 +1,38 @@
+//! Test-runner configuration and deterministic per-test seeding.
+
+use crate::TestRng;
+use rand::SeedableRng as _;
+
+/// Configuration of a [`proptest!`](crate::proptest) block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep the offline CI loop
+    /// fast, while still exercising each property broadly.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Derives a deterministic RNG from a test name (FNV-1a over the name), so
+/// every run of the suite generates identical cases.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}

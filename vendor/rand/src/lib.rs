@@ -1,0 +1,238 @@
+//! Vendored, dependency-free stand-in for the subset of the [`rand`] crate
+//! used by this workspace.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors the small API surface it needs: the [`Rng`] and [`SeedableRng`]
+//! traits and a deterministic [`rngs::StdRng`] built on xoshiro256++ seeded
+//! via splitmix64. The statistical quality is more than sufficient for the
+//! Monte-Carlo noise simulation and measurement sampling performed by the
+//! `qdaflow_quantum` crate; the implementation is deliberately *not* a
+//! cryptographic generator.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let die = rng.gen_range(1..7);
+//! assert!((1..7).contains(&die));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Types that can be sampled uniformly from the generator's raw output,
+/// mirroring `rand`'s `Standard` distribution.
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types that can be drawn uniformly from a half-open range,
+/// mirroring `rand`'s `SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from empty range");
+                let width = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift mapping of a 64-bit draw onto the width;
+                // the bias is < width / 2^64 and irrelevant for simulation.
+                let draw = (rng.next_u64() as u128 * width) >> 64;
+                (range.start as i128 + draw as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// A source of randomness, mirroring the subset of `rand::Rng` used by the
+/// workspace (`gen`, `gen_range`) plus the raw `next_u64` that powers them.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` from the standard distribution (uniform in
+    /// `[0, 1)` for floats, uniform over all values for integers).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators (the vendored subset only ships [`rngs::StdRng`]).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator seeded through splitmix64 —
+    /// the vendored stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let state = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            self.state = [s0, s1, s2, s3.rotate_left(45)];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_are_uniform_enough() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..3) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        for _ in 0..100 {
+            let v: usize = rng.gen_range(5..10);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.gen_range(4..4);
+    }
+
+    #[test]
+    fn unsized_rng_usage_compiles() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = draw(&mut rng);
+    }
+}
