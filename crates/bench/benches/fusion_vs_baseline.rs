@@ -1,0 +1,80 @@
+//! Criterion benchmark: the fused (and optionally multi-threaded) execution
+//! layer against the PR-1 per-gate sequential kernel on a 20-qubit hidden
+//! shift circuit.
+//!
+//! The baseline replays the circuit gate by gate through
+//! `Statevector::apply_gate` (the single-kernel dispatch every execution
+//! path used before the fusion layer existed). The contenders compile the
+//! same circuit to a `FusedProgram` first: the H/X shift sandwiches merge
+//! into single dense ops, the CZ layers run as subspace-enumerating phase
+//! multiplies instead of full scans, and — where the host has more than one
+//! CPU — the dense and phase sweeps split across scoped threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
+use qdaflow::prelude::*;
+use qdaflow::quantum::statevector::Statevector;
+use std::time::Duration;
+
+const NUM_QUBITS: usize = 20;
+
+/// A 20-qubit hidden shift instance over the inner-product bent function
+/// (Maiorana–McFarland with the identity permutation), the largest single
+/// register the paper's benchmark family reaches on a workstation-class
+/// simulator.
+fn twenty_qubit_hidden_shift() -> QuantumCircuit {
+    let mm = MaioranaMcFarland::inner_product(NUM_QUBITS / 2);
+    let instance = HiddenShiftInstance::from_maiorana_mcfarland(&mm, 0b10_1101_1001).unwrap();
+    let circuit = instance
+        .build_circuit(OracleStyle::MaioranaMcFarland {
+            synthesis: SynthesisChoice::TransformationBased,
+        })
+        .unwrap();
+    assert_eq!(circuit.num_qubits(), NUM_QUBITS);
+    circuit
+}
+
+fn bench_fusion_vs_baseline(c: &mut Criterion) {
+    let circuit = twenty_qubit_hidden_shift();
+    let fused_ops = FusedProgram::fuse(&circuit).num_ops();
+    println!(
+        "hidden-shift-20q: {} gates -> {} fused ops",
+        circuit.num_gates(),
+        fused_ops
+    );
+
+    let mut group = c.benchmark_group("fusion_vs_baseline");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+
+    // PR-1 behaviour: per-gate kernel dispatch, no fusion, no threading.
+    group.bench_function("baseline_sequential_kernel", |b| {
+        b.iter(|| {
+            let mut state = Statevector::new(NUM_QUBITS).unwrap();
+            for gate in &circuit {
+                state.apply_gate(gate);
+            }
+            state.amplitude(0)
+        })
+    });
+
+    // Fused program, still single-threaded: isolates the fusion win.
+    group.bench_function("fused_sequential", |b| {
+        b.iter(|| {
+            let state = Statevector::run(&circuit, &ExecConfig::sequential()).unwrap();
+            state.amplitude(0)
+        })
+    });
+
+    // Fused program with the default (auto-threaded) configuration.
+    group.bench_function("fused_parallel_auto", |b| {
+        b.iter(|| {
+            let state = Statevector::run(&circuit, &ExecConfig::default()).unwrap();
+            state.amplitude(0)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion_vs_baseline);
+criterion_main!(benches);

@@ -26,11 +26,16 @@ use crate::{BoolfnError, TruthTable};
 /// # }
 /// ```
 pub fn walsh_hadamard(f: &TruthTable) -> Vec<i64> {
-    let len = f.len();
-    let mut spectrum: Vec<i64> = (0..len)
+    let mut spectrum: Vec<i64> = (0..f.len())
         .map(|x| if f.get(x) { -1i64 } else { 1i64 })
         .collect();
-    // In-place fast Walsh–Hadamard transform.
+    fwht(&mut spectrum);
+    spectrum
+}
+
+/// In-place fast Walsh–Hadamard transform (butterfly network).
+fn fwht(values: &mut [i64]) {
+    let len = values.len();
     let mut stride = 1usize;
     while stride < len {
         let mut base = 0usize;
@@ -38,15 +43,49 @@ pub fn walsh_hadamard(f: &TruthTable) -> Vec<i64> {
             for offset in 0..stride {
                 let low = base + offset;
                 let high = low + stride;
-                let (a, b) = (spectrum[low], spectrum[high]);
-                spectrum[low] = a + b;
-                spectrum[high] = a - b;
+                let (a, b) = (values[low], values[high]);
+                values[low] = a + b;
+                values[high] = a - b;
             }
             base += stride << 1;
         }
         stride <<= 1;
     }
-    spectrum
+}
+
+/// Reconstructs a Boolean function from its Walsh–Hadamard spectrum — the
+/// inverse of [`walsh_hadamard`], using the fact that the transform is an
+/// involution up to a `2^n` scale factor.
+///
+/// # Errors
+///
+/// Returns [`BoolfnError::NotPowerOfTwo`] if the spectrum length is not a
+/// power of two, and [`BoolfnError::NotBent`] if the values are not the
+/// spectrum of any Boolean function (the inverse transform must land on
+/// `±2^n` everywhere).
+pub fn from_spectrum(spectrum: &[i64]) -> Result<TruthTable, BoolfnError> {
+    let len = spectrum.len();
+    if !len.is_power_of_two() {
+        return Err(BoolfnError::NotPowerOfTwo { length: len });
+    }
+    let num_vars = len.trailing_zeros() as usize;
+    // The FWHT is an involution up to the 2^n scale factor: transforming the
+    // spectrum again recovers len * (-1)^{f(x)}.
+    let mut signs = spectrum.to_vec();
+    fwht(&mut signs);
+    let scale = len as i64;
+    let mut table = TruthTable::zero(num_vars)?;
+    for (x, &sign) in signs.iter().enumerate() {
+        if sign == scale {
+            table.set(x, false);
+        } else if sign == -scale {
+            table.set(x, true);
+        } else {
+            // The spectrum is not that of any Boolean function.
+            return Err(BoolfnError::NotBent);
+        }
+    }
+    Ok(table)
 }
 
 /// Returns `true` if the function is bent (perfectly flat spectrum).

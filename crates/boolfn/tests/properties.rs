@@ -43,6 +43,58 @@ proptest! {
     }
 
     #[test]
+    fn spectrum_round_trips_to_the_truth_table(tt in truth_table(6)) {
+        // walsh_hadamard and from_spectrum are mutually inverse on every
+        // function of up to 6 variables.
+        let w = spectrum::walsh_hadamard(&tt);
+        prop_assert_eq!(spectrum::from_spectrum(&w).unwrap(), tt);
+    }
+
+    #[test]
+    fn perturbed_spectra_are_rejected(tt in truth_table(4), bump in 1i64..7) {
+        // Any single off-lattice entry makes the spectrum invalid: the
+        // inverse transform no longer lands on ±2^n everywhere.
+        let mut w = spectrum::walsh_hadamard(&tt);
+        w[0] += bump;
+        prop_assert!(spectrum::from_spectrum(&w).is_err());
+    }
+
+    #[test]
+    fn bent_duals_are_bent_and_dual_is_an_involution(p in permutation(3), h in truth_table(3)) {
+        // Maiorana–McFarland on 6 variables: f~ is bent and f~~ = f.
+        let f = MaioranaMcFarland::new(p, h).unwrap().truth_table().unwrap();
+        let dual = spectrum::dual_bent(&f).unwrap();
+        prop_assert!(spectrum::is_bent(&dual));
+        prop_assert_eq!(spectrum::dual_bent(&dual).unwrap(), f);
+    }
+
+    #[test]
+    fn shifted_bent_dual_picks_up_a_linear_phase(
+        p in permutation(2),
+        h in truth_table(2),
+        s in 0usize..16,
+    ) {
+        // For g(x) = f(x ^ s): W_g(w) = (-1)^{w·s} W_f(w), so
+        // g~(w) = f~(w) ^ (w·s mod 2) — the identity that makes the hidden
+        // shift algorithm read the shift off the dual oracle.
+        let f = MaioranaMcFarland::new(p, h).unwrap().truth_table().unwrap();
+        let g = f.xor_shift(s);
+        let f_dual = spectrum::dual_bent(&f).unwrap();
+        let g_dual = spectrum::dual_bent(&g).unwrap();
+        for w in 0..f.len() {
+            let linear = (w & s).count_ones() % 2 == 1;
+            prop_assert_eq!(g_dual.get(w), f_dual.get(w) ^ linear, "w = {}", w);
+        }
+    }
+
+    #[test]
+    fn bent_functions_reach_maximal_nonlinearity(p in permutation(3), h in truth_table(3)) {
+        // On n = 6 variables a bent function attains 2^{n-1} - 2^{n/2-1}.
+        let f = MaioranaMcFarland::new(p, h).unwrap().truth_table().unwrap();
+        prop_assert_eq!(spectrum::nonlinearity(&f), 32 - 4);
+    }
+
+    #[test]
     fn permutation_inverse_is_involution(p in permutation(4)) {
         prop_assert_eq!(p.inverse().inverse(), p);
     }

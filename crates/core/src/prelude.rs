@@ -8,7 +8,9 @@ pub use qdaflow_engine::{MainEngine, Qubit, SynthesisChoice};
 pub use qdaflow_mapping::map::MappingOptions;
 pub use qdaflow_quantum::{
     backend::{Backend, ExecutionResult, NoisyHardwareBackend, StatevectorBackend},
+    fusion::{ExecConfig, FusedProgram},
     noise::NoiseModel,
+    reference::{DenseReference, DenseReferenceBackend},
     resource::ResourceCounts,
     QuantumCircuit, QuantumGate,
 };
@@ -29,5 +31,7 @@ mod tests {
         let _ = NoiseModel::noiseless();
         let _ = MappingOptions::default();
         let _ = SynthesisChoice::default();
+        let _ = ExecConfig::default();
+        let _ = DenseReference::new(1);
     }
 }

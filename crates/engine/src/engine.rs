@@ -7,6 +7,7 @@ use qdaflow_boolfn::{Expr, Permutation, TruthTable};
 use qdaflow_quantum::backend::{
     Backend, ExecutionResult, NoisyHardwareBackend, ResourceCounterBackend, StatevectorBackend,
 };
+use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::noise::NoiseModel;
 use qdaflow_quantum::{QuantumCircuit, QuantumGate};
 
@@ -51,6 +52,20 @@ impl MainEngine {
     /// Creates an engine targeting the exact statevector simulator.
     pub fn with_simulator() -> Self {
         Self::new(Box::new(StatevectorBackend::default()))
+    }
+
+    /// Creates an engine targeting the statevector simulator with an
+    /// explicit execution configuration (thread count, gate fusion).
+    pub fn with_simulator_config(config: ExecConfig) -> Self {
+        let mut engine = Self::with_simulator();
+        engine.set_exec_config(config);
+        engine
+    }
+
+    /// Reconfigures how the backend executes circuits. Backends that do not
+    /// simulate ignore the setting; the backend owns the configuration.
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.backend.set_exec_config(config);
     }
 
     /// Creates an engine targeting the noisy hardware model (the stand-in for
@@ -451,6 +466,23 @@ mod tests {
         let circuit = engine.circuit();
         assert_eq!(circuit.num_gates(), 2);
         assert_eq!(engine.backend_name(), "statevector-simulator");
+    }
+
+    #[test]
+    fn exec_config_is_threaded_through_to_the_backend() {
+        let config = ExecConfig::sequential().with_fusion(false).with_threads(1);
+        let mut engine = MainEngine::with_simulator_config(config);
+        let qubits = engine.allocate_qureg(2);
+        engine.h(qubits[0]).unwrap();
+        engine.cnot(qubits[0], qubits[1]).unwrap();
+        let unfused = engine.flush(256).unwrap();
+        // The same program under the default (fused) configuration samples
+        // the same distribution.
+        let mut fused = MainEngine::with_simulator();
+        let qubits = fused.allocate_qureg(2);
+        fused.h(qubits[0]).unwrap();
+        fused.cnot(qubits[0], qubits[1]).unwrap();
+        assert_eq!(unfused.counts, fused.flush(256).unwrap().counts);
     }
 
     #[test]

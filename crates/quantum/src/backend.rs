@@ -7,6 +7,7 @@
 //! [`StatevectorBackend`], the [`NoisyHardwareBackend`] standing in for the
 //! IBM Quantum Experience chip, and the [`ResourceCounterBackend`].
 
+use crate::fusion::ExecConfig;
 use crate::noise::{NoiseModel, NoisySimulator};
 use crate::resource::ResourceCounts;
 use crate::statevector::Statevector;
@@ -87,6 +88,12 @@ pub trait Backend {
     /// Returns an error if the circuit cannot be executed on this backend
     /// (for example, too many qubits for a simulator).
     fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError>;
+
+    /// Reconfigures how the backend executes circuits (thread count, gate
+    /// fusion). Backends that do not simulate — or that deliberately avoid
+    /// the optimized execution layer, like the dense reference oracle —
+    /// ignore the setting.
+    fn set_exec_config(&mut self, _config: ExecConfig) {}
 }
 
 /// Exact statevector simulation backend: the measurement statistics are
@@ -94,15 +101,27 @@ pub trait Backend {
 #[derive(Debug, Clone)]
 pub struct StatevectorBackend {
     rng: StdRng,
+    config: ExecConfig,
 }
 
 impl StatevectorBackend {
     /// Creates a backend with a fixed random seed (sampling is the only
-    /// source of randomness).
+    /// source of randomness) and the default execution configuration.
     pub fn seeded(seed: u64) -> Self {
+        Self::with_config(seed, ExecConfig::default())
+    }
+
+    /// Creates a backend with an explicit execution configuration.
+    pub fn with_config(seed: u64, config: ExecConfig) -> Self {
         Self {
             rng: StdRng::seed_from_u64(seed),
+            config,
         }
+    }
+
+    /// The execution configuration in use.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.config
     }
 
     /// Runs the circuit and returns the exact final state instead of sampled
@@ -112,7 +131,7 @@ impl StatevectorBackend {
     ///
     /// Returns [`QuantumError::TooManyQubits`] for oversized circuits.
     pub fn statevector(&self, circuit: &QuantumCircuit) -> Result<Statevector, QuantumError> {
-        Statevector::from_circuit(circuit)
+        Statevector::run(circuit, &self.config)
     }
 }
 
@@ -128,9 +147,13 @@ impl Backend for StatevectorBackend {
     }
 
     fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
-        let state = Statevector::from_circuit(circuit)?;
+        let state = Statevector::run(circuit, &self.config)?;
         let histogram = state.sample_counts(&mut self.rng, shots);
         Ok(ExecutionResult::from_histogram(circuit, shots, &histogram))
+    }
+
+    fn set_exec_config(&mut self, config: ExecConfig) {
+        self.config = config;
     }
 }
 
@@ -173,6 +196,10 @@ impl Backend for NoisyHardwareBackend {
     fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
         let histogram = self.simulator.run(circuit, shots, &mut self.rng)?;
         Ok(ExecutionResult::from_histogram(circuit, shots, &histogram))
+    }
+
+    fn set_exec_config(&mut self, config: ExecConfig) {
+        self.simulator.set_exec_config(config);
     }
 }
 

@@ -1,0 +1,855 @@
+//! Gate fusion and chunked multi-threaded statevector execution.
+//!
+//! This module is the optimized execution layer sitting on top of the scalar
+//! [`kernel`](crate::kernel): a circuit is first *compiled* into a
+//! [`FusedProgram`] — a short list of [`FusedOp`] kernel operations in which
+//! runs of adjacent diagonal gates on the same subspace mask have been
+//! coalesced into a single phase multiply and adjacent dense single-qubit
+//! gates on the same qubit have been merged into one 2×2 matrix product —
+//! and the program is then *applied* to the amplitude slice with
+//! cache-friendly loops that skip the untouched part of the index space and,
+//! for large registers, split the work over scoped OS threads.
+//!
+//! The [`ExecConfig`] knob selects the thread count, toggles the fusion pass
+//! and sets the register size below which threading is never attempted. It
+//! is threaded through every execution path of the workspace: the
+//! [`Statevector`](crate::statevector::Statevector) simulator, the
+//! Monte-Carlo noisy simulator, the sampling backends, the engine crate's
+//! `MainEngine` and the RevKit-style shell's `exec` command.
+//!
+//! Correctness of the fused, parallel path is established differentially:
+//! the `tests/differential.rs` property suites compare it
+//! amplitude-for-amplitude against the deliberately naive
+//! [`DenseReference`](crate::reference::DenseReference) oracle.
+
+use crate::circuit::QuantumCircuit;
+use crate::complex::Complex;
+use crate::gate::QuantumGate;
+use crate::kernel;
+use std::thread;
+
+/// Tolerance under which a fused operation is recognized as the identity and
+/// dropped from the program.
+const IDENTITY_EPS: f64 = 1e-12;
+
+/// Hard cap on the configured thread count; beyond this the memory-bound
+/// amplitude sweeps stop scaling.
+const MAX_THREADS: usize = 16;
+
+/// How the execution layer runs a circuit: thread count, fusion toggle and
+/// the parallelism threshold.
+///
+/// The default configuration enables fusion and uses one thread per
+/// available CPU (capped), falling back to sequential execution for
+/// registers smaller than [`ExecConfig::parallel_threshold`] amplitudes
+/// where thread startup would dominate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Number of worker threads; `1` (or `0`) executes sequentially.
+    pub threads: usize,
+    /// Whether the gate-fusion pass runs before execution.
+    pub fusion: bool,
+    /// Minimum amplitude-slice length before threads are spawned.
+    pub parallel_threshold: usize,
+}
+
+impl ExecConfig {
+    /// Fusion on, one worker per available CPU (capped at 16), threading
+    /// only for registers of at least 2^16 amplitudes — below that, per-op
+    /// thread startup costs more than the sweep itself.
+    pub fn auto() -> Self {
+        Self {
+            threads: thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(MAX_THREADS),
+            fusion: true,
+            parallel_threshold: 1 << 16,
+        }
+    }
+
+    /// Fusion on, strictly single-threaded.
+    pub fn sequential() -> Self {
+        Self {
+            threads: 1,
+            ..Self::auto()
+        }
+    }
+
+    /// The pre-fusion behaviour: one kernel op per gate, single-threaded.
+    /// This is the baseline the `fusion_vs_baseline` bench compares against.
+    pub fn baseline() -> Self {
+        Self {
+            threads: 1,
+            fusion: false,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    /// Replaces the thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the fusion pass.
+    #[must_use]
+    pub fn with_fusion(mut self, fusion: bool) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Replaces the parallelism threshold.
+    #[must_use]
+    pub fn with_parallel_threshold(mut self, parallel_threshold: usize) -> Self {
+        self.parallel_threshold = parallel_threshold;
+        self
+    }
+
+    /// The number of threads actually used for a slice of `len` amplitudes.
+    fn effective_threads(&self, len: usize) -> usize {
+        if self.threads <= 1 || len < self.parallel_threshold.max(2) {
+            1
+        } else {
+            self.threads.min(MAX_THREADS).min(len / 2)
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// One operation of a compiled [`FusedProgram`], the instruction set of the
+/// execution layer. Gates that act identically on the amplitude slice lower
+/// to the same op (e.g. Z, CZ and MCZ are all a [`FusedOp::Phase`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedOp {
+    /// An arbitrary 2×2 unitary on one qubit — a dense single-qubit gate or
+    /// the product of several merged ones.
+    Dense {
+        /// Target qubit.
+        qubit: usize,
+        /// The (possibly fused) 2×2 matrix.
+        matrix: [[Complex; 2]; 2],
+    },
+    /// Multiplies `phase` onto every amplitude whose index has all bits of
+    /// `mask` set — a diagonal gate or the product of several merged ones.
+    Phase {
+        /// Basis-state mask selecting the affected subspace.
+        mask: usize,
+        /// The accumulated phase factor.
+        phase: Complex,
+    },
+    /// Multiple-controlled X: swaps amplitudes across `target` where all
+    /// bits of `control_mask` are set.
+    Mcx {
+        /// Mask of control-qubit bits (empty mask = plain X).
+        control_mask: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Exchange of two qubits.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+}
+
+impl FusedOp {
+    /// Lowers one gate to its kernel operation.
+    pub fn from_gate(gate: &QuantumGate) -> Self {
+        match gate {
+            QuantumGate::Cx { control, target } => Self::Mcx {
+                control_mask: 1 << control,
+                target: *target,
+            },
+            QuantumGate::Ccx {
+                control_a,
+                control_b,
+                target,
+            } => Self::Mcx {
+                control_mask: (1 << control_a) | (1 << control_b),
+                target: *target,
+            },
+            QuantumGate::Mcx { controls, target } => Self::Mcx {
+                control_mask: controls.iter().map(|&q| 1usize << q).sum(),
+                target: *target,
+            },
+            QuantumGate::Cz { a, b } => Self::Phase {
+                mask: (1 << a) | (1 << b),
+                phase: Complex::real(-1.0),
+            },
+            QuantumGate::Mcz { qubits } => Self::Phase {
+                mask: qubits.iter().map(|&q| 1usize << q).sum(),
+                phase: Complex::real(-1.0),
+            },
+            QuantumGate::Swap { a, b } => Self::Swap { a: *a, b: *b },
+            single => {
+                let qubit = single.qubits()[0];
+                let matrix = single
+                    .single_qubit_matrix()
+                    .expect("all remaining gates are single-qubit");
+                if single.is_diagonal() {
+                    Self::Phase {
+                        mask: 1 << qubit,
+                        phase: matrix[1][1],
+                    }
+                } else {
+                    Self::Dense { qubit, matrix }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if this op commutes with a phase multiply on `mask`.
+    fn commutes_with_phase(&self, mask: usize) -> bool {
+        match self {
+            // Diagonal ops always commute with each other.
+            Self::Phase { .. } => true,
+            Self::Dense { qubit, .. } => mask & (1 << qubit) == 0,
+            // Controls are diagonal; only flipping the target can disturb
+            // membership in the mask subspace.
+            Self::Mcx { target, .. } => mask & (1 << target) == 0,
+            // A swap preserves membership iff both qubits enter the mask the
+            // same way.
+            Self::Swap { a, b } => (mask >> a) & 1 == (mask >> b) & 1,
+        }
+    }
+
+    /// Returns `true` if this op commutes with any dense gate on `qubit`.
+    fn commutes_with_dense(&self, qubit: usize) -> bool {
+        match self {
+            Self::Phase { mask, .. } => mask & (1 << qubit) == 0,
+            Self::Dense { qubit: other, .. } => *other != qubit,
+            Self::Mcx {
+                control_mask,
+                target,
+            } => *target != qubit && control_mask & (1 << qubit) == 0,
+            Self::Swap { a, b } => *a != qubit && *b != qubit,
+        }
+    }
+
+    /// Returns `true` if the two ops provably commute (conservative: `false`
+    /// may simply mean "unknown").
+    fn commutes_with(&self, other: &Self) -> bool {
+        match other {
+            Self::Phase { mask, .. } => self.commutes_with_phase(*mask),
+            Self::Dense { qubit, .. } => self.commutes_with_dense(*qubit),
+            Self::Mcx {
+                control_mask,
+                target,
+            } => match self {
+                Self::Phase { .. } | Self::Dense { .. } => other.commutes_with(self),
+                // Two MCX commute when neither target enters the other's
+                // control set (shared controls and even shared targets are
+                // fine: X's on one qubit commute).
+                Self::Mcx {
+                    control_mask: own_controls,
+                    target: own_target,
+                } => {
+                    control_mask & (1 << own_target) == 0
+                        && own_controls & (1 << target) == 0
+                }
+                Self::Swap { a, b } => {
+                    let touched = control_mask | (1 << target);
+                    touched & ((1 << a) | (1 << b)) == 0
+                }
+            },
+            Self::Swap { a, b } => match self {
+                Self::Phase { .. } | Self::Dense { .. } | Self::Mcx { .. } => {
+                    other.commutes_with(self)
+                }
+                Self::Swap {
+                    a: own_a,
+                    b: own_b,
+                } => {
+                    let own = (1usize << own_a) | (1 << own_b);
+                    own & ((1 << a) | (1 << b)) == 0
+                }
+            },
+        }
+    }
+}
+
+/// A circuit compiled for the fused execution layer: an ordered list of
+/// [`FusedOp`]s equivalent (up to floating-point round-off in merged
+/// matrices) to the source gate sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedProgram {
+    num_qubits: usize,
+    ops: Vec<FusedOp>,
+}
+
+impl FusedProgram {
+    /// Lowers a circuit one gate per op, without any fusion. This reproduces
+    /// the per-gate kernel dispatch exactly.
+    pub fn lower(circuit: &QuantumCircuit) -> Self {
+        Self {
+            num_qubits: circuit.num_qubits(),
+            ops: circuit.iter().map(FusedOp::from_gate).collect(),
+        }
+    }
+
+    /// Compiles a circuit with the gate-fusion pass.
+    ///
+    /// The pass walks the gate list once, lowering each gate and then
+    /// scanning backwards over provably commuting ops for a merge partner:
+    /// diagonal gates on the same mask multiply their phases into one
+    /// [`FusedOp::Phase`], dense single-qubit gates on the same qubit
+    /// multiply into one [`FusedOp::Dense`] (absorbing single-qubit diagonal
+    /// neighbours), and self-inverse permutation ops cancel in adjacent
+    /// pairs. Merged ops that collapse to the identity are dropped.
+    pub fn fuse(circuit: &QuantumCircuit) -> Self {
+        let mut ops: Vec<FusedOp> = Vec::with_capacity(circuit.num_gates());
+        for gate in circuit {
+            push_fused(&mut ops, FusedOp::from_gate(gate));
+        }
+        Self {
+            num_qubits: circuit.num_qubits(),
+            ops,
+        }
+    }
+
+    /// Compiles a circuit according to `config.fusion`.
+    pub fn compile(circuit: &QuantumCircuit, config: &ExecConfig) -> Self {
+        if config.fusion {
+            Self::fuse(circuit)
+        } else {
+            Self::lower(circuit)
+        }
+    }
+
+    /// Number of qubits of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The compiled operations in execution order.
+    pub fn ops(&self) -> &[FusedOp] {
+        &self.ops
+    }
+
+    /// Number of compiled operations (≤ the source gate count).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Applies the program in place to a `2^n` amplitude slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is shorter than the program's register (ops may
+    /// run on a larger register, where the extra qubits are spectators).
+    pub fn apply(&self, amplitudes: &mut [Complex], config: &ExecConfig) {
+        assert!(
+            kernel::num_qubits_of(amplitudes) >= self.num_qubits,
+            "a {}-qubit program cannot run on {} amplitudes",
+            self.num_qubits,
+            amplitudes.len()
+        );
+        let threads = config.effective_threads(amplitudes.len());
+        for op in &self.ops {
+            apply_op_with_threads(amplitudes, op, threads);
+        }
+    }
+}
+
+/// Applies one kernel op in place, using the configured execution layer
+/// (threaded for large slices, optimized sequential loops otherwise).
+///
+/// # Panics
+///
+/// Panics if the op references a qubit outside the register.
+pub fn apply_op(amplitudes: &mut [Complex], op: &FusedOp, config: &ExecConfig) {
+    apply_op_with_threads(amplitudes, op, config.effective_threads(amplitudes.len()));
+}
+
+fn apply_op_with_threads(amplitudes: &mut [Complex], op: &FusedOp, threads: usize) {
+    let num_qubits = kernel::num_qubits_of(amplitudes);
+    let in_range = |qubit: usize| {
+        assert!(
+            qubit < num_qubits,
+            "qubit {qubit} out of range for a {num_qubits}-qubit register"
+        );
+    };
+    match op {
+        FusedOp::Dense { qubit, matrix } => {
+            in_range(*qubit);
+            if threads > 1 {
+                dense_parallel(amplitudes, *qubit, matrix, threads);
+            } else {
+                dense_sequential(amplitudes, *qubit, matrix);
+            }
+        }
+        FusedOp::Phase { mask, phase } => {
+            assert!(
+                *mask < amplitudes.len() || *mask == 0,
+                "mask {mask:#x} out of range for a {num_qubits}-qubit register"
+            );
+            if threads > 1 {
+                phase_parallel(amplitudes, *mask, *phase, threads);
+            } else {
+                phase_sequential(amplitudes, *mask, *phase);
+            }
+        }
+        // Permutation ops move data instead of computing; they stay
+        // sequential (the half-space swap loop is already memory-bound).
+        FusedOp::Mcx {
+            control_mask,
+            target,
+        } => {
+            in_range(*target);
+            assert!(
+                *control_mask < amplitudes.len(),
+                "controls {control_mask:#x} out of range for a {num_qubits}-qubit register"
+            );
+            kernel::mcx_masked(amplitudes, *control_mask, 1 << target);
+        }
+        FusedOp::Swap { a, b } => {
+            in_range(*a);
+            in_range(*b);
+            kernel::swap_masked(amplitudes, 1 << a, 1 << b);
+        }
+    }
+}
+
+/// Places `op` into the program: scans backwards over provably commuting
+/// ops for a merge partner, merges (recursively, so chains like H·S·H
+/// collapse to one op) or inserts at the scan frontier.
+///
+/// Moving `op` back past ops it commutes with is semantics-preserving, and a
+/// merged op acts on exactly the qubits of its two constituents, so the
+/// merge result is re-placed from the partner's position with the same
+/// invariant.
+fn push_fused(ops: &mut Vec<FusedOp>, op: FusedOp) {
+    let at = ops.len();
+    push_fused_at(ops, op, at);
+}
+
+/// Like [`push_fused`], but `op` executes logically before `ops[at..]`.
+/// Merging only ever moves the result to an index `<= at`, past ops checked
+/// to commute with it, so ops that logically follow stay behind it.
+fn push_fused_at(ops: &mut Vec<FusedOp>, op: FusedOp, at: usize) {
+    let mut i = at;
+    while i > 0 {
+        if let Some(merged) = merge(&ops[i - 1], &op) {
+            ops.remove(i - 1);
+            if let Some(merged) = merged {
+                push_fused_at(ops, merged, i - 1);
+            }
+            return;
+        }
+        if ops[i - 1].commutes_with(&op) {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    ops.insert(i, op);
+}
+
+/// Attempts to merge `later` (applied second) into `earlier` (applied
+/// first). Returns `None` when the pair does not merge, `Some(None)` when it
+/// cancels to the identity, and `Some(Some(op))` for a fused op.
+fn merge(earlier: &FusedOp, later: &FusedOp) -> Option<Option<FusedOp>> {
+    match (earlier, later) {
+        (
+            FusedOp::Phase { mask: a, phase: p },
+            FusedOp::Phase { mask: b, phase: q },
+        ) if a == b => {
+            let phase = *p * *q;
+            Some((!phase.approx_eq(Complex::ONE, IDENTITY_EPS)).then_some(FusedOp::Phase {
+                mask: *a,
+                phase,
+            }))
+        }
+        (
+            FusedOp::Dense { qubit: a, matrix: m },
+            FusedOp::Dense { qubit: b, matrix: n },
+        ) if a == b => Some(dense_unless_identity(*a, matmul(n, m))),
+        // A dense gate followed by a single-qubit diagonal on the same
+        // qubit: diag(1, p) · M scales the bottom row.
+        (
+            FusedOp::Dense { qubit, matrix },
+            FusedOp::Phase { mask, phase },
+        ) if *mask == 1usize << qubit => {
+            let mut merged = *matrix;
+            merged[1][0] *= *phase;
+            merged[1][1] *= *phase;
+            Some(dense_unless_identity(*qubit, merged))
+        }
+        // A single-qubit diagonal followed by a dense gate on the same
+        // qubit: M · diag(1, p) scales the right column.
+        (
+            FusedOp::Phase { mask, phase },
+            FusedOp::Dense { qubit, matrix },
+        ) if *mask == 1usize << qubit => {
+            let mut merged = *matrix;
+            merged[0][1] *= *phase;
+            merged[1][1] *= *phase;
+            Some(dense_unless_identity(*qubit, merged))
+        }
+        // MCX and SWAP are self-inverse: equal pairs annihilate.
+        (FusedOp::Mcx { .. }, FusedOp::Mcx { .. }) if earlier == later => Some(None),
+        (FusedOp::Swap { a, b }, FusedOp::Swap { a: c, b: d })
+            if (a, b) == (c, d) || (a, b) == (d, c) =>
+        {
+            Some(None)
+        }
+        _ => None,
+    }
+}
+
+/// Wraps a merged 2×2 matrix as a dense op, or signals annihilation when it
+/// has collapsed to the identity.
+fn dense_unless_identity(qubit: usize, matrix: [[Complex; 2]; 2]) -> Option<FusedOp> {
+    let identity = matrix[0][0].approx_eq(Complex::ONE, IDENTITY_EPS)
+        && matrix[1][1].approx_eq(Complex::ONE, IDENTITY_EPS)
+        && matrix[0][1].approx_eq(Complex::ZERO, IDENTITY_EPS)
+        && matrix[1][0].approx_eq(Complex::ZERO, IDENTITY_EPS);
+    (!identity).then_some(FusedOp::Dense { qubit, matrix })
+}
+
+/// 2×2 matrix product `left · right` (i.e. `right` is applied first).
+fn matmul(left: &[[Complex; 2]; 2], right: &[[Complex; 2]; 2]) -> [[Complex; 2]; 2] {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for (row, out_row) in out.iter_mut().enumerate() {
+        for (col, entry) in out_row.iter_mut().enumerate() {
+            *entry = left[row][0] * right[0][col] + left[row][1] * right[1][col];
+        }
+    }
+    out
+}
+
+/// Applies a 2×2 matrix to paired low/high amplitude slices of equal length.
+fn dense_on_pairs(low: &mut [Complex], high: &mut [Complex], matrix: &[[Complex; 2]; 2]) {
+    for (l, h) in low.iter_mut().zip(high.iter_mut()) {
+        let a = *l;
+        let b = *h;
+        *l = matrix[0][0] * a + matrix[0][1] * b;
+        *h = matrix[1][0] * a + matrix[1][1] * b;
+    }
+}
+
+fn dense_sequential(amplitudes: &mut [Complex], qubit: usize, matrix: &[[Complex; 2]; 2]) {
+    let bit = 1usize << qubit;
+    for block in amplitudes.chunks_mut(bit << 1) {
+        let (low, high) = block.split_at_mut(bit);
+        dense_on_pairs(low, high, matrix);
+    }
+}
+
+/// Dense single-qubit apply over scoped threads. The amplitude slice is cut
+/// into cache-sized sub-chunks of paired low/high halves — disjoint `&mut`
+/// slices, so the distribution over threads needs no synchronization.
+fn dense_parallel(
+    amplitudes: &mut [Complex],
+    qubit: usize,
+    matrix: &[[Complex; 2]; 2],
+    threads: usize,
+) {
+    let bit = 1usize << qubit;
+    let pairs = amplitudes.len() / 2;
+    // Aim for a few work items per thread so ragged tails even out, but never
+    // split below one pair or above a half-block.
+    let sub = (pairs / (threads * 4)).clamp(1, bit);
+    let mut buckets: Vec<Vec<(&mut [Complex], &mut [Complex])>> =
+        (0..threads).map(|_| Vec::new()).collect();
+    let mut next = 0usize;
+    for block in amplitudes.chunks_mut(bit << 1) {
+        let (low, high) = block.split_at_mut(bit);
+        for item in low.chunks_mut(sub).zip(high.chunks_mut(sub)) {
+            buckets[next].push(item);
+            next = (next + 1) % threads;
+        }
+    }
+    let matrix = *matrix;
+    thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                for (low, high) in bucket {
+                    dense_on_pairs(low, high, &matrix);
+                }
+            });
+        }
+    });
+}
+
+fn phase_sequential(amplitudes: &mut [Complex], mask: usize, phase: Complex) {
+    if mask == 0 {
+        // A global phase (e.g. an MCZ over zero qubits).
+        for amplitude in amplitudes.iter_mut() {
+            *amplitude = phase * *amplitude;
+        }
+        return;
+    }
+    // Enumerate only the masked subspace: 2^{n-k} indices instead of a full
+    // scan with a per-index test.
+    let positions = kernel::mask_bit_values(mask);
+    let count = amplitudes.len() >> positions.len();
+    for compact in 0..count {
+        let mut index = compact;
+        for &bit in &positions {
+            index = kernel::insert_bit(index, bit, true);
+        }
+        amplitudes[index] = phase * amplitudes[index];
+    }
+}
+
+/// Phase multiply over scoped threads. Chunks are aligned to a multiple of
+/// twice the mask's highest bit, so every chunk contains whole periods of
+/// the mask pattern and each thread enumerates only its own share of the
+/// masked subspace (never a full scan), exactly like [`phase_sequential`].
+fn phase_parallel(amplitudes: &mut [Complex], mask: usize, phase: Complex, threads: usize) {
+    if mask == 0 {
+        // Global phase: plain even split.
+        let chunk = amplitudes.len().div_ceil(threads);
+        thread::scope(|scope| {
+            for piece in amplitudes.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for amplitude in piece.iter_mut() {
+                        *amplitude = phase * *amplitude;
+                    }
+                });
+            }
+        });
+        return;
+    }
+    let positions = kernel::mask_bit_values(mask);
+    let alignment = positions.last().copied().unwrap_or(1) << 1;
+    let blocks = amplitudes.len() / alignment;
+    if blocks < 2 {
+        // The mask involves the top qubit: too coarse to split.
+        phase_sequential(amplitudes, mask, phase);
+        return;
+    }
+    // Hand each thread a run of whole alignment blocks; inside a chunk the
+    // offset is a multiple of every mask bit, so local enumeration works.
+    let chunk = blocks.div_ceil(threads) * alignment;
+    thread::scope(|scope| {
+        for piece in amplitudes.chunks_mut(chunk) {
+            let positions = &positions;
+            scope.spawn(move || {
+                let count = piece.len() >> positions.len();
+                for compact in 0..count {
+                    let mut index = compact;
+                    for &bit in positions {
+                        index = kernel::insert_bit(index, bit, true);
+                    }
+                    piece[index] = phase * piece[index];
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::apply_gate;
+
+    fn uniform_state(num_qubits: usize) -> Vec<Complex> {
+        let mut amplitudes = vec![Complex::ZERO; 1 << num_qubits];
+        amplitudes[0] = Complex::ONE;
+        for qubit in 0..num_qubits {
+            apply_gate(&mut amplitudes, &QuantumGate::H(qubit));
+        }
+        amplitudes
+    }
+
+    fn sample_circuit() -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(4);
+        for gate in [
+            QuantumGate::H(0),
+            QuantumGate::T(1),
+            QuantumGate::T(1),
+            QuantumGate::X(2),
+            QuantumGate::Cz { a: 0, b: 3 },
+            QuantumGate::H(0),
+            QuantumGate::H(0),
+            QuantumGate::Cx {
+                control: 1,
+                target: 2,
+            },
+            QuantumGate::S(3),
+            QuantumGate::Sdg(3),
+        ] {
+            circuit.push(gate).unwrap();
+        }
+        circuit
+    }
+
+    fn assert_matches_kernel(circuit: &QuantumCircuit, config: &ExecConfig) {
+        let mut expected = vec![Complex::ZERO; 1 << circuit.num_qubits()];
+        expected[0] = Complex::ONE;
+        kernel::apply_circuit(&mut expected, circuit);
+        let mut fused = vec![Complex::ZERO; 1 << circuit.num_qubits()];
+        fused[0] = Complex::ONE;
+        FusedProgram::compile(circuit, config).apply(&mut fused, config);
+        for (index, (a, b)) in fused.iter().zip(&expected).enumerate() {
+            assert!(
+                a.approx_eq(*b, 1e-12),
+                "amplitude {index}: fused {a:?} vs kernel {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_diagonal_gates_coalesce() {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::T(0)).unwrap();
+        circuit.push(QuantumGate::T(0)).unwrap();
+        circuit.push(QuantumGate::Z(1)).unwrap();
+        circuit.push(QuantumGate::S(1)).unwrap();
+        let program = FusedProgram::fuse(&circuit);
+        assert_eq!(program.num_ops(), 2);
+    }
+
+    #[test]
+    fn commuting_diagonals_merge_across_each_other() {
+        // T(0) · CZ(0,1) · T(0): the two T gates merge across the CZ.
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::T(0)).unwrap();
+        circuit.push(QuantumGate::Cz { a: 0, b: 1 }).unwrap();
+        circuit.push(QuantumGate::T(0)).unwrap();
+        let program = FusedProgram::fuse(&circuit);
+        assert_eq!(program.num_ops(), 2);
+        assert_matches_kernel(&circuit, &ExecConfig::sequential());
+    }
+
+    #[test]
+    fn inverse_pairs_cancel_entirely() {
+        let mut circuit = QuantumCircuit::new(3);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit.push(QuantumGate::S(1)).unwrap();
+        circuit.push(QuantumGate::Sdg(1)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 2,
+            })
+            .unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 2,
+            })
+            .unwrap();
+        let program = FusedProgram::fuse(&circuit);
+        assert_eq!(program.num_ops(), 0);
+    }
+
+    #[test]
+    fn dense_merges_absorb_single_qubit_diagonals() {
+        // H · S · H on one qubit fuses to a single dense op.
+        let mut circuit = QuantumCircuit::new(1);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit.push(QuantumGate::S(0)).unwrap();
+        circuit.push(QuantumGate::H(0)).unwrap();
+        let program = FusedProgram::fuse(&circuit);
+        assert_eq!(program.num_ops(), 1);
+        assert_matches_kernel(&circuit, &ExecConfig::sequential());
+    }
+
+    #[test]
+    fn fused_execution_matches_the_kernel() {
+        assert_matches_kernel(&sample_circuit(), &ExecConfig::sequential());
+    }
+
+    #[test]
+    fn lowered_execution_matches_the_kernel() {
+        assert_matches_kernel(&sample_circuit(), &ExecConfig::baseline());
+    }
+
+    #[test]
+    fn threaded_execution_matches_the_kernel() {
+        // Force threading even for the tiny test register.
+        let config = ExecConfig::auto()
+            .with_threads(3)
+            .with_parallel_threshold(2);
+        assert_matches_kernel(&sample_circuit(), &config);
+    }
+
+    #[test]
+    fn threaded_ops_match_sequential_ops() {
+        for op in [
+            FusedOp::Dense {
+                qubit: 0,
+                matrix: QuantumGate::H(0).single_qubit_matrix().unwrap(),
+            },
+            FusedOp::Dense {
+                qubit: 4,
+                matrix: QuantumGate::Y(4).single_qubit_matrix().unwrap(),
+            },
+            FusedOp::Phase {
+                mask: 0b10010,
+                phase: Complex::I,
+            },
+            FusedOp::Phase {
+                mask: 0,
+                phase: Complex::from_angle(0.4),
+            },
+        ] {
+            let mut sequential = uniform_state(5);
+            let mut threaded = sequential.clone();
+            apply_op_with_threads(&mut sequential, &op, 1);
+            apply_op_with_threads(&mut threaded, &op, 4);
+            for (a, b) in threaded.iter().zip(&sequential) {
+                assert!(a.approx_eq(*b, 1e-12), "{op:?}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_phase_op_touches_every_amplitude() {
+        let mut amplitudes = uniform_state(2);
+        apply_op(
+            &mut amplitudes,
+            &FusedOp::Phase {
+                mask: 0,
+                phase: Complex::real(-1.0),
+            },
+            &ExecConfig::sequential(),
+        );
+        for amplitude in &amplitudes {
+            assert!(amplitude.re < 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_op_panics() {
+        let mut amplitudes = uniform_state(2);
+        apply_op(
+            &mut amplitudes,
+            &FusedOp::Dense {
+                qubit: 5,
+                matrix: QuantumGate::H(5).single_qubit_matrix().unwrap(),
+            },
+            &ExecConfig::sequential(),
+        );
+    }
+
+    #[test]
+    fn config_constructors() {
+        assert!(ExecConfig::default().fusion);
+        assert_eq!(ExecConfig::sequential().threads, 1);
+        assert!(!ExecConfig::baseline().fusion);
+        let custom = ExecConfig::auto()
+            .with_threads(2)
+            .with_fusion(false)
+            .with_parallel_threshold(64);
+        assert_eq!(custom.threads, 2);
+        assert!(!custom.fusion);
+        assert_eq!(custom.parallel_threshold, 64);
+        // Tiny registers never spawn threads under the auto threshold.
+        assert_eq!(ExecConfig::auto().with_threads(8).effective_threads(16), 1);
+    }
+}

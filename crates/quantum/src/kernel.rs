@@ -131,10 +131,34 @@ pub fn apply_phase(amplitudes: &mut [Complex], qubit: usize, phase: Complex) {
 pub fn apply_mcx(amplitudes: &mut [Complex], controls: &[usize], target: usize) {
     let target_bit = checked_bit(amplitudes, target);
     let control_mask = checked_mask(amplitudes, controls);
-    for index in 0..amplitudes.len() {
-        if index & control_mask == control_mask && index & target_bit == 0 {
-            amplitudes.swap(index, index | target_bit);
+    mcx_masked(amplitudes, control_mask, target_bit);
+}
+
+/// Mask-based MCX core: swaps each amplitude pair selected by `control_mask`
+/// across `target_bit`.
+///
+/// Instead of scanning all `2^n` indices and re-testing the control and
+/// target bits, this enumerates exactly the `2^{n-k-1}` swap sources — the
+/// indices with every control bit set and the target bit clear — by expanding
+/// a compact counter through the fixed bit positions.
+pub(crate) fn mcx_masked(amplitudes: &mut [Complex], control_mask: usize, target_bit: usize) {
+    if control_mask & target_bit != 0 {
+        // A control on the target qubit can never be satisfied alongside a
+        // cleared target bit: the gate is a no-op (matching the historical
+        // full-scan behaviour for such degenerate inputs).
+        return;
+    }
+    let fixed = control_mask | target_bit;
+    let free_bits = num_qubits_of(amplitudes) - fixed.count_ones() as usize;
+    let positions = mask_bit_values(fixed);
+    for compact in 0..1usize << free_bits {
+        // Expand `compact` over the free positions, setting the control bits
+        // and leaving the target bit clear.
+        let mut index = compact;
+        for &bit in &positions {
+            index = insert_bit(index, bit, bit != target_bit);
         }
+        amplitudes.swap(index, index | target_bit);
     }
 }
 
@@ -161,12 +185,48 @@ pub fn apply_mcz(amplitudes: &mut [Complex], qubits: &[usize]) {
 pub fn apply_swap(amplitudes: &mut [Complex], a: usize, b: usize) {
     let bit_a = checked_bit(amplitudes, a);
     let bit_b = checked_bit(amplitudes, b);
-    for index in 0..amplitudes.len() {
-        // Swap amplitudes of ...a=1,b=0... and ...a=0,b=1... once.
-        if index & bit_a != 0 && index & bit_b == 0 {
-            amplitudes.swap(index, (index & !bit_a) | bit_b);
-        }
+    swap_masked(amplitudes, bit_a, bit_b);
+}
+
+/// Bit-value-based SWAP core: exchanges the `a=1,b=0` and `a=0,b=1`
+/// amplitudes by enumerating only the `2^{n-2}` affected pairs (indices with
+/// `bit_a` set and `bit_b` clear) instead of scanning and re-testing all
+/// `2^n` indices.
+pub(crate) fn swap_masked(amplitudes: &mut [Complex], bit_a: usize, bit_b: usize) {
+    if bit_a == bit_b {
+        return;
     }
+    let low = bit_a.min(bit_b);
+    let high = bit_a.max(bit_b);
+    for compact in 0..amplitudes.len() / 4 {
+        let index = insert_bit(insert_bit(compact, low, false), high, false) | bit_a;
+        amplitudes.swap(index, index ^ (bit_a | bit_b));
+    }
+}
+
+/// Widens `index` by one bit at position `bit` (a power of two): every bit at
+/// or above the position shifts up, and the freed position is set to `value`.
+///
+/// Iterating a compact counter through `insert_bit` enumerates exactly the
+/// subspace of basis states with a fixed value at `bit`, which is how the
+/// kernel and the fused executor skip the half (or smaller) of the index
+/// space a gate never touches.
+pub(crate) fn insert_bit(index: usize, bit: usize, value: bool) -> usize {
+    let below = bit - 1;
+    ((index & !below) << 1) | (index & below) | if value { bit } else { 0 }
+}
+
+/// The bit values (powers of two) present in `mask`, in ascending order —
+/// the order in which [`insert_bit`] expansions must be applied.
+pub(crate) fn mask_bit_values(mask: usize) -> Vec<usize> {
+    let mut positions = Vec::with_capacity(mask.count_ones() as usize);
+    let mut rest = mask;
+    while rest != 0 {
+        let bit = rest & rest.wrapping_neg();
+        positions.push(bit);
+        rest ^= bit;
+    }
+    positions
 }
 
 fn checked_bit(amplitudes: &[Complex], qubit: usize) -> usize {
@@ -239,6 +299,70 @@ mod tests {
         apply_circuit(&mut amplitudes, &circuit);
         assert!((amplitudes[0b00].norm_sqr() - 0.5).abs() < 1e-12);
         assert!((amplitudes[0b11].norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_space_mcx_matches_full_scan() {
+        // Prepare a distinguishable state: amplitude k encodes its index.
+        let make_state = |n: usize| -> Vec<Complex> {
+            (0..1usize << n)
+                .map(|k| Complex::new(k as f64 + 1.0, -(k as f64)))
+                .collect()
+        };
+        for (controls, target) in [
+            (vec![], 0usize),
+            (vec![2], 0),
+            (vec![0, 3], 2),
+            (vec![0, 1, 3], 4),
+        ] {
+            let mut fast = make_state(5);
+            let mut slow = fast.clone();
+            apply_mcx(&mut fast, &controls, target);
+            // Reference: the pre-fix full scan with per-index re-testing.
+            let target_bit = 1usize << target;
+            let control_mask: usize = controls.iter().map(|&q| 1usize << q).sum();
+            for index in 0..slow.len() {
+                if index & control_mask == control_mask && index & target_bit == 0 {
+                    slow.swap(index, index | target_bit);
+                }
+            }
+            assert_eq!(fast, slow, "controls {controls:?} target {target}");
+        }
+    }
+
+    #[test]
+    fn control_overlapping_target_is_a_no_op() {
+        // The historical full scan could never satisfy "control set, target
+        // clear" on the same qubit; the subspace enumeration must agree.
+        let mut amplitudes: Vec<Complex> =
+            (0..8).map(|k| Complex::new(k as f64, 0.0)).collect();
+        let before = amplitudes.clone();
+        mcx_masked(&mut amplitudes, 0b001, 0b001);
+        assert_eq!(amplitudes, before);
+    }
+
+    #[test]
+    fn half_space_swap_matches_full_scan() {
+        let mut fast: Vec<Complex> = (0..32)
+            .map(|k| Complex::new(k as f64, 2.0 * k as f64))
+            .collect();
+        let mut slow = fast.clone();
+        apply_swap(&mut fast, 1, 4);
+        let (bit_a, bit_b) = (1usize << 1, 1usize << 4);
+        for index in 0..slow.len() {
+            if index & bit_a != 0 && index & bit_b == 0 {
+                slow.swap(index, (index & !bit_a) | bit_b);
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn insert_bit_enumerates_fixed_subspaces() {
+        // Expanding 0..4 over bit 1 (set) lists indices with bit 1 set.
+        let expanded: Vec<usize> = (0..4).map(|k| insert_bit(k, 0b10, true)).collect();
+        assert_eq!(expanded, vec![0b010, 0b011, 0b110, 0b111]);
+        assert_eq!(mask_bit_values(0b10110), vec![0b10, 0b100, 0b10000]);
     }
 
     #[test]

@@ -33,10 +33,12 @@ pub mod circuit;
 pub mod complex;
 pub mod drawer;
 pub mod error;
+pub mod fusion;
 pub mod gate;
 pub mod kernel;
 pub mod noise;
 pub mod qasm;
+pub mod reference;
 pub mod resource;
 pub mod statevector;
 
@@ -44,7 +46,9 @@ pub use backend::{Backend, ExecutionResult};
 pub use circuit::QuantumCircuit;
 pub use complex::Complex;
 pub use error::QuantumError;
+pub use fusion::{ExecConfig, FusedOp, FusedProgram};
 pub use gate::QuantumGate;
+pub use reference::{DenseReference, DenseReferenceBackend};
 pub use statevector::Statevector;
 
 /// Maximum number of qubits supported by the statevector simulator.

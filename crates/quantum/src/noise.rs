@@ -17,6 +17,7 @@
 //! hidden shift benchmark in the same success-probability regime as the
 //! paper's histogram.
 
+use crate::fusion::{self, ExecConfig, FusedOp};
 use crate::statevector::Statevector;
 use crate::{QuantumCircuit, QuantumError, QuantumGate};
 use rand::Rng;
@@ -96,20 +97,38 @@ impl Default for NoiseModel {
 /// Monte-Carlo noisy simulator: each shot runs the circuit on the
 /// statevector simulator with randomly inserted Pauli errors, then samples a
 /// measurement and applies readout errors.
+///
+/// Gate application goes through the fused execution layer: the circuit is
+/// lowered once per [`NoisySimulator::run`] into kernel ops (one per gate,
+/// since the stochastic noise channel between gates forbids cross-gate
+/// fusion) and every shot replays the lowered program with the configured
+/// threading.
 #[derive(Debug, Clone)]
 pub struct NoisySimulator {
     model: NoiseModel,
+    config: ExecConfig,
 }
 
 impl NoisySimulator {
-    /// Creates a simulator with the given noise model.
+    /// Creates a simulator with the given noise model and the default
+    /// execution configuration.
     pub fn new(model: NoiseModel) -> Self {
-        Self { model }
+        Self::with_config(model, ExecConfig::default())
+    }
+
+    /// Creates a simulator with an explicit execution configuration.
+    pub fn with_config(model: NoiseModel, config: ExecConfig) -> Self {
+        Self { model, config }
     }
 
     /// The noise model in use.
     pub fn model(&self) -> &NoiseModel {
         &self.model
+    }
+
+    /// Replaces the execution configuration.
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.config = config;
     }
 
     /// Runs `shots` noisy executions of `circuit` and returns a histogram of
@@ -128,11 +147,37 @@ impl NoisySimulator {
     ) -> Result<Vec<usize>, QuantumError> {
         let num_qubits = circuit.num_qubits();
         let mut histogram = vec![0usize; 1 << num_qubits];
+        // Lower once, replay per shot.
+        let lowered = Self::lower(circuit);
         for _ in 0..shots {
-            let outcome = self.run_single_shot(circuit, rng)?;
+            let outcome = self.run_lowered_shot(&lowered, num_qubits, rng)?;
             histogram[outcome] += 1;
         }
         Ok(histogram)
+    }
+
+    /// Lowers a circuit to kernel ops; each entry keeps the source gate's
+    /// qubits and arity class for the trailing depolarizing channel.
+    fn lower(circuit: &QuantumCircuit) -> Vec<(FusedOp, Vec<usize>, bool)> {
+        circuit
+            .iter()
+            .map(|gate| (FusedOp::from_gate(gate), gate.qubits(), gate.arity() == 1))
+            .collect()
+    }
+
+    /// Runs one shot of a pre-lowered program.
+    fn run_lowered_shot<R: Rng + ?Sized>(
+        &self,
+        lowered: &[(FusedOp, Vec<usize>, bool)],
+        num_qubits: usize,
+        rng: &mut R,
+    ) -> Result<usize, QuantumError> {
+        let mut state = Statevector::new(num_qubits)?;
+        for (op, qubits, is_single_qubit) in lowered {
+            fusion::apply_op(state.amplitudes_mut(), op, &self.config);
+            self.apply_depolarizing(&mut state, qubits, *is_single_qubit, rng);
+        }
+        Ok(self.measure_with_readout(&state, num_qubits, rng))
     }
 
     /// Runs one noisy shot and returns the measured basis state.
@@ -146,30 +191,17 @@ impl NoisySimulator {
         circuit: &QuantumCircuit,
         rng: &mut R,
     ) -> Result<usize, QuantumError> {
-        let mut state = Statevector::new(circuit.num_qubits())?;
-        for gate in circuit {
-            state.apply_gate(gate);
-            self.apply_gate_noise(&mut state, gate, rng);
-        }
-        let mut outcome = state.sample(rng);
-        // Readout errors: flip each measured bit independently.
-        if self.model.readout_error > 0.0 {
-            for qubit in 0..circuit.num_qubits() {
-                if rng.gen::<f64>() < self.model.readout_error {
-                    outcome ^= 1usize << qubit;
-                }
-            }
-        }
-        Ok(outcome)
+        self.run_lowered_shot(&Self::lower(circuit), circuit.num_qubits(), rng)
     }
 
-    fn apply_gate_noise<R: Rng + ?Sized>(
+    fn apply_depolarizing<R: Rng + ?Sized>(
         &self,
         state: &mut Statevector,
-        gate: &QuantumGate,
+        qubits: &[usize],
+        is_single_qubit: bool,
         rng: &mut R,
     ) {
-        let probability = if gate.arity() == 1 {
+        let probability = if is_single_qubit {
             self.model.single_qubit_depolarizing
         } else {
             self.model.two_qubit_depolarizing
@@ -177,7 +209,7 @@ impl NoisySimulator {
         if probability == 0.0 {
             return;
         }
-        for qubit in gate.qubits() {
+        for &qubit in qubits {
             if rng.gen::<f64>() < probability {
                 // Depolarizing channel: apply X, Y or Z with equal probability.
                 match rng.gen_range(0..3) {
@@ -187,6 +219,24 @@ impl NoisySimulator {
                 }
             }
         }
+    }
+
+    fn measure_with_readout<R: Rng + ?Sized>(
+        &self,
+        state: &Statevector,
+        num_qubits: usize,
+        rng: &mut R,
+    ) -> usize {
+        let mut outcome = state.sample(rng);
+        // Readout errors: flip each measured bit independently.
+        if self.model.readout_error > 0.0 {
+            for qubit in 0..num_qubits {
+                if rng.gen::<f64>() < self.model.readout_error {
+                    outcome ^= 1usize << qubit;
+                }
+            }
+        }
+        outcome
     }
 }
 

@@ -6,6 +6,7 @@
 //! and applies gates in place.
 
 use crate::complex::Complex;
+use crate::fusion::{ExecConfig, FusedProgram};
 use crate::kernel;
 use crate::{QuantumCircuit, QuantumError, QuantumGate, MAX_SIMULATOR_QUBITS};
 use rand::Rng;
@@ -59,14 +60,26 @@ impl Statevector {
     }
 
     /// Runs a full circuit on the all-zeros state and returns the resulting
-    /// state.
+    /// state, executing through the default fused execution layer.
     ///
     /// # Errors
     ///
     /// Returns [`QuantumError::TooManyQubits`] for oversized circuits.
     pub fn from_circuit(circuit: &QuantumCircuit) -> Result<Self, QuantumError> {
+        Self::run(circuit, &ExecConfig::default())
+    }
+
+    /// Runs a full circuit on the all-zeros state with an explicit execution
+    /// configuration: the circuit is compiled to a
+    /// [`FusedProgram`](crate::fusion::FusedProgram) and applied with the
+    /// configured fusion/threading settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] for oversized circuits.
+    pub fn run(circuit: &QuantumCircuit, config: &ExecConfig) -> Result<Self, QuantumError> {
         let mut state = Self::new(circuit.num_qubits())?;
-        state.apply_circuit(circuit);
+        state.apply_circuit_with(circuit, config);
         Ok(state)
     }
 
@@ -87,6 +100,13 @@ impl Statevector {
     /// All amplitudes in basis order.
     pub fn amplitudes(&self) -> &[Complex] {
         &self.amplitudes
+    }
+
+    /// Mutable access to the raw amplitudes, for callers that drive the
+    /// kernel or the fused execution layer directly (e.g. the noisy
+    /// simulator's per-shot loop). Callers must preserve normalization.
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex] {
+        &mut self.amplitudes
     }
 
     /// The probability of measuring each basis state.
@@ -145,19 +165,30 @@ impl Statevector {
         kernel::apply_gate(&mut self.amplitudes, gate);
     }
 
-    /// Applies every gate of a circuit in order.
+    /// Applies every gate of a circuit in order through the default fused
+    /// execution layer.
     ///
     /// # Panics
     ///
     /// Panics if the circuit has more qubits than the state.
     pub fn apply_circuit(&mut self, circuit: &QuantumCircuit) {
+        self.apply_circuit_with(circuit, &ExecConfig::default());
+    }
+
+    /// Applies every gate of a circuit with an explicit execution
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    pub fn apply_circuit_with(&mut self, circuit: &QuantumCircuit, config: &ExecConfig) {
         assert!(
             circuit.num_qubits() <= self.num_qubits,
             "circuit on {} qubits cannot run on a {}-qubit state",
             circuit.num_qubits(),
             self.num_qubits
         );
-        kernel::apply_circuit(&mut self.amplitudes, circuit);
+        FusedProgram::compile(circuit, config).apply(&mut self.amplitudes, config);
     }
 
     /// Samples a measurement of all qubits in the computational basis,

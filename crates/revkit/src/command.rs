@@ -14,12 +14,14 @@
 //! | `tpar`    | T-count optimization of the quantum circuit                    |
 //! | `ps`      | print statistics (`-c` selects the circuit stores)            |
 //! | `simulate`| check the quantum circuit against the reversible circuit       |
+//! | `exec`    | configure the execution layer (threads, gate fusion)           |
 //! | `qasm`    | print the quantum circuit as OpenQASM                          |
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 
 use crate::{RevkitError, Store};
 use qdaflow_boolfn::{hwb, Expr, Permutation};
 use qdaflow_mapping::{map, optimize};
+use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::{drawer, qasm, resource::ResourceCounts};
 use qdaflow_reversible::{
     optimize as revopt, synthesis, synthesis::EsopSynthesisOptions,
@@ -54,6 +56,7 @@ pub fn builtin_commands() -> Vec<Box<dyn Command>> {
         Box::new(Tpar),
         Box::new(Ps),
         Box::new(Simulate),
+        Box::new(Exec),
         Box::new(Qasm),
         Box::new(Draw),
     ]
@@ -412,7 +415,7 @@ impl Command for Simulate {
                 expected: "quantum circuit",
             })?
             .clone();
-        let matches = quantum_matches_reversible(&quantum, &reversible)?;
+        let matches = quantum_matches_reversible_with(&quantum, &reversible, &store.exec_config())?;
         store.log(format!(
             "[simulate] quantum circuit {} the reversible specification",
             if matches { "matches" } else { "DOES NOT match" }
@@ -423,22 +426,85 @@ impl Command for Simulate {
 
 /// Verifies (by exhaustive basis-state simulation) that `quantum` realizes the
 /// same permutation as `reversible` on the original lines, with ancillas
-/// returned to zero.
+/// returned to zero. Uses the default execution configuration.
 pub fn quantum_matches_reversible(
     quantum: &qdaflow_quantum::QuantumCircuit,
     reversible: &qdaflow_reversible::ReversibleCircuit,
 ) -> Result<bool, RevkitError> {
+    quantum_matches_reversible_with(quantum, reversible, &ExecConfig::default())
+}
+
+/// [`quantum_matches_reversible`] with an explicit execution configuration.
+/// The quantum circuit is compiled once to a fused program and replayed on
+/// every basis state.
+pub fn quantum_matches_reversible_with(
+    quantum: &qdaflow_quantum::QuantumCircuit,
+    reversible: &qdaflow_reversible::ReversibleCircuit,
+    config: &ExecConfig,
+) -> Result<bool, RevkitError> {
+    use qdaflow_quantum::fusion::FusedProgram;
     use qdaflow_quantum::statevector::Statevector;
+    let program = FusedProgram::compile(quantum, config);
     let lines = reversible.num_lines();
     for basis in 0..(1usize << lines) {
         let mut state = Statevector::basis_state(quantum.num_qubits(), basis)?;
-        state.apply_circuit(quantum);
+        program.apply(state.amplitudes_mut(), config);
         let expected = reversible.apply(basis);
         if state.probability_of(expected) < 1.0 - 1e-9 {
             return Ok(false);
         }
     }
     Ok(true)
+}
+
+/// `exec` — configure the execution layer used by simulating commands.
+pub struct Exec;
+
+impl Command for Exec {
+    fn name(&self) -> &'static str {
+        "exec"
+    }
+
+    fn description(&self) -> &'static str {
+        "configure circuit execution (--threads N | --fusion on|off | --threshold N); no arguments prints the current settings"
+    }
+
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let mut config = store.exec_config();
+        if let Some(threads) = find_flag_value(args, "--threads") {
+            let threads = parse_usize(self.name(), threads)?;
+            if threads == 0 {
+                return Err(RevkitError::InvalidArguments {
+                    command: self.name(),
+                    message: "--threads must be at least 1".to_owned(),
+                });
+            }
+            config = config.with_threads(threads);
+        }
+        if let Some(fusion) = find_flag_value(args, "--fusion") {
+            config = match fusion {
+                "on" => config.with_fusion(true),
+                "off" => config.with_fusion(false),
+                other => {
+                    return Err(RevkitError::InvalidArguments {
+                        command: self.name(),
+                        message: format!("expected '--fusion on' or '--fusion off', found '{other}'"),
+                    })
+                }
+            };
+        }
+        if let Some(threshold) = find_flag_value(args, "--threshold") {
+            config = config.with_parallel_threshold(parse_usize(self.name(), threshold)?);
+        }
+        store.set_exec_config(config);
+        store.log(format!(
+            "[exec] threads={} fusion={} parallel-threshold={}",
+            config.threads,
+            if config.fusion { "on" } else { "off" },
+            config.parallel_threshold
+        ));
+        Ok(())
+    }
 }
 
 /// `qasm` — print the quantum circuit as OpenQASM 2.0.

@@ -143,6 +143,30 @@ mod tests {
     }
 
     #[test]
+    fn exec_command_reconfigures_simulation() {
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script(
+                "exec --threads 2 --fusion off --threshold 4096\n\
+                 revgen --hwb 3; tbs; rptm; simulate",
+            )
+            .unwrap();
+        assert!(output
+            .iter()
+            .any(|l| l.contains("[exec] threads=2 fusion=off parallel-threshold=4096")));
+        assert!(output.iter().any(|l| l.contains("[simulate]") && l.contains("matches")));
+        let config = shell.store().exec_config();
+        assert_eq!(config.threads, 2);
+        assert!(!config.fusion);
+        // Invalid arguments are rejected.
+        assert!(shell.run_command("exec --threads 0").is_err());
+        assert!(shell.run_command("exec --fusion maybe").is_err());
+        // Without arguments the command just reports the current settings.
+        let report = shell.run_script("exec").unwrap();
+        assert!(report.iter().any(|l| l.contains("threads=2")));
+    }
+
+    #[test]
     fn unknown_commands_are_reported() {
         let mut shell = Shell::new();
         assert!(matches!(

@@ -7,6 +7,7 @@
 //! in the paper need.
 
 use qdaflow_boolfn::{Permutation, TruthTable};
+use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::QuantumCircuit;
 use qdaflow_reversible::ReversibleCircuit;
 
@@ -17,6 +18,7 @@ pub struct Store {
     function: Option<TruthTable>,
     reversible: Option<ReversibleCircuit>,
     quantum: Option<QuantumCircuit>,
+    exec_config: ExecConfig,
     log: Vec<String>,
 }
 
@@ -64,6 +66,16 @@ impl Store {
     /// Replaces the current quantum circuit.
     pub fn set_quantum(&mut self, circuit: QuantumCircuit) {
         self.quantum = Some(circuit);
+    }
+
+    /// The execution configuration used by simulating commands.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_config
+    }
+
+    /// Replaces the execution configuration (the `exec` command).
+    pub fn set_exec_config(&mut self, config: ExecConfig) {
+        self.exec_config = config;
     }
 
     /// Appends a line to the command log (what the shell prints).

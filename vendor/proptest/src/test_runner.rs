@@ -5,6 +5,12 @@ use rand::SeedableRng as _;
 
 /// Configuration of a [`proptest!`](crate::proptest) block, mirroring
 /// `proptest::test_runner::Config`.
+///
+/// Like upstream proptest, the `PROPTEST_CASES` environment variable scales
+/// the number of generated cases. In this shim it acts as a **floor** over
+/// both the default and explicit `with_cases` values, so a CI job can run
+/// every suite in the workspace at a higher case count without touching the
+/// per-suite configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProptestConfig {
     /// Number of generated cases per test.
@@ -12,18 +18,27 @@ pub struct ProptestConfig {
 }
 
 impl ProptestConfig {
-    /// Creates a configuration running `cases` generated inputs per test.
+    /// Creates a configuration running `cases` generated inputs per test
+    /// (or more, if `PROPTEST_CASES` demands it).
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: cases.max(env_case_floor().unwrap_or(0)),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     /// 64 cases — smaller than upstream's 256 to keep the offline CI loop
-    /// fast, while still exercising each property broadly.
+    /// fast, while still exercising each property broadly. `PROPTEST_CASES`
+    /// raises the count.
     fn default() -> Self {
-        Self { cases: 64 }
+        Self::with_cases(64)
     }
+}
+
+/// The `PROPTEST_CASES` environment override, if set and parseable.
+fn env_case_floor() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
 }
 
 /// Derives a deterministic RNG from a test name (FNV-1a over the name), so
@@ -35,4 +50,18 @@ pub fn rng_for_test(name: &str) -> TestRng {
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
     TestRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_case_counts_are_honored() {
+        // Without PROPTEST_CASES in the environment the explicit value wins;
+        // with it, the env value is only ever a floor.
+        let config = ProptestConfig::with_cases(97);
+        assert!(config.cases >= 97);
+        assert!(ProptestConfig::default().cases >= 64);
+    }
 }
