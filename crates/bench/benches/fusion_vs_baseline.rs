@@ -44,7 +44,9 @@ fn bench_fusion_vs_baseline(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("fusion_vs_baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
 
     // PR-1 behaviour: per-gate kernel dispatch, no fusion, no threading.
     group.bench_function("baseline_sequential_kernel", |b| {

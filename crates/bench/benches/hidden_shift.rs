@@ -14,7 +14,9 @@ fn instance(n_half: usize, shift: usize) -> HiddenShiftInstance {
 
 fn bench_hidden_shift(c: &mut Criterion) {
     let mut group = c.benchmark_group("hidden_shift_compile");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n_half in [2usize, 3] {
         let inst = instance(n_half, 3);
         group.bench_with_input(
@@ -38,7 +40,9 @@ fn bench_hidden_shift(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("hidden_shift_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n_half in [2usize, 3] {
         let inst = instance(n_half, 3);
         let circuit = inst.build_circuit(OracleStyle::TruthTable).unwrap();
@@ -51,7 +55,9 @@ fn bench_hidden_shift(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("hidden_shift_classical_baseline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n_half in [2usize, 3, 4] {
         let inst = instance(n_half, 3);
         let f = inst.function().clone();

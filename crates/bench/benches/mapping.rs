@@ -9,12 +9,18 @@ use std::time::Duration;
 
 fn bench_mapping(c: &mut Criterion) {
     let mut group = c.benchmark_group("clifford_t_mapping");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 6, 8] {
         let reversible = synthesis::transformation_based(&hwb_permutation(n)).unwrap();
-        group.bench_with_input(BenchmarkId::new("rptm_hwb", n), &reversible, |b, circuit| {
-            b.iter(|| map::to_clifford_t(circuit, &map::MappingOptions::default()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rptm_hwb", n),
+            &reversible,
+            |b, circuit| {
+                b.iter(|| map::to_clifford_t(circuit, &map::MappingOptions::default()).unwrap())
+            },
+        );
         let mapped = map::to_clifford_t(&reversible, &map::MappingOptions::default()).unwrap();
         group.bench_with_input(BenchmarkId::new("tpar_hwb", n), &mapped, |b, circuit| {
             b.iter(|| optimize::optimize_clifford_t(circuit))

@@ -1,0 +1,43 @@
+//! Criterion benchmark of the pass-manager overhead: the canned
+//! `flow::compile_permutation` wrapper against an explicitly built (and a
+//! freshly parsed) pipeline running the same passes. The pass-manager
+//! bookkeeping (dispatch, per-pass metrics, artifact snapshots) must be
+//! negligible next to the synthesis/mapping work itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdaflow::flow;
+use qdaflow::prelude::*;
+use qdaflow::reversible::synthesis::SynthesisMethod;
+use std::time::Duration;
+
+fn bench_pipeline_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for n in [4usize, 5, 6] {
+        let pi = qdaflow::boolfn::hwb::hwb_permutation(n);
+
+        group.bench_with_input(BenchmarkId::new("canned_flow_wrapper", n), &pi, |b, pi| {
+            b.iter(|| flow::compile_permutation(pi, SynthesisMethod::TransformationBased).unwrap())
+        });
+
+        let pipeline = flow::equation5_pipeline(SynthesisMethod::TransformationBased);
+        group.bench_with_input(BenchmarkId::new("prebuilt_pipeline", n), &pi, |b, pi| {
+            b.iter(|| pipeline.run(pi.clone().into()).unwrap())
+        });
+
+        group.bench_with_input(BenchmarkId::new("parse_and_run", n), &pi, |b, pi| {
+            b.iter(|| {
+                Pipeline::parse("revgen; tbs; revsimp; rptm; tpar; ps")
+                    .unwrap()
+                    .run(pi.clone().into())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overhead);
+criterion_main!(benches);

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("revkit_pipeline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [4usize, 5, 6] {
         let script = format!("revgen --hwb {n}; tbs; revsimp; rptm; tpar; ps -c");
         group.bench_with_input(BenchmarkId::new("eq5_hwb", n), &script, |b, script| {

@@ -25,17 +25,23 @@ fn ghz(num_qubits: usize) -> QuantumCircuit {
 
 fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("statevector");
-    group.sample_size(15).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 8, 12, 16] {
         let circuit = ghz(n);
-        group.bench_with_input(BenchmarkId::new("ghz_plus_layer", n), &circuit, |b, circ| {
-            b.iter(|| Statevector::from_circuit(circ).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ghz_plus_layer", n),
+            &circuit,
+            |b, circ| b.iter(|| Statevector::from_circuit(circ).unwrap()),
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("noisy_shots");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let circuit = ghz(4);
     let simulator = NoisySimulator::new(NoiseModel::ibm_qx_2017());
     for shots in [64usize, 256] {

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("reversible_synthesis");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 6, 8] {
         let hwb = hwb_permutation(n);
         group.bench_with_input(BenchmarkId::new("tbs_hwb", n), &hwb, |b, p| {
@@ -25,9 +27,12 @@ fn bench_synthesis(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("esop_synthesis");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [4usize, 6, 8] {
-        let function = TruthTable::from_fn(n, |x| (x.wrapping_mul(2654435761) >> 3) % 7 < 3).unwrap();
+        let function =
+            TruthTable::from_fn(n, |x| (x.wrapping_mul(2654435761) >> 3) % 7 < 3).unwrap();
         group.bench_with_input(BenchmarkId::new("esopbs", n), &function, |b, f| {
             b.iter(|| synthesis::esop_based_single(f, Default::default()).unwrap())
         });

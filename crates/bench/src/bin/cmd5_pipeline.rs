@@ -1,6 +1,8 @@
 //! Experiment E4 (equation (5) of the paper): the RevKit command pipeline
 //! `revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c` and its printed
-//! statistics.
+//! statistics — run once through the shell and once through the typed
+//! pass-manager pipeline, which additionally reports per-pass timings and
+//! gate/T-counts.
 
 use qdaflow::prelude::*;
 
@@ -21,5 +23,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for line in shell.run_script(script)? {
         println!("{line}");
     }
+
+    // The same flow as a first-class pipeline object: per-pass wall-clock
+    // timings and gate/T-count metrics from the PipelineReport.
+    let script = "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps";
+    println!("\n=== the same flow as a typed pipeline (per-pass metrics) ===");
+    println!("Pipeline::parse(\"{script}\")");
+    let report = Pipeline::parse(script)?.run_generated()?;
+    println!("\npass            stage                 gates      T-count    time");
+    for record in &report.passes {
+        let (gates, t_count) = match (&record.reversible_gates, &record.resources) {
+            (Some(g), _) => (g.to_string(), "-".to_owned()),
+            (_, Some(r)) => (r.total_gates.to_string(), r.t_count.to_string()),
+            _ => ("-".to_owned(), "-".to_owned()),
+        };
+        println!(
+            "{:<15} {:<21} {:<10} {:<10} {:.1?}",
+            record.pass,
+            record.stage.to_string(),
+            gates,
+            t_count,
+            record.duration
+        );
+    }
+    let mapped = report.resources_after("rptm").expect("rptm ran");
+    let optimized = report.resources_after("tpar").expect("tpar ran");
+    println!(
+        "\ntpar saving: T-count {} -> {} ({} T gates removed) in {:.1?} total",
+        mapped.t_count,
+        optimized.t_count,
+        mapped.t_count.saturating_sub(optimized.t_count),
+        report.total_duration()
+    );
     Ok(())
 }

@@ -19,8 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Per-oracle compilation statistics (the dashed boxes of Fig. 8).
     for (label, method) in [
-        ("tbs", qdaflow::reversible::synthesis::SynthesisMethod::TransformationBased),
-        ("dbs", qdaflow::reversible::synthesis::SynthesisMethod::DecompositionBased),
+        (
+            "tbs",
+            qdaflow::reversible::synthesis::SynthesisMethod::TransformationBased,
+        ),
+        (
+            "dbs",
+            qdaflow::reversible::synthesis::SynthesisMethod::DecompositionBased,
+        ),
     ] {
         let report = qdaflow::flow::compile_permutation(&pi, method)?;
         println!(

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             elimination.queries,
             sampling.queries,
             QUANTUM_QUERIES,
-            if quantum_ok { "(verified)" } else { "(analytic)" }
+            if quantum_ok {
+                "(verified)"
+            } else {
+                "(analytic)"
+            }
         );
     }
     Ok(())

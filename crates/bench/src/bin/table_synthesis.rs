@@ -44,7 +44,11 @@ fn main() {
     println!("=== E6: reversible synthesis comparison (Section V) ===");
     let mut rows = Vec::new();
     for n in 3..=6usize {
-        benchmark(&format!("hwb{n}"), &qdaflow::boolfn::hwb::hwb_permutation(n), &mut rows);
+        benchmark(
+            &format!("hwb{n}"),
+            &qdaflow::boolfn::hwb::hwb_permutation(n),
+            &mut rows,
+        );
     }
     for n in 3..=6usize {
         benchmark(

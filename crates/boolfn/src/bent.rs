@@ -286,7 +286,8 @@ mod tests {
     fn maiorana_mcfarland_instances_are_bent() {
         for seed in 0..8u64 {
             let pi = Permutation::random_seeded(3, seed);
-            let h = TruthTable::from_fn(3, |y| (y.wrapping_mul(seed as usize + 3) % 5) < 2).unwrap();
+            let h =
+                TruthTable::from_fn(3, |y| (y.wrapping_mul(seed as usize + 3) % 5) < 2).unwrap();
             let f = MaioranaMcFarland::new(pi, h).unwrap();
             assert!(spectrum::is_bent(&f.truth_table().unwrap()));
         }

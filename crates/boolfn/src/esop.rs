@@ -230,10 +230,7 @@ impl Esop {
                 cubes.push(Cube::new(mask, cube_polarity));
             }
         }
-        Self {
-            num_vars: n,
-            cubes,
-        }
+        Self { num_vars: n, cubes }
     }
 
     /// Greedy polarity search: starting from the all-positive polarity, flip

@@ -279,7 +279,9 @@ impl<'a> Parser<'a> {
         let mut chars = word.chars();
         let first = chars.next().expect("word is non-empty");
         let rest: String = chars.collect();
-        if (first == 'x' || first == 'X') && !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit())
+        if (first == 'x' || first == 'X')
+            && !rest.is_empty()
+            && rest.chars().all(|c| c.is_ascii_digit())
         {
             let index: usize = rest
                 .parse()

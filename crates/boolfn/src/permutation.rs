@@ -163,7 +163,9 @@ impl Permutation {
                 right: other.num_vars,
             });
         }
-        let map = (0..self.len()).map(|x| self.apply(other.apply(x))).collect();
+        let map = (0..self.len())
+            .map(|x| self.apply(other.apply(x)))
+            .collect();
         Ok(Self {
             num_vars: self.num_vars,
             map,
@@ -177,7 +179,11 @@ impl Permutation {
 
     /// Number of fixed points.
     pub fn fixed_points(&self) -> usize {
-        self.map.iter().enumerate().filter(|&(x, &y)| x == y).count()
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(x, &y)| x == y)
+            .count()
     }
 
     /// Decomposes the permutation into its disjoint cycles (each of length at

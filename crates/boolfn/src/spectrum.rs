@@ -148,13 +148,7 @@ pub fn autocorrelation(f: &TruthTable) -> Vec<i64> {
     (0..len)
         .map(|s| {
             (0..len)
-                .map(|x| {
-                    if f.get(x) ^ f.get(x ^ s) {
-                        -1i64
-                    } else {
-                        1i64
-                    }
-                })
+                .map(|x| if f.get(x) ^ f.get(x ^ s) { -1i64 } else { 1i64 })
                 .sum()
         })
         .collect()

@@ -324,14 +324,15 @@ impl TruthTable {
     ///
     /// Panics if `var >= num_vars` or `num_vars == 0`.
     pub fn cofactor(&self, var: usize, value: bool) -> Self {
-        assert!(self.num_vars > 0, "cannot take a cofactor of a 0-variable function");
+        assert!(
+            self.num_vars > 0,
+            "cannot take a cofactor of a 0-variable function"
+        );
         assert!(var < self.num_vars, "variable x{var} out of range");
         let mut out = Self::zero(self.num_vars - 1).expect("smaller than an existing table");
         let low_mask = (1usize << var) - 1;
         for y in 0..out.len() {
-            let x = (y & low_mask)
-                | (usize::from(value) << var)
-                | ((y & !low_mask) << 1);
+            let x = (y & low_mask) | (usize::from(value) << var) | ((y & !low_mask) << 1);
             out.set(y, self.get(x));
         }
         out

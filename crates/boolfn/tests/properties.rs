@@ -1,7 +1,9 @@
 //! Property-based tests for the Boolean function substrate.
 
 use proptest::prelude::*;
-use qdaflow_boolfn::{bent::MaioranaMcFarland, esop::Esop, spectrum, Expr, Permutation, TruthTable};
+use qdaflow_boolfn::{
+    bent::MaioranaMcFarland, esop::Esop, spectrum, Expr, Permutation, TruthTable,
+};
 
 /// Strategy producing a random truth table over `n` variables.
 fn truth_table(n: usize) -> impl Strategy<Value = TruthTable> {

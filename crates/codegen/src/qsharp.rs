@@ -40,7 +40,9 @@ fn gate_statement(gate: &QuantumGate) -> String {
         QuantumGate::T(q) => format!("T(qubits[{q}]);"),
         QuantumGate::Tdg(q) => format!("(Adjoint T)(qubits[{q}]);"),
         QuantumGate::Rz { qubit, angle } => format!("Rz({angle:.12}, qubits[{qubit}]);"),
-        QuantumGate::Cx { control, target } => format!("CNOT(qubits[{control}], qubits[{target}]);"),
+        QuantumGate::Cx { control, target } => {
+            format!("CNOT(qubits[{control}], qubits[{target}]);")
+        }
         QuantumGate::Cz { a, b } => format!("CZ(qubits[{a}], qubits[{b}]);"),
         QuantumGate::Swap { a, b } => format!("SWAP(qubits[{a}], qubits[{b}]);"),
         QuantumGate::Ccx {
@@ -58,10 +60,7 @@ fn gate_statement(gate: &QuantumGate) -> String {
         QuantumGate::Mcz { qubits } => {
             let (last, rest) = qubits.split_last().expect("mcz has at least one qubit");
             let controls: Vec<String> = rest.iter().map(|q| format!("qubits[{q}]")).collect();
-            format!(
-                "(Controlled Z)([{}], qubits[{last}]);",
-                controls.join(", ")
-            )
+            format!("(Controlled Z)([{}], qubits[{last}]);", controls.join(", "))
         }
     }
 }
@@ -114,18 +113,18 @@ pub fn permutation_oracle_namespace(
     let _ = writeln!(out, "namespace {} {{", options.namespace);
     let _ = writeln!(out, "    open Microsoft.Quantum.Primitive;");
     let _ = writeln!(out);
-    out.push_str(&operation_from_circuit(&options.operation_name, &circuit, options));
+    out.push_str(&operation_from_circuit(
+        &options.operation_name,
+        &circuit,
+        options,
+    ));
     let _ = writeln!(out);
     let _ = writeln!(out, "    operation BentFunctionImpl");
     let _ = writeln!(out, "        (n : Int, qs : Qubit[]) : () {{");
     let _ = writeln!(out, "        body {{");
     let _ = writeln!(out, "            let xs = qs[0..(n-1)];");
     let _ = writeln!(out, "            let ys = qs[n..(2*n-1)];");
-    let _ = writeln!(
-        out,
-        "            (Adjoint {})(ys);",
-        options.operation_name
-    );
+    let _ = writeln!(out, "            (Adjoint {})(ys);", options.operation_name);
     let _ = writeln!(out, "            for (idx in 0..(n-1)) {{");
     let _ = writeln!(out, "                (Controlled Z)([xs[idx]], ys[idx]);");
     let _ = writeln!(out, "            }}");
@@ -165,7 +164,10 @@ pub fn hidden_shift_driver(namespace: &str) -> String {
     let _ = writeln!(out, "                Ufstar(qubits);");
     let _ = writeln!(out, "                ApplyToEach(H, qubits);");
     let _ = writeln!(out, "                for (idx in 0..(n-1)) {{");
-    let _ = writeln!(out, "                    set resultArray[idx] = MResetZ(qubits[idx]);");
+    let _ = writeln!(
+        out,
+        "                    set resultArray[idx] = MResetZ(qubits[idx]);"
+    );
     let _ = writeln!(out, "                }}");
     let _ = writeln!(out, "            }}");
     let _ = writeln!(out, "            Message($\"result: {{resultArray}}\");");
@@ -232,8 +234,7 @@ mod tests {
     #[test]
     fn permutation_namespace_matches_fig10_structure() {
         let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
-        let rendered =
-            permutation_oracle_namespace(&pi, &QsharpOptions::default()).unwrap();
+        let rendered = permutation_oracle_namespace(&pi, &QsharpOptions::default()).unwrap();
         assert!(rendered.starts_with("namespace Microsoft.Quantum.PermOracle {"));
         assert!(rendered.contains("operation PermutationOracle"));
         assert!(rendered.contains("operation BentFunctionImpl"));
@@ -241,10 +242,7 @@ mod tests {
         assert!(rendered.contains("(Controlled Z)([xs[idx]], ys[idx]);"));
         assert!(rendered.contains("function BentFunction"));
         // Balanced braces.
-        assert_eq!(
-            rendered.matches('{').count(),
-            rendered.matches('}').count()
-        );
+        assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());
         // The emitted operation only uses the primitive gate set of Fig. 10.
         for line in rendered.lines() {
             let trimmed = line.trim();
@@ -278,10 +276,7 @@ mod tests {
             3,
             "the driver applies three Hadamard layers"
         );
-        assert_eq!(
-            rendered.matches('{').count(),
-            rendered.matches('}').count()
-        );
+        assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());
     }
 
     #[test]

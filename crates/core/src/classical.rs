@@ -60,7 +60,10 @@ impl ClassicalSolver {
             });
         }
         ClassicalResult {
-            shift: candidates.first().copied().filter(|_| candidates.len() == 1),
+            shift: candidates
+                .first()
+                .copied()
+                .filter(|_| candidates.len() == 1),
             queries: self.queries,
         }
     }
@@ -178,7 +181,9 @@ mod tests {
     fn query_counts_grow_exponentially_with_n() {
         let mut previous = 0u64;
         for n_half in 1..=3usize {
-            let f = MaioranaMcFarland::inner_product(n_half).truth_table().unwrap();
+            let f = MaioranaMcFarland::inner_product(n_half)
+                .truth_table()
+                .unwrap();
             let g = f.xor_shift(1);
             let result = ClassicalSolver::new().solve_by_elimination(&f, &g);
             assert_eq!(result.shift, Some(1));

@@ -3,13 +3,17 @@
 //!
 //! This is the programmatic equivalent of the shell pipeline of equation (5)
 //! of the paper (`revgen; tbs; revsimp; rptm; tpar; ps`), exposed as a single
-//! function per specification kind.
+//! function per specification kind. Since the pass-manager redesign these
+//! functions are thin wrappers over canned [`Pipeline`]s — the same objects
+//! [`Pipeline::parse`] produces from the paper's shell syntax — with their
+//! historical signatures and outputs preserved.
 
 use qdaflow_boolfn::{Permutation, TruthTable};
 use qdaflow_engine::EngineError;
-use qdaflow_mapping::{map, optimize, phase_oracle};
+use qdaflow_pipeline::passes::{synthesis_pass, Esopbs, PhaseOracle, Ps, Revsimp, Rptm, Tpar};
+use qdaflow_pipeline::{Pipeline, PipelineReport};
 use qdaflow_quantum::{resource::ResourceCounts, QuantumCircuit};
-use qdaflow_reversible::{optimize as revopt, synthesis, synthesis::SynthesisMethod};
+use qdaflow_reversible::synthesis::SynthesisMethod;
 
 /// A report describing every stage of a compilation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,8 +37,52 @@ impl CompilationReport {
     }
 }
 
+/// The canned pipeline of equation (5) for a permutation specification:
+/// `tbs`/`dbs`; `revsimp`; `rptm`; `tpar`; `ps` — what
+/// [`compile_permutation`] runs, exposed so callers can inspect, extend or
+/// rehearse it (for example via
+/// [`Pipeline::pass_names`]).
+pub fn equation5_pipeline(method: SynthesisMethod) -> Pipeline {
+    Pipeline::builder()
+        .then_boxed(synthesis_pass(method))
+        .then(Revsimp)
+        .then(Rptm::default())
+        .then(Tpar)
+        .then(Ps)
+        .build()
+        .expect("the canned equation (5) pipeline is statically valid")
+}
+
+fn missing_record(pass: &str) -> EngineError {
+    EngineError::Flow {
+        message: format!("canned pipeline did not record the '{pass}' pass"),
+    }
+}
+
+fn require_gates(report: &PipelineReport, pass: &str) -> Result<usize, EngineError> {
+    report.gates_after(pass).ok_or_else(|| missing_record(pass))
+}
+
+fn require_resources(report: &PipelineReport, pass: &str) -> Result<ResourceCounts, EngineError> {
+    report
+        .resources_after(pass)
+        .cloned()
+        .ok_or_else(|| missing_record(pass))
+}
+
+fn require_circuit(report: &PipelineReport) -> Result<QuantumCircuit, EngineError> {
+    report
+        .final_quantum()
+        .cloned()
+        .ok_or_else(|| missing_record("final quantum"))
+}
+
 /// Compiles a permutation (reversible specification) down to an optimized
 /// Clifford+T circuit: synthesis → simplification → mapping → T optimization.
+///
+/// Thin wrapper over the canned [`equation5_pipeline`]; output is identical
+/// to running that pipeline (or `Pipeline::parse` of the paper's script) on
+/// the permutation.
 ///
 /// # Errors
 ///
@@ -44,16 +92,16 @@ pub fn compile_permutation(
     permutation: &Permutation,
     method: SynthesisMethod,
 ) -> Result<CompilationReport, EngineError> {
-    let reversible = method.synthesize(permutation)?;
-    let (simplified, _) = revopt::simplify(&reversible);
-    let mapped = map::to_clifford_t(&simplified, &map::MappingOptions::default())?;
-    let optimized = optimize::optimize_clifford_t(&mapped);
+    let pipeline = equation5_pipeline(method);
+    let report = pipeline
+        .run(permutation.clone().into())
+        .map_err(EngineError::from)?;
     Ok(CompilationReport {
-        reversible_gates: reversible.num_gates(),
-        simplified_gates: simplified.num_gates(),
-        mapped: ResourceCounts::of(&mapped),
-        optimized: ResourceCounts::of(&optimized),
-        circuit: optimized,
+        reversible_gates: require_gates(&report, method.command_name())?,
+        simplified_gates: require_gates(&report, "revsimp")?,
+        mapped: require_resources(&report, "rptm")?,
+        optimized: require_resources(&report, "tpar")?,
+        circuit: require_circuit(&report)?,
     })
 }
 
@@ -61,29 +109,34 @@ pub fn compile_permutation(
 /// oracle (the `PhaseOracle` path), with multi-controlled phases decomposed
 /// into Clifford+T.
 ///
+/// Runs two canned pipelines: `esopbs; revsimp` for the Bennett-embedding
+/// statistics of the report (the "reversible" stage, one Toffoli per ESOP
+/// cube), and `po; tpar` for the final decomposed phase oracle.
+///
 /// # Errors
 ///
 /// Propagates ESOP extraction and mapping errors.
 pub fn compile_phase_function(function: &TruthTable) -> Result<CompilationReport, EngineError> {
-    // For the report, the "reversible" stage is the ESOP-based Bennett
-    // embedding (one Toffoli per cube), even though the final oracle applies
-    // phases directly.
-    let embedding = synthesis::esop_based_single(function, Default::default())?;
-    let (simplified, _) = revopt::simplify(&embedding);
-    let oracle = phase_oracle::phase_oracle(
-        function,
-        &phase_oracle::PhaseOracleOptions {
-            minimize_esop: true,
-            decompose: true,
-        },
-    )?;
-    let optimized = optimize::optimize_clifford_t(&oracle);
+    let embedding = Pipeline::builder()
+        .then(Esopbs::default())
+        .then(Revsimp)
+        .build()
+        .expect("the embedding pipeline is statically valid")
+        .run(function.clone().into())
+        .map_err(EngineError::from)?;
+    let oracle = Pipeline::builder()
+        .then(PhaseOracle::decomposed())
+        .then(Tpar)
+        .build()
+        .expect("the oracle pipeline is statically valid")
+        .run(function.clone().into())
+        .map_err(EngineError::from)?;
     Ok(CompilationReport {
-        reversible_gates: embedding.num_gates(),
-        simplified_gates: simplified.num_gates(),
-        mapped: ResourceCounts::of(&oracle),
-        optimized: ResourceCounts::of(&optimized),
-        circuit: optimized,
+        reversible_gates: require_gates(&embedding, "esopbs")?,
+        simplified_gates: require_gates(&embedding, "revsimp")?,
+        mapped: require_resources(&oracle, "po")?,
+        optimized: require_resources(&oracle, "tpar")?,
+        circuit: require_circuit(&oracle)?,
     })
 }
 
@@ -91,6 +144,7 @@ pub fn compile_phase_function(function: &TruthTable) -> Result<CompilationReport
 mod tests {
     use super::*;
     use qdaflow_boolfn::Expr;
+    use qdaflow_mapping::phase_oracle;
     use qdaflow_quantum::statevector::Statevector;
 
     #[test]

@@ -301,7 +301,8 @@ impl HiddenShiftInstance {
         // Only the first `n` measured bits carry the shift; mapping ancillas
         // (if any) are clean and measure to zero, so masking is safe.
         let mask = (1usize << self.num_vars()) - 1;
-        let mut masked: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut masked: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for (&outcome, &count) in &execution.counts {
             *masked.entry(outcome & mask).or_insert(0) += count;
         }
@@ -469,7 +470,10 @@ mod tests {
         let instance = fig4_instance();
         assert_eq!(instance.num_vars(), 4);
         assert_eq!(instance.shift(), 1);
-        assert_eq!(instance.shifted_function(), instance.function().xor_shift(1));
+        assert_eq!(
+            instance.shifted_function(),
+            instance.function().xor_shift(1)
+        );
         // f is self-dual for the inner-product function.
         assert_eq!(instance.dual(), instance.function());
     }

@@ -21,6 +21,7 @@
 //! | Reversible logic  | [`reversible`] | Toffoli networks, TBS/DBS/ESOP synthesis, simplification |
 //! | Quantum circuits  | [`quantum`] | Clifford+T IR, statevector & noisy simulators, QASM |
 //! | Mapping           | [`mapping`] | Toffoli→Clifford+T, phase oracles, T-count optimization |
+//! | Pass manager      | [`pipeline`] | typed IR stages, composable passes, `Pipeline::parse` of equation (5) |
 //! | Shell             | [`revkit`] | `revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c` |
 //! | Engine            | [`engine`] | `MainEngine`, Compute/Uncompute/Dagger, oracles, backends |
 //! | Code generation   | [`codegen`] | Q#-style emission (Fig. 9/10) |
@@ -56,6 +57,7 @@ pub use qdaflow_boolfn as boolfn;
 pub use qdaflow_codegen as codegen;
 pub use qdaflow_engine as engine;
 pub use qdaflow_mapping as mapping;
+pub use qdaflow_pipeline as pipeline;
 pub use qdaflow_quantum as quantum;
 pub use qdaflow_reversible as reversible;
 pub use qdaflow_revkit as revkit;

@@ -6,6 +6,7 @@ pub use qdaflow_boolfn::{
 };
 pub use qdaflow_engine::{MainEngine, Qubit, SynthesisChoice};
 pub use qdaflow_mapping::map::MappingOptions;
+pub use qdaflow_pipeline::{FlowError, Ir, Pass, Pipeline, PipelineReport, Stage, StageSet};
 pub use qdaflow_quantum::{
     backend::{Backend, ExecutionResult, NoisyHardwareBackend, StatevectorBackend},
     fusion::{ExecConfig, FusedProgram},
@@ -14,11 +15,13 @@ pub use qdaflow_quantum::{
     resource::ResourceCounts,
     QuantumCircuit, QuantumGate,
 };
-pub use qdaflow_reversible::{ReversibleCircuit, MctGate};
+pub use qdaflow_reversible::{MctGate, ReversibleCircuit};
 pub use qdaflow_revkit::Shell;
 
 pub use crate::classical::ClassicalSolver;
-pub use crate::flow::{compile_permutation, compile_phase_function, CompilationReport};
+pub use crate::flow::{
+    compile_permutation, compile_phase_function, equation5_pipeline, CompilationReport,
+};
 pub use crate::hidden_shift::{HiddenShiftInstance, HiddenShiftOutcome, OracleStyle};
 
 #[cfg(test)]
@@ -33,5 +36,7 @@ mod tests {
         let _ = SynthesisChoice::default();
         let _ = ExecConfig::default();
         let _ = DenseReference::new(1);
+        let _ = Pipeline::parse("revgen --hwb 3; tbs; ps").unwrap();
+        let _ = equation5_pipeline(Default::default());
     }
 }

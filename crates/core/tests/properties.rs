@@ -8,13 +8,15 @@ use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
 use qdaflow::prelude::*;
 
 fn mm_instance(n_half: usize) -> impl Strategy<Value = MaioranaMcFarland> {
-    (any::<u64>(), prop::collection::vec(any::<bool>(), 1 << n_half)).prop_map(
-        move |(seed, bits)| {
+    (
+        any::<u64>(),
+        prop::collection::vec(any::<bool>(), 1 << n_half),
+    )
+        .prop_map(move |(seed, bits)| {
             let pi = Permutation::random_seeded(n_half, seed);
             let h = TruthTable::from_bits(n_half, bits).expect("n_half is small");
             MaioranaMcFarland::new(pi, h).expect("widths match by construction")
-        },
-    )
+        })
 }
 
 proptest! {

@@ -579,11 +579,7 @@ mod tests {
                 .unwrap();
             let result = engine.flush(64).unwrap();
             let expected = pi.apply(basis);
-            assert_eq!(
-                result.most_likely(),
-                Some((expected, 1.0)),
-                "basis {basis}"
-            );
+            assert_eq!(result.most_likely(), Some((expected, 1.0)), "basis {basis}");
         }
     }
 

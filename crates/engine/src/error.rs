@@ -2,6 +2,7 @@
 
 use qdaflow_boolfn::BoolfnError;
 use qdaflow_mapping::MappingError;
+use qdaflow_pipeline::FlowError;
 use qdaflow_quantum::QuantumError;
 use qdaflow_reversible::ReversibleError;
 use std::error::Error;
@@ -35,6 +36,13 @@ pub enum EngineError {
     Quantum(QuantumError),
     /// An error from the mapping layer.
     Mapping(MappingError),
+    /// A pipeline-structural error (an invalid pass order or a stage
+    /// mismatch) surfaced while an engine primitive ran a compilation
+    /// pipeline.
+    Flow {
+        /// Rendered pipeline error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -53,6 +61,7 @@ impl fmt::Display for EngineError {
             Self::Reversible(inner) => write!(f, "{inner}"),
             Self::Quantum(inner) => write!(f, "{inner}"),
             Self::Mapping(inner) => write!(f, "{inner}"),
+            Self::Flow { message } => f.write_str(message),
         }
     }
 }
@@ -93,6 +102,34 @@ impl From<MappingError> for EngineError {
     }
 }
 
+impl From<FlowError> for EngineError {
+    fn from(inner: FlowError) -> Self {
+        match inner {
+            FlowError::Boolfn(e) => Self::Boolfn(e),
+            FlowError::Reversible(e) => Self::Reversible(e),
+            FlowError::Quantum(e) => Self::Quantum(e),
+            FlowError::Mapping(e) => Self::Mapping(e),
+            other => Self::Flow {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<EngineError> for FlowError {
+    fn from(inner: EngineError) -> Self {
+        match inner {
+            EngineError::Boolfn(e) => Self::Boolfn(e),
+            EngineError::Reversible(e) => Self::Reversible(e),
+            EngineError::Quantum(e) => Self::Quantum(e),
+            EngineError::Mapping(e) => Self::Mapping(e),
+            other => Self::Engine {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,8 +138,27 @@ mod tests {
     fn conversions_and_display() {
         let err: EngineError = QuantumError::DuplicateQubit { qubit: 1 }.into();
         assert!(matches!(err, EngineError::Quantum(_)));
-        assert!(EngineError::InvalidComputeSection.to_string().contains("compute"));
+        assert!(EngineError::InvalidComputeSection
+            .to_string()
+            .contains("compute"));
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<EngineError>();
+    }
+
+    #[test]
+    fn flow_errors_round_trip_through_engine_errors() {
+        // Typed lower-layer errors survive both directions.
+        let flow: FlowError =
+            EngineError::Quantum(QuantumError::DuplicateQubit { qubit: 7 }).into();
+        assert!(matches!(flow, FlowError::Quantum(_)));
+        let engine: EngineError =
+            FlowError::Quantum(QuantumError::DuplicateQubit { qubit: 7 }).into();
+        assert!(matches!(engine, EngineError::Quantum(_)));
+        // Structural errors degrade to rendered messages.
+        let flow: FlowError = EngineError::InvalidComputeSection.into();
+        assert!(matches!(flow, FlowError::Engine { .. }));
+        let engine: EngineError = FlowError::EmptyPipeline.into();
+        assert!(matches!(engine, EngineError::Flow { .. }));
+        assert!(engine.to_string().contains("pipeline"));
     }
 }

@@ -8,10 +8,9 @@
 
 use crate::EngineError;
 use qdaflow_boolfn::{Permutation, TruthTable};
-use qdaflow_mapping::{
-    map,
-    phase_oracle::{self, PhaseOracleOptions},
-};
+use qdaflow_mapping::phase_oracle::PhaseOracleOptions;
+use qdaflow_pipeline::passes::{synthesis_pass, PhaseOracle, Revsimp, Rptm};
+use qdaflow_pipeline::Pipeline;
 use qdaflow_quantum::QuantumCircuit;
 use qdaflow_reversible::synthesis::SynthesisMethod;
 
@@ -38,19 +37,31 @@ impl SynthesisChoice {
 /// Compiles the diagonal phase oracle `U_f` of a Boolean function over a
 /// local register of `function.num_vars()` qubits.
 ///
+/// Routed through the pass-manager pipeline (`po`) so the engine and the
+/// one-call flows share a single compilation path.
+///
 /// # Errors
 ///
 /// Propagates failures of the underlying phase-oracle compiler.
 pub fn compile_phase_oracle(function: &TruthTable) -> Result<QuantumCircuit, EngineError> {
-    Ok(phase_oracle::phase_oracle(
-        function,
-        &PhaseOracleOptions::default(),
-    )?)
+    let pipeline = Pipeline::builder()
+        .then(PhaseOracle {
+            options: PhaseOracleOptions::default(),
+        })
+        .build()?;
+    let report = pipeline.run(function.clone().into())?;
+    Ok(report
+        .output
+        .into_quantum("po")
+        .expect("the po pipeline ends at a quantum circuit"))
 }
 
 /// Compiles a permutation oracle (the unitary `|x⟩ → |π(x)⟩`) over a local
 /// register of `permutation.num_vars()` qubits (plus ancillas appended at the
 /// end when large multiple-controlled gates require them).
+///
+/// Routed through the pass-manager pipeline (`tbs`/`dbs`; `revsimp`;
+/// `rptm`), the oracle-compilation prefix of the paper's equation (5).
 ///
 /// # Errors
 ///
@@ -59,18 +70,23 @@ pub fn compile_permutation_oracle(
     permutation: &Permutation,
     synthesis: SynthesisChoice,
 ) -> Result<QuantumCircuit, EngineError> {
-    let reversible = synthesis.method().synthesize(permutation)?;
-    let (simplified, _) = qdaflow_reversible::optimize::simplify(&reversible);
-    Ok(map::to_clifford_t(
-        &simplified,
-        &map::MappingOptions::default(),
-    )?)
+    let pipeline = Pipeline::builder()
+        .then_boxed(synthesis_pass(synthesis.method()))
+        .then(Revsimp)
+        .then(Rptm::default())
+        .build()?;
+    let report = pipeline.run(permutation.clone().into())?;
+    Ok(report
+        .output
+        .into_quantum("rptm")
+        .expect("the oracle pipeline ends at a quantum circuit"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qdaflow_boolfn::Expr;
+    use qdaflow_mapping::phase_oracle;
     use qdaflow_quantum::statevector::Statevector;
 
     #[test]

@@ -12,7 +12,9 @@
 //!   into a [`qdaflow_quantum::QuantumCircuit`] over the Clifford+T library,
 //! * [`phase_oracle`] — direct compilation of Boolean functions into diagonal
 //!   phase oracles (the `PhaseOracle` primitive of the paper's ProjectQ flow),
-//! * [`optimize`] — phase folding (`tpar`) and adjacent-gate cancellation.
+//! * [`optimize`] — phase folding (`tpar`) and adjacent-gate cancellation,
+//! * [`verify`] — exhaustive basis-state verification of a mapped circuit
+//!   against its reversible specification.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub mod map;
 pub mod optimize;
 pub mod phase_oracle;
 pub mod toffoli;
+pub mod verify;
 
 pub use error::MappingError;
 pub use map::{to_clifford_t, MappingOptions};

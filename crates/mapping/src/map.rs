@@ -106,7 +106,13 @@ fn append_mct(
         quantum.push(QuantumGate::X(line))?;
     }
     let positive_controls: Vec<usize> = gate.controls().iter().map(|c| c.line()).collect();
-    append_positive_mcx(quantum, &positive_controls, gate.target(), ancilla_base, options)?;
+    append_positive_mcx(
+        quantum,
+        &positive_controls,
+        gate.target(),
+        ancilla_base,
+        options,
+    )?;
     for &line in &negative_controls {
         quantum.push(QuantumGate::X(line))?;
     }

@@ -193,9 +193,7 @@ fn apply_linear_update(
         QuantumGate::Cz { .. } | QuantumGate::Mcz { .. } => {
             // Diagonal gates do not change the carried values.
         }
-        QuantumGate::Ccx {
-            target, ..
-        } => {
+        QuantumGate::Ccx { target, .. } => {
             parity[*target] = fresh_variable(next_variable);
             constant[*target] = false;
         }

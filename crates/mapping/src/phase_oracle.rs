@@ -269,8 +269,7 @@ mod tests {
     #[test]
     fn oracle_from_explicit_esop() {
         let esop = Esop::new(3, vec![Cube::positive(0b011), Cube::positive(0b100)]).unwrap();
-        let oracle =
-            phase_oracle_from_esop(&esop, 3, &PhaseOracleOptions::default()).unwrap();
+        let oracle = phase_oracle_from_esop(&esop, 3, &PhaseOracleOptions::default()).unwrap();
         let tt = esop.truth_table().unwrap();
         assert!(oracle_matches_function(&oracle, &tt));
     }

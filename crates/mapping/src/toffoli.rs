@@ -15,20 +15,38 @@ pub fn ccx_clifford_t(control_a: usize, control_b: usize, target: usize) -> Vec<
     let (a, b, t) = (control_a, control_b, target);
     vec![
         QuantumGate::H(t),
-        QuantumGate::Cx { control: b, target: t },
+        QuantumGate::Cx {
+            control: b,
+            target: t,
+        },
         QuantumGate::Tdg(t),
-        QuantumGate::Cx { control: a, target: t },
+        QuantumGate::Cx {
+            control: a,
+            target: t,
+        },
         QuantumGate::T(t),
-        QuantumGate::Cx { control: b, target: t },
+        QuantumGate::Cx {
+            control: b,
+            target: t,
+        },
         QuantumGate::Tdg(t),
-        QuantumGate::Cx { control: a, target: t },
+        QuantumGate::Cx {
+            control: a,
+            target: t,
+        },
         QuantumGate::T(b),
         QuantumGate::T(t),
         QuantumGate::H(t),
-        QuantumGate::Cx { control: a, target: b },
+        QuantumGate::Cx {
+            control: a,
+            target: b,
+        },
         QuantumGate::T(a),
         QuantumGate::Tdg(b),
-        QuantumGate::Cx { control: a, target: b },
+        QuantumGate::Cx {
+            control: a,
+            target: b,
+        },
     ]
 }
 
@@ -54,11 +72,20 @@ pub fn relative_phase_ccx(control_a: usize, control_b: usize, target: usize) -> 
     vec![
         QuantumGate::H(t),
         QuantumGate::T(t),
-        QuantumGate::Cx { control: a, target: t },
+        QuantumGate::Cx {
+            control: a,
+            target: t,
+        },
         QuantumGate::Tdg(t),
-        QuantumGate::Cx { control: b, target: t },
+        QuantumGate::Cx {
+            control: b,
+            target: t,
+        },
         QuantumGate::T(t),
-        QuantumGate::Cx { control: a, target: t },
+        QuantumGate::Cx {
+            control: a,
+            target: t,
+        },
         QuantumGate::Tdg(t),
         QuantumGate::H(t),
     ]
@@ -156,11 +183,7 @@ mod tests {
 
     /// Checks that `gates` act on computational basis states exactly like the
     /// classical function `f` over `n` qubits.
-    fn assert_classical_action(
-        n: usize,
-        gates: &[QuantumGate],
-        f: impl Fn(usize) -> usize,
-    ) {
+    fn assert_classical_action(n: usize, gates: &[QuantumGate], f: impl Fn(usize) -> usize) {
         let circuit = circuit_of(n, gates).unwrap();
         for basis in 0..(1usize << n) {
             let mut state = Statevector::basis_state(n, basis).unwrap();

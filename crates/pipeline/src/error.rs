@@ -1,0 +1,190 @@
+//! The unified error type of the pass-manager layer.
+//!
+//! Every pass returns [`FlowError`], which absorbs the error types of the
+//! lower layers (`boolfn`, `reversible`, `quantum`, `mapping`) through
+//! `From` impls defined here; the upper layers (`engine`, `revkit`) define
+//! `From` impls for their own error types next to those types, so the whole
+//! stack composes with `?`.
+
+use crate::ir::{Stage, StageSet};
+use qdaflow_boolfn::BoolfnError;
+use qdaflow_mapping::MappingError;
+use qdaflow_quantum::QuantumError;
+use qdaflow_reversible::ReversibleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running compilation pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A pass name in a parsed pipeline is not registered.
+    UnknownPass {
+        /// The offending pass name.
+        name: String,
+    },
+    /// A pipeline was built without any passes.
+    EmptyPipeline,
+    /// A pass sequence is invalid: the pass at `position` cannot consume any
+    /// stage its predecessors may produce. Detected at build time.
+    InvalidStageOrder {
+        /// Name of the offending pass.
+        pass: String,
+        /// Zero-based position of the pass in the pipeline.
+        position: usize,
+        /// Stages the pass accepts.
+        expected: StageSet,
+        /// Stages the preceding passes may produce.
+        found: StageSet,
+    },
+    /// At run time, a pass received a value of a stage it does not accept
+    /// (only possible through the external pipeline input).
+    StageMismatch {
+        /// Name of the offending pass.
+        pass: String,
+        /// Stages the pass accepts.
+        expected: StageSet,
+        /// Stage of the value it received.
+        found: Stage,
+    },
+    /// A pipeline whose first pass is not a generator was run without an
+    /// input value.
+    MissingPipelineInput {
+        /// Name of the first pass.
+        pass: String,
+        /// Stages the first pass accepts.
+        expected: StageSet,
+    },
+    /// A pass was constructed from malformed arguments.
+    InvalidPassArguments {
+        /// Name of the pass.
+        pass: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An error from the Boolean function substrate.
+    Boolfn(BoolfnError),
+    /// An error from the reversible circuit layer.
+    Reversible(ReversibleError),
+    /// An error from the quantum circuit layer.
+    Quantum(QuantumError),
+    /// An error from the mapping layer.
+    Mapping(MappingError),
+    /// An engine-level failure that has no structured lower-layer cause
+    /// (produced by the `From<EngineError>` impl in `qdaflow_engine`).
+    Engine {
+        /// Rendered engine error message.
+        message: String,
+    },
+    /// A shell-level failure that has no structured lower-layer cause
+    /// (produced by the `From<RevkitError>` impl in `qdaflow_revkit`).
+    Shell {
+        /// Rendered shell error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownPass { name } => write!(f, "unknown pass '{name}'"),
+            Self::EmptyPipeline => write!(f, "pipeline contains no passes"),
+            Self::InvalidStageOrder {
+                pass,
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "pass '{pass}' (position {position}) expects a {expected} but the preceding passes produce a {found}"
+            ),
+            Self::StageMismatch {
+                pass,
+                expected,
+                found,
+            } => write!(f, "pass '{pass}' expects a {expected} but received a {found}"),
+            Self::MissingPipelineInput { pass, expected } => write!(
+                f,
+                "pipeline needs an input value (a {expected}) because its first pass '{pass}' is not a generator"
+            ),
+            Self::InvalidPassArguments { pass, message } => {
+                write!(f, "invalid arguments for pass '{pass}': {message}")
+            }
+            Self::Boolfn(inner) => write!(f, "{inner}"),
+            Self::Reversible(inner) => write!(f, "{inner}"),
+            Self::Quantum(inner) => write!(f, "{inner}"),
+            Self::Mapping(inner) => write!(f, "{inner}"),
+            Self::Engine { message } | Self::Shell { message } => f.write_str(message),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Boolfn(inner) => Some(inner),
+            Self::Reversible(inner) => Some(inner),
+            Self::Quantum(inner) => Some(inner),
+            Self::Mapping(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<BoolfnError> for FlowError {
+    fn from(inner: BoolfnError) -> Self {
+        Self::Boolfn(inner)
+    }
+}
+
+impl From<ReversibleError> for FlowError {
+    fn from(inner: ReversibleError) -> Self {
+        Self::Reversible(inner)
+    }
+}
+
+impl From<QuantumError> for FlowError {
+    fn from(inner: QuantumError) -> Self {
+        Self::Quantum(inner)
+    }
+}
+
+impl From<MappingError> for FlowError {
+    fn from(inner: MappingError) -> Self {
+        Self::Mapping(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let err: FlowError = BoolfnError::NotBent.into();
+        assert!(matches!(err, FlowError::Boolfn(_)));
+        assert!(err.source().is_some());
+        let err: FlowError = MappingError::from(QuantumError::DuplicateQubit { qubit: 3 }).into();
+        assert!(err.to_string().contains('3'));
+        assert!(FlowError::UnknownPass {
+            name: "frobnicate".to_owned()
+        }
+        .to_string()
+        .contains("frobnicate"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+
+    #[test]
+    fn stage_order_errors_name_both_sides() {
+        let err = FlowError::InvalidStageOrder {
+            pass: "tpar".to_owned(),
+            position: 1,
+            expected: StageSet::QUANTUM,
+            found: StageSet::REVERSIBLE,
+        };
+        let message = err.to_string();
+        assert!(message.contains("tpar"));
+        assert!(message.contains("quantum circuit"));
+        assert!(message.contains("reversible circuit"));
+    }
+}

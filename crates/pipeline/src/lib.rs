@@ -1,0 +1,52 @@
+//! Pass-manager layer of the `qdaflow` flow: the paper's equation (5) as a
+//! first-class, composable object.
+//!
+//! The central artifact of the paper is the RevKit shell pipeline
+//!
+//! ```text
+//! revgen; tbs; revsimp; rptm; tpar; ps            (equation (5))
+//! ```
+//!
+//! This crate makes that flow *data* instead of code:
+//!
+//! * [`Ir`] — the unified intermediate representation (Boolean
+//!   specification → reversible circuit → Clifford+T circuit),
+//! * [`Pass`] — one named, typed transformation ([`passes`] wraps every
+//!   existing stage: `revgen`, `tbs`, `dbs`, `esopbs`, `revsimp`, `rptm`,
+//!   `tpar`, `ps`, plus `po` for direct phase oracles),
+//! * [`Pipeline`] — a builder that validates stage transitions at build
+//!   time and a [`Pipeline::parse`] entry point for the shell syntax,
+//! * [`PipelineReport`] — per-pass gate counts,
+//!   [`ResourceCounts`](qdaflow_quantum::resource::ResourceCounts) and
+//!   timings,
+//! * [`FlowError`] — the unified error type all passes return.
+//!
+//! # Example
+//!
+//! ```
+//! use qdaflow_pipeline::Pipeline;
+//!
+//! # fn main() -> Result<(), qdaflow_pipeline::FlowError> {
+//! let pipeline = Pipeline::parse("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c")?;
+//! let report = pipeline.run_generated()?;
+//! println!("{report}");
+//! assert!(report.final_quantum().unwrap().is_clifford_t());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ir;
+pub mod pass;
+pub mod passes;
+#[allow(clippy::module_inception)]
+pub mod pipeline;
+pub mod script;
+
+pub use error::FlowError;
+pub use ir::{Ir, Stage, StageSet};
+pub use pass::Pass;
+pub use pipeline::{Artifacts, PassRecord, Pipeline, PipelineBuilder, PipelineReport};

@@ -1,0 +1,125 @@
+//! Shared lexing helpers for pipeline scripts and shell command lines.
+//!
+//! Both the [`Pipeline::parse`](crate::Pipeline::parse) syntax and the RevKit
+//! shell accept the paper's notation: statements separated by `;` or
+//! newlines, arguments separated by whitespace, with double quotes grouping
+//! an argument that contains spaces or separators (as needed for
+//! `revgen --expr "(a & b) ^ c"`).
+
+/// Splits a script into statements at `;` and newlines, honouring double
+/// quotes (a separator inside a quoted argument does not end the statement).
+///
+/// Empty statements and `#`-comments are dropped; surrounding whitespace is
+/// trimmed.
+///
+/// ```
+/// use qdaflow_pipeline::script::split_statements;
+///
+/// assert_eq!(
+///     split_statements("revgen --hwb 4; tbs;; ps -c"),
+///     vec!["revgen --hwb 4", "tbs", "ps -c"]
+/// );
+/// // A quoted ';' does not split.
+/// assert_eq!(
+///     split_statements("flow \"revgen --hwb 4; tbs\""),
+///     vec!["flow \"revgen --hwb 4; tbs\""]
+/// );
+/// ```
+pub fn split_statements(script: &str) -> Vec<String> {
+    let mut statements = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for character in script.chars() {
+        match character {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push('"');
+            }
+            ';' | '\n' if !in_quotes => {
+                push_statement(&mut statements, &mut current);
+            }
+            c => current.push(c),
+        }
+    }
+    push_statement(&mut statements, &mut current);
+    statements
+}
+
+fn push_statement(statements: &mut Vec<String>, current: &mut String) {
+    let statement = std::mem::take(current);
+    let statement = statement.trim();
+    if !statement.is_empty() && !statement.starts_with('#') {
+        statements.push(statement.to_owned());
+    }
+}
+
+/// Splits a single statement into tokens, honouring double quotes.
+///
+/// ```
+/// use qdaflow_pipeline::script::tokenize;
+///
+/// assert_eq!(
+///     tokenize("revgen --expr \"(a & b) ^ c\""),
+///     vec!["revgen", "--expr", "(a & b) ^ c"]
+/// );
+/// ```
+pub fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut quoted = false;
+    for character in line.chars() {
+        match character {
+            '"' => {
+                in_quotes = !in_quotes;
+                quoted = true;
+            }
+            c if c.is_whitespace() && !in_quotes => {
+                if !current.is_empty() || quoted {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                quoted = false;
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() || quoted {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statements_split_on_semicolons_and_newlines() {
+        assert_eq!(
+            split_statements("a; b\nc;;\n# comment\n d "),
+            vec!["a", "b", "c", "d"]
+        );
+        assert!(split_statements("").is_empty());
+        assert!(split_statements(" ; ;\n").is_empty());
+    }
+
+    #[test]
+    fn quoted_separators_do_not_split() {
+        assert_eq!(
+            split_statements("flow \"revgen --hwb 4; tbs; ps\"; ps -c"),
+            vec!["flow \"revgen --hwb 4; tbs; ps\"", "ps -c"]
+        );
+    }
+
+    #[test]
+    fn tokenizer_honours_quotes() {
+        assert_eq!(
+            tokenize("revgen --perm \"0 2 1 3\""),
+            vec!["revgen", "--perm", "0 2 1 3"]
+        );
+        assert_eq!(tokenize("  ps   -c "), vec!["ps", "-c"]);
+        assert!(tokenize("").is_empty());
+        // An explicitly quoted empty argument survives.
+        assert_eq!(tokenize("x \"\""), vec!["x", ""]);
+    }
+}

@@ -87,7 +87,11 @@ pub trait Backend {
     ///
     /// Returns an error if the circuit cannot be executed on this backend
     /// (for example, too many qubits for a simulator).
-    fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError>;
+    fn run(
+        &mut self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+    ) -> Result<ExecutionResult, QuantumError>;
 
     /// Reconfigures how the backend executes circuits (thread count, gate
     /// fusion). Backends that do not simulate — or that deliberately avoid
@@ -146,7 +150,11 @@ impl Backend for StatevectorBackend {
         "statevector-simulator"
     }
 
-    fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
+    fn run(
+        &mut self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+    ) -> Result<ExecutionResult, QuantumError> {
         let state = Statevector::run(circuit, &self.config)?;
         let histogram = state.sample_counts(&mut self.rng, shots);
         Ok(ExecutionResult::from_histogram(circuit, shots, &histogram))
@@ -193,7 +201,11 @@ impl Backend for NoisyHardwareBackend {
         &self.name
     }
 
-    fn run(&mut self, circuit: &QuantumCircuit, shots: usize) -> Result<ExecutionResult, QuantumError> {
+    fn run(
+        &mut self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+    ) -> Result<ExecutionResult, QuantumError> {
         let histogram = self.simulator.run(circuit, shots, &mut self.rng)?;
         Ok(ExecutionResult::from_histogram(circuit, shots, &histogram))
     }

@@ -133,12 +133,7 @@ impl QuantumCircuit {
         let mut depth = 0usize;
         for gate in &self.gates {
             let qubits = gate.qubits();
-            let layer = qubits
-                .iter()
-                .map(|&q| layer_of_qubit[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let layer = qubits.iter().map(|&q| layer_of_qubit[q]).max().unwrap_or(0) + 1;
             for &q in &qubits {
                 layer_of_qubit[q] = layer;
             }
@@ -156,12 +151,8 @@ impl QuantumCircuit {
         for gate in &self.gates {
             let qubits = gate.qubits();
             let is_t = gate.t_count() > 0;
-            let layer = qubits
-                .iter()
-                .map(|&q| layer_of_qubit[q])
-                .max()
-                .unwrap_or(0)
-                + usize::from(is_t);
+            let layer =
+                qubits.iter().map(|&q| layer_of_qubit[q]).max().unwrap_or(0) + usize::from(is_t);
             for &q in &qubits {
                 layer_of_qubit[q] = layer;
             }
@@ -222,7 +213,12 @@ impl<'a> IntoIterator for &'a QuantumCircuit {
 
 impl fmt::Display for QuantumCircuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "// {} qubits, {} gates", self.num_qubits, self.num_gates())?;
+        writeln!(
+            f,
+            "// {} qubits, {} gates",
+            self.num_qubits,
+            self.num_gates()
+        )?;
         for gate in &self.gates {
             writeln!(f, "{gate};")?;
         }

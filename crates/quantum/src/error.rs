@@ -52,13 +52,19 @@ impl fmt::Display for QuantumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} is out of range for a circuit on {num_qubits} qubits")
+                write!(
+                    f,
+                    "qubit {qubit} is out of range for a circuit on {num_qubits} qubits"
+                )
             }
             Self::DuplicateQubit { qubit } => {
                 write!(f, "qubit {qubit} is used more than once by the same gate")
             }
             Self::QubitCountMismatch { left, right } => {
-                write!(f, "circuits have mismatched qubit counts ({left} vs {right})")
+                write!(
+                    f,
+                    "circuits have mismatched qubit counts ({left} vs {right})"
+                )
             }
             Self::TooManyQubits { requested, maximum } => write!(
                 f,

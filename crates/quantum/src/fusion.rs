@@ -252,10 +252,7 @@ impl FusedOp {
                 Self::Mcx {
                     control_mask: own_controls,
                     target: own_target,
-                } => {
-                    control_mask & (1 << own_target) == 0
-                        && own_controls & (1 << target) == 0
-                }
+                } => control_mask & (1 << own_target) == 0 && own_controls & (1 << target) == 0,
                 Self::Swap { a, b } => {
                     let touched = control_mask | (1 << target);
                     touched & ((1 << a) | (1 << b)) == 0
@@ -265,10 +262,7 @@ impl FusedOp {
                 Self::Phase { .. } | Self::Dense { .. } | Self::Mcx { .. } => {
                     other.commutes_with(self)
                 }
-                Self::Swap {
-                    a: own_a,
-                    b: own_b,
-                } => {
+                Self::Swap { a: own_a, b: own_b } => {
                     let own = (1usize << own_a) | (1 << own_b);
                     own & ((1 << a) | (1 << b)) == 0
                 }
@@ -459,26 +453,28 @@ fn push_fused_at(ops: &mut Vec<FusedOp>, op: FusedOp, at: usize) {
 /// cancels to the identity, and `Some(Some(op))` for a fused op.
 fn merge(earlier: &FusedOp, later: &FusedOp) -> Option<Option<FusedOp>> {
     match (earlier, later) {
-        (
-            FusedOp::Phase { mask: a, phase: p },
-            FusedOp::Phase { mask: b, phase: q },
-        ) if a == b => {
+        (FusedOp::Phase { mask: a, phase: p }, FusedOp::Phase { mask: b, phase: q }) if a == b => {
             let phase = *p * *q;
-            Some((!phase.approx_eq(Complex::ONE, IDENTITY_EPS)).then_some(FusedOp::Phase {
-                mask: *a,
-                phase,
-            }))
+            Some(
+                (!phase.approx_eq(Complex::ONE, IDENTITY_EPS))
+                    .then_some(FusedOp::Phase { mask: *a, phase }),
+            )
         }
         (
-            FusedOp::Dense { qubit: a, matrix: m },
-            FusedOp::Dense { qubit: b, matrix: n },
+            FusedOp::Dense {
+                qubit: a,
+                matrix: m,
+            },
+            FusedOp::Dense {
+                qubit: b,
+                matrix: n,
+            },
         ) if a == b => Some(dense_unless_identity(*a, matmul(n, m))),
         // A dense gate followed by a single-qubit diagonal on the same
         // qubit: diag(1, p) · M scales the bottom row.
-        (
-            FusedOp::Dense { qubit, matrix },
-            FusedOp::Phase { mask, phase },
-        ) if *mask == 1usize << qubit => {
+        (FusedOp::Dense { qubit, matrix }, FusedOp::Phase { mask, phase })
+            if *mask == 1usize << qubit =>
+        {
             let mut merged = *matrix;
             merged[1][0] *= *phase;
             merged[1][1] *= *phase;
@@ -486,10 +482,9 @@ fn merge(earlier: &FusedOp, later: &FusedOp) -> Option<Option<FusedOp>> {
         }
         // A single-qubit diagonal followed by a dense gate on the same
         // qubit: M · diag(1, p) scales the right column.
-        (
-            FusedOp::Phase { mask, phase },
-            FusedOp::Dense { qubit, matrix },
-        ) if *mask == 1usize << qubit => {
+        (FusedOp::Phase { mask, phase }, FusedOp::Dense { qubit, matrix })
+            if *mask == 1usize << qubit =>
+        {
             let mut merged = *matrix;
             merged[0][1] *= *phase;
             merged[1][1] *= *phase;

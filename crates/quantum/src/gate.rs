@@ -85,8 +85,14 @@ impl QuantumGate {
     /// The qubits the gate acts on, in declaration order.
     pub fn qubits(&self) -> Vec<usize> {
         match self {
-            Self::H(q) | Self::X(q) | Self::Y(q) | Self::Z(q) | Self::S(q) | Self::Sdg(q)
-            | Self::T(q) | Self::Tdg(q) => vec![*q],
+            Self::H(q)
+            | Self::X(q)
+            | Self::Y(q)
+            | Self::Z(q)
+            | Self::S(q)
+            | Self::Sdg(q)
+            | Self::T(q)
+            | Self::Tdg(q) => vec![*q],
             Self::Rz { qubit, .. } => vec![*qubit],
             Self::Cx { control, target } => vec![*control, *target],
             Self::Cz { a, b } | Self::Swap { a, b } => vec![*a, *b],
@@ -171,7 +177,8 @@ impl QuantumGate {
             Self::Rz { angle, .. } => {
                 let eighth_turns = angle / FRAC_PI_4;
                 let is_multiple = (eighth_turns - eighth_turns.round()).abs() < 1e-9;
-                let is_odd_multiple = is_multiple && (eighth_turns.round() as i64).rem_euclid(2) == 1;
+                let is_odd_multiple =
+                    is_multiple && (eighth_turns.round() as i64).rem_euclid(2) == 1;
                 usize::from(is_odd_multiple)
             }
             _ => 0,
@@ -202,26 +209,14 @@ impl QuantumGate {
                 [Complex::real(inv_sqrt2), Complex::real(inv_sqrt2)],
                 [Complex::real(inv_sqrt2), Complex::real(-inv_sqrt2)],
             ],
-            Self::X(_) => [
-                [Complex::ZERO, Complex::ONE],
-                [Complex::ONE, Complex::ZERO],
-            ],
-            Self::Y(_) => [
-                [Complex::ZERO, -Complex::I],
-                [Complex::I, Complex::ZERO],
-            ],
+            Self::X(_) => [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]],
+            Self::Y(_) => [[Complex::ZERO, -Complex::I], [Complex::I, Complex::ZERO]],
             Self::Z(_) => [
                 [Complex::ONE, Complex::ZERO],
                 [Complex::ZERO, Complex::real(-1.0)],
             ],
-            Self::S(_) => [
-                [Complex::ONE, Complex::ZERO],
-                [Complex::ZERO, Complex::I],
-            ],
-            Self::Sdg(_) => [
-                [Complex::ONE, Complex::ZERO],
-                [Complex::ZERO, -Complex::I],
-            ],
+            Self::S(_) => [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::I]],
+            Self::Sdg(_) => [[Complex::ONE, Complex::ZERO], [Complex::ZERO, -Complex::I]],
             Self::T(_) => [
                 [Complex::ONE, Complex::ZERO],
                 [Complex::ZERO, Complex::from_angle(FRAC_PI_4)],
@@ -371,7 +366,11 @@ mod tests {
                     for k in 0..2 {
                         entry += m[row][k] * m[col][k].conj();
                     }
-                    let expected = if row == col { Complex::ONE } else { Complex::ZERO };
+                    let expected = if row == col {
+                        Complex::ONE
+                    } else {
+                        Complex::ZERO
+                    };
                     assert!(
                         entry.approx_eq(expected, 1e-12),
                         "{gate:?} is not unitary at ({row},{col})"
@@ -429,7 +428,11 @@ mod tests {
                 for k in 0..2 {
                     entry += s[row][k] * sdg[k][col];
                 }
-                let expected = if row == col { Complex::ONE } else { Complex::ZERO };
+                let expected = if row == col {
+                    Complex::ONE
+                } else {
+                    Complex::ZERO
+                };
                 assert!(entry.approx_eq(expected, 1e-12));
             }
         }

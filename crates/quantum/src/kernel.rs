@@ -334,8 +334,7 @@ mod tests {
     fn control_overlapping_target_is_a_no_op() {
         // The historical full scan could never satisfy "control set, target
         // clear" on the same qubit; the subspace enumeration must agree.
-        let mut amplitudes: Vec<Complex> =
-            (0..8).map(|k| Complex::new(k as f64, 0.0)).collect();
+        let mut amplitudes: Vec<Complex> = (0..8).map(|k| Complex::new(k as f64, 0.0)).collect();
         let before = amplitudes.clone();
         mcx_masked(&mut amplitudes, 0b001, 0b001);
         assert_eq!(amplitudes, before);

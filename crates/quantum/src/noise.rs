@@ -300,8 +300,11 @@ pub fn average_runs(histograms: &[Vec<usize>]) -> Vec<(f64, f64)> {
             })
             .collect();
         let mean = probabilities.iter().sum::<f64>() / runs;
-        let variance =
-            probabilities.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / runs;
+        let variance = probabilities
+            .iter()
+            .map(|p| (p - mean) * (p - mean))
+            .sum::<f64>()
+            / runs;
         result.push((mean, variance.sqrt()));
     }
     result
@@ -318,10 +321,7 @@ mod tests {
         circuit.push(QuantumGate::H(0)).unwrap();
         for target in 1..num_qubits {
             circuit
-                .push(QuantumGate::Cx {
-                    control: 0,
-                    target,
-                })
+                .push(QuantumGate::Cx { control: 0, target })
                 .unwrap();
         }
         circuit

@@ -85,15 +85,19 @@ pub fn from_qasm(source: &str) -> Result<QuantumCircuit, QuantumError> {
             circuit = Some(QuantumCircuit::new(size));
             continue;
         }
-        let circuit_ref = circuit.as_mut().ok_or_else(|| QuantumError::ParseQasmError {
-            line: line_number,
-            message: "gate before qreg declaration".to_owned(),
-        })?;
+        let circuit_ref = circuit
+            .as_mut()
+            .ok_or_else(|| QuantumError::ParseQasmError {
+                line: line_number,
+                message: "gate before qreg declaration".to_owned(),
+            })?;
         let gate = parse_gate_line(line, line_number)?;
-        circuit_ref.push(gate).map_err(|err| QuantumError::ParseQasmError {
-            line: line_number,
-            message: err.to_string(),
-        })?;
+        circuit_ref
+            .push(gate)
+            .map_err(|err| QuantumError::ParseQasmError {
+                line: line_number,
+                message: err.to_string(),
+            })?;
     }
     circuit.ok_or_else(|| QuantumError::ParseQasmError {
         line: 0,

@@ -56,6 +56,20 @@ impl ResourceCounts {
         counts
     }
 
+    /// A compact one-line rendering of the headline figures of merit, used
+    /// by pipeline reports and benchmark printouts.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} qubits, {} gates, depth {}, T-count {}, T-depth {}, CNOTs {}",
+            self.num_qubits,
+            self.total_gates,
+            self.depth,
+            self.t_count,
+            self.t_depth,
+            self.cnot_count
+        )
+    }
+
     /// Number of Clifford gates (total minus T gates, counting undecomposed
     /// multi-controlled gates as non-Clifford).
     pub fn clifford_count(&self) -> usize {

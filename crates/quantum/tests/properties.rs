@@ -1,9 +1,7 @@
 //! Property-based tests for the quantum circuit layer.
 
 use proptest::prelude::*;
-use qdaflow_quantum::{
-    circuit::QuantumCircuit, gate::QuantumGate, qasm, statevector::Statevector,
-};
+use qdaflow_quantum::{circuit::QuantumCircuit, gate::QuantumGate, qasm, statevector::Statevector};
 
 /// Strategy producing a random Clifford+T gate over `n` qubits (n >= 2).
 fn gate(n: usize) -> impl Strategy<Value = QuantumGate> {

@@ -43,13 +43,19 @@ impl fmt::Display for ReversibleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::LineOutOfRange { line, num_lines } => {
-                write!(f, "line {line} is out of range for a circuit on {num_lines} lines")
+                write!(
+                    f,
+                    "line {line} is out of range for a circuit on {num_lines} lines"
+                )
             }
             Self::OverlappingLines { line } => {
                 write!(f, "line {line} is used more than once by the same gate")
             }
             Self::LineCountMismatch { left, right } => {
-                write!(f, "circuits have mismatched line counts ({left} vs {right})")
+                write!(
+                    f,
+                    "circuits have mismatched line counts ({left} vs {right})"
+                )
             }
             Self::SpecificationTooLarge { num_vars, maximum } => write!(
                 f,

@@ -240,11 +240,7 @@ mod tests {
 
     fn check(permutation: &Permutation) {
         for direction in [TbsDirection::Unidirectional, TbsDirection::Bidirectional] {
-            let circuit = transformation_based_with(
-                permutation,
-                TbsOptions { direction },
-            )
-            .unwrap();
+            let circuit = transformation_based_with(permutation, TbsOptions { direction }).unwrap();
             assert!(
                 realizes_permutation(&circuit, permutation),
                 "{direction:?} failed for {permutation}"
@@ -328,7 +324,10 @@ mod tests {
             .unwrap()
             .num_gates();
         }
-        assert!(bi_total <= uni_total, "bidirectional {bi_total} vs unidirectional {uni_total}");
+        assert!(
+            bi_total <= uni_total,
+            "bidirectional {bi_total} vs unidirectional {uni_total}"
+        );
     }
 
     #[test]

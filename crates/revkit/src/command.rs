@@ -17,15 +17,14 @@
 //! | `exec`    | configure the execution layer (threads, gate fusion)           |
 //! | `qasm`    | print the quantum circuit as OpenQASM                          |
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
+//! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
 
 use crate::{RevkitError, Store};
-use qdaflow_boolfn::{hwb, Expr, Permutation};
-use qdaflow_mapping::{map, optimize};
+use qdaflow_mapping::{map, optimize, verify};
+use qdaflow_pipeline::{passes, FlowError, Ir, Pass, Pipeline, Stage};
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::{drawer, qasm, resource::ResourceCounts};
-use qdaflow_reversible::{
-    optimize as revopt, synthesis, synthesis::EsopSynthesisOptions,
-};
+use qdaflow_reversible::{optimize as revopt, synthesis, synthesis::EsopSynthesisOptions};
 
 /// A shell command.
 pub trait Command {
@@ -59,6 +58,7 @@ pub fn builtin_commands() -> Vec<Box<dyn Command>> {
         Box::new(Exec),
         Box::new(Qasm),
         Box::new(Draw),
+        Box::new(Flow),
     ]
 }
 
@@ -89,51 +89,52 @@ impl Command for Revgen {
     }
 
     fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
-        if let Some(n) = find_flag_value(args, "--hwb") {
-            let n = parse_usize(self.name(), n)?;
-            store.set_permutation(hwb::hwb_permutation(n));
-            store.log(format!("[revgen] hidden-weighted-bit function on {n} variables"));
-            return Ok(());
+        if args.is_empty() {
+            return Err(RevkitError::InvalidArguments {
+                command: self.name(),
+                message: "expected one of --hwb, --random, --perm, --expr".to_owned(),
+            });
         }
-        if let Some(n) = find_flag_value(args, "--random") {
-            let n = parse_usize(self.name(), n)?;
-            let seed = find_flag_value(args, "--seed")
-                .map(|s| parse_usize(self.name(), s))
-                .transpose()?
-                .unwrap_or(1) as u64;
-            store.set_permutation(Permutation::random_seeded(n, seed));
-            store.log(format!("[revgen] random permutation on {n} variables (seed {seed})"));
-            return Ok(());
+        // One argument grammar for both surfaces: the shell command
+        // delegates to the pipeline's revgen pass.
+        let pass = passes::Revgen::from_args(args).map_err(|error| match error {
+            FlowError::InvalidPassArguments { message, .. } => RevkitError::InvalidArguments {
+                command: self.name(),
+                message,
+            },
+            other => other.into(),
+        })?;
+        let generated = pass
+            .generate()
+            .expect("revgen with arguments is a generator")?;
+        match generated {
+            Ir::Permutation(permutation) => {
+                store.log(format!(
+                    "[revgen] permutation on {} variables ({})",
+                    permutation.num_vars(),
+                    pass.describe()
+                ));
+                store.set_permutation(permutation);
+            }
+            Ir::Function(function) => {
+                store.log(format!(
+                    "[revgen] boolean function on {} variables ({})",
+                    function.num_vars(),
+                    pass.describe()
+                ));
+                store.set_function(function);
+            }
+            other => {
+                return Err(RevkitError::InvalidArguments {
+                    command: self.name(),
+                    message: format!(
+                        "revgen generated a {} instead of a specification",
+                        other.stage()
+                    ),
+                })
+            }
         }
-        if let Some(list) = find_flag_value(args, "--perm") {
-            let values: Result<Vec<usize>, _> = list
-                .split([',', ' '])
-                .filter(|t| !t.is_empty())
-                .map(|t| parse_usize(self.name(), t))
-                .collect();
-            let permutation = Permutation::new(values?)?;
-            store.log(format!(
-                "[revgen] explicit permutation on {} variables",
-                permutation.num_vars()
-            ));
-            store.set_permutation(permutation);
-            return Ok(());
-        }
-        if let Some(expression) = find_flag_value(args, "--expr") {
-            let expr = Expr::parse(expression)?;
-            let num_vars = find_flag_value(args, "--vars")
-                .map(|s| parse_usize(self.name(), s))
-                .transpose()?
-                .unwrap_or_else(|| expr.num_vars());
-            let function = expr.truth_table(num_vars)?;
-            store.log(format!("[revgen] boolean function on {num_vars} variables"));
-            store.set_function(function);
-            return Ok(());
-        }
-        Err(RevkitError::InvalidArguments {
-            command: self.name(),
-            message: "expected one of --hwb, --random, --perm, --expr".to_owned(),
-        })
+        Ok(())
     }
 }
 
@@ -427,34 +428,137 @@ impl Command for Simulate {
 /// Verifies (by exhaustive basis-state simulation) that `quantum` realizes the
 /// same permutation as `reversible` on the original lines, with ancillas
 /// returned to zero. Uses the default execution configuration.
+///
+/// Thin wrapper around [`qdaflow_mapping::verify::quantum_matches_reversible`],
+/// the shared implementation used by the shell, the pipeline layer and the
+/// test-suites.
+///
+/// # Errors
+///
+/// Propagates simulation errors (for example a circuit that is too large).
 pub fn quantum_matches_reversible(
     quantum: &qdaflow_quantum::QuantumCircuit,
     reversible: &qdaflow_reversible::ReversibleCircuit,
 ) -> Result<bool, RevkitError> {
-    quantum_matches_reversible_with(quantum, reversible, &ExecConfig::default())
+    Ok(verify::quantum_matches_reversible(quantum, reversible)?)
 }
 
 /// [`quantum_matches_reversible`] with an explicit execution configuration.
 /// The quantum circuit is compiled once to a fused program and replayed on
 /// every basis state.
+///
+/// # Errors
+///
+/// Propagates simulation errors (for example a circuit that is too large).
 pub fn quantum_matches_reversible_with(
     quantum: &qdaflow_quantum::QuantumCircuit,
     reversible: &qdaflow_reversible::ReversibleCircuit,
     config: &ExecConfig,
 ) -> Result<bool, RevkitError> {
-    use qdaflow_quantum::fusion::FusedProgram;
-    use qdaflow_quantum::statevector::Statevector;
-    let program = FusedProgram::compile(quantum, config);
-    let lines = reversible.num_lines();
-    for basis in 0..(1usize << lines) {
-        let mut state = Statevector::basis_state(quantum.num_qubits(), basis)?;
-        program.apply(state.amplitudes_mut(), config);
-        let expected = reversible.apply(basis);
-        if state.probability_of(expected) < 1.0 - 1e-9 {
-            return Ok(false);
+    Ok(verify::quantum_matches_reversible_with(
+        quantum, reversible, config,
+    )?)
+}
+
+/// `flow` — run a whole pass pipeline through the typed pass manager.
+///
+/// The argument is a pipeline script in the paper's notation, typically
+/// quoted so that the shell does not split it at its semicolons:
+/// `flow "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps"` — equation (5) as
+/// literal user input. The pipeline is validated *before* it runs (an
+/// invalid pass order like `tpar` before `rptm` is rejected up front), is
+/// seeded from the store when it starts with a non-generator pass, and
+/// writes every produced artifact back into the store.
+pub struct Flow;
+
+impl Flow {
+    fn seed(
+        &self,
+        pipeline: &Pipeline,
+        store: &Store,
+    ) -> Result<qdaflow_pipeline::Ir, RevkitError> {
+        let accepted = pipeline.input_stages();
+        for stage in accepted.stages() {
+            match stage {
+                Stage::Permutation => {
+                    if let Some(p) = store.permutation() {
+                        return Ok(p.clone().into());
+                    }
+                }
+                Stage::Function => {
+                    if let Some(f) = store.function() {
+                        return Ok(f.clone().into());
+                    }
+                }
+                Stage::Reversible => {
+                    if let Some(c) = store.reversible() {
+                        return Ok(c.clone().into());
+                    }
+                }
+                Stage::Quantum => {
+                    if let Some(c) = store.quantum() {
+                        return Ok(c.clone().into());
+                    }
+                }
+            }
         }
+        Err(RevkitError::MissingStoreEntry {
+            command: "flow",
+            expected: "specification or circuit matching the pipeline input",
+        })
     }
-    Ok(true)
+}
+
+impl Command for Flow {
+    fn name(&self) -> &'static str {
+        "flow"
+    }
+
+    fn description(&self) -> &'static str {
+        "run a pass pipeline, e.g. flow \"revgen --hwb 4; tbs; revsimp; rptm; tpar; ps\""
+    }
+
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        if args.is_empty() {
+            return Err(RevkitError::InvalidArguments {
+                command: self.name(),
+                message: "expected a pipeline script, e.g. flow \"revgen --hwb 4; tbs; rptm\""
+                    .to_owned(),
+            });
+        }
+        let script = args.join(" ");
+        let pipeline = Pipeline::parse(&script)?;
+        let report = if pipeline.is_generated() {
+            pipeline.run_generated()?
+        } else {
+            pipeline.run(self.seed(&pipeline, store)?)?
+        };
+        for record in &report.passes {
+            store.log(format!("[flow] {}", record.summary()));
+            if let Some(note) = &record.note {
+                store.log(format!("[flow]   {note}"));
+            }
+        }
+        store.log(format!(
+            "[flow] {} passes in {:.1?}",
+            report.passes.len(),
+            report.total_duration()
+        ));
+        let artifacts = report.artifacts;
+        if let Some(p) = artifacts.permutation {
+            store.set_permutation(p);
+        }
+        if let Some(f) = artifacts.function {
+            store.set_function(f);
+        }
+        if let Some(c) = artifacts.reversible {
+            store.set_reversible(c);
+        }
+        if let Some(c) = artifacts.quantum {
+            store.set_quantum(c);
+        }
+        Ok(())
+    }
 }
 
 /// `exec` — configure the execution layer used by simulating commands.
@@ -488,7 +592,9 @@ impl Command for Exec {
                 other => {
                     return Err(RevkitError::InvalidArguments {
                         command: self.name(),
-                        message: format!("expected '--fusion on' or '--fusion off', found '{other}'"),
+                        message: format!(
+                            "expected '--fusion on' or '--fusion off', found '{other}'"
+                        ),
                     })
                 }
             };
@@ -597,12 +703,7 @@ mod tests {
         assert_eq!(store.permutation().unwrap().num_vars(), 3);
         run(&Revgen, &["--expr", "(a & b) ^ (c & d)"], &mut store).unwrap();
         assert_eq!(store.function().unwrap().num_vars(), 4);
-        run(
-            &Revgen,
-            &["--expr", "a ^ b", "--vars", "5"],
-            &mut store,
-        )
-        .unwrap();
+        run(&Revgen, &["--expr", "a ^ b", "--vars", "5"], &mut store).unwrap();
         assert_eq!(store.function().unwrap().num_vars(), 5);
     }
 

@@ -2,6 +2,7 @@
 
 use qdaflow_boolfn::BoolfnError;
 use qdaflow_mapping::MappingError;
+use qdaflow_pipeline::FlowError;
 use qdaflow_quantum::QuantumError;
 use qdaflow_reversible::ReversibleError;
 use std::error::Error;
@@ -94,6 +95,35 @@ impl From<MappingError> for RevkitError {
     }
 }
 
+impl From<FlowError> for RevkitError {
+    fn from(inner: FlowError) -> Self {
+        match inner {
+            FlowError::Boolfn(e) => Self::Boolfn(e),
+            FlowError::Reversible(e) => Self::Reversible(e),
+            FlowError::Quantum(e) => Self::Quantum(e),
+            FlowError::Mapping(e) => Self::Mapping(e),
+            other => Self::InvalidArguments {
+                command: "flow",
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<RevkitError> for FlowError {
+    fn from(inner: RevkitError) -> Self {
+        match inner {
+            RevkitError::Boolfn(e) => Self::Boolfn(e),
+            RevkitError::Reversible(e) => Self::Reversible(e),
+            RevkitError::Quantum(e) => Self::Quantum(e),
+            RevkitError::Mapping(e) => Self::Mapping(e),
+            other => Self::Shell {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +139,29 @@ mod tests {
         assert!(matches!(err, RevkitError::Boolfn(_)));
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<RevkitError>();
+    }
+
+    #[test]
+    fn flow_errors_bridge_both_ways() {
+        let err: RevkitError = FlowError::UnknownPass {
+            name: "frobnicate".to_owned(),
+        }
+        .into();
+        assert!(matches!(
+            err,
+            RevkitError::InvalidArguments {
+                command: "flow",
+                ..
+            }
+        ));
+        let err: RevkitError = FlowError::Boolfn(BoolfnError::NotBent).into();
+        assert!(matches!(err, RevkitError::Boolfn(_)));
+        let err: FlowError = RevkitError::UnknownCommand {
+            name: "nope".to_owned(),
+        }
+        .into();
+        assert!(matches!(err, FlowError::Shell { .. }));
+        let err: FlowError = RevkitError::Boolfn(BoolfnError::NotBent).into();
+        assert!(matches!(err, FlowError::Boolfn(_)));
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::command::{builtin_commands, Command};
 use crate::{RevkitError, Store};
+use qdaflow_pipeline::script::{split_statements, tokenize};
 
 /// A RevKit-style shell holding a [`Store`] and a command registry.
 ///
@@ -66,20 +67,18 @@ impl Shell {
         command.execute(args, &mut self.store)
     }
 
-    /// Runs a whole script (commands separated by `;` or newlines) and
-    /// returns the log lines produced by this run.
+    /// Runs a whole script (commands separated by `;` or newlines, with
+    /// double quotes protecting separators inside an argument — as needed
+    /// for `flow "revgen --hwb 4; tbs; …"`) and returns the log lines
+    /// produced by this run.
     ///
     /// # Errors
     ///
     /// Stops at and returns the first command error.
     pub fn run_script(&mut self, script: &str) -> Result<Vec<String>, RevkitError> {
         let before = self.store.log_lines().len();
-        for line in script.split([';', '\n']) {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            self.run_command(line)?;
+        for line in split_statements(script) {
+            self.run_command(&line)?;
         }
         Ok(self.store.log_lines()[before..].to_vec())
     }
@@ -89,28 +88,6 @@ impl Default for Shell {
     fn default() -> Self {
         Self::new()
     }
-}
-
-/// Splits a command line into tokens, honouring double quotes.
-fn tokenize(line: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut current = String::new();
-    let mut in_quotes = false;
-    for character in line.chars() {
-        match character {
-            '"' => in_quotes = !in_quotes,
-            c if c.is_whitespace() && !in_quotes => {
-                if !current.is_empty() {
-                    tokens.push(std::mem::take(&mut current));
-                }
-            }
-            c => current.push(c),
-        }
-    }
-    if !current.is_empty() {
-        tokens.push(current);
-    }
-    tokens
 }
 
 #[cfg(test)]
@@ -154,7 +131,9 @@ mod tests {
         assert!(output
             .iter()
             .any(|l| l.contains("[exec] threads=2 fusion=off parallel-threshold=4096")));
-        assert!(output.iter().any(|l| l.contains("[simulate]") && l.contains("matches")));
+        assert!(output
+            .iter()
+            .any(|l| l.contains("[simulate]") && l.contains("matches")));
         let config = shell.store().exec_config();
         assert_eq!(config.threads, 2);
         assert!(!config.fusion);
@@ -164,6 +143,64 @@ mod tests {
         // Without arguments the command just reports the current settings.
         let report = shell.run_script("exec").unwrap();
         assert!(report.iter().any(|l| l.contains("threads=2")));
+    }
+
+    #[test]
+    fn flow_command_runs_a_quoted_pipeline() {
+        // Equation (5) as literal user input: the quoted script is one
+        // statement even though it contains semicolons.
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script("flow \"revgen --hwb 4; tbs; revsimp; rptm; tpar; ps\"")
+            .unwrap();
+        assert!(output.iter().any(|l| l.contains("[flow] tbs")));
+        assert!(output.iter().any(|l| l.contains("T-count")));
+        assert!(shell.store().quantum().is_some());
+        assert!(shell.store().reversible().is_some());
+        assert!(shell.store().permutation().is_some());
+        // The produced circuits agree with each other.
+        let quantum = shell.store().quantum().unwrap().clone();
+        let reversible = shell.store().reversible().unwrap().clone();
+        assert!(crate::command::quantum_matches_reversible(&quantum, &reversible).unwrap());
+    }
+
+    #[test]
+    fn flow_command_seeds_from_the_store() {
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script("revgen --perm \"0 2 3 5 7 1 4 6\"; flow \"revgen; dbs; revsimp; rptm; tpar\"; simulate")
+            .unwrap();
+        assert!(output.iter().any(|l| l.contains("[flow]")));
+        assert!(output.iter().any(|l| l.contains("matches")));
+        assert!(!output.iter().any(|l| l.contains("DOES NOT")));
+    }
+
+    #[test]
+    fn flow_command_rejects_invalid_pipelines_up_front() {
+        let mut shell = Shell::new();
+        // Invalid pass order: typed error, nothing runs, store untouched.
+        let err = shell
+            .run_command("flow \"revgen --hwb 4; tpar\"")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RevkitError::InvalidArguments {
+                command: "flow",
+                ..
+            }
+        ));
+        assert!(shell.store().permutation().is_none());
+        // Unknown pass.
+        assert!(shell
+            .run_command("flow \"revgen --hwb 4; frobnicate\"")
+            .is_err());
+        // Missing script.
+        assert!(shell.run_command("flow").is_err());
+        // Missing store entry for a passthrough pipeline.
+        assert!(matches!(
+            shell.run_command("flow \"revgen; tbs\""),
+            Err(RevkitError::MissingStoreEntry { .. })
+        ));
     }
 
     #[test]
@@ -188,7 +225,9 @@ mod tests {
     fn help_lists_builtin_commands() {
         let shell = Shell::new();
         let help = shell.help();
-        for expected in ["revgen", "tbs", "dbs", "esopbs", "revsimp", "rptm", "tpar", "ps"] {
+        for expected in [
+            "revgen", "tbs", "dbs", "esopbs", "revsimp", "rptm", "tpar", "ps",
+        ] {
             assert!(help.iter().any(|(name, _)| name == expected), "{expected}");
         }
     }

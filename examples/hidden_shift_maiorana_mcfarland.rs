@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("--- permutation oracles via {synthesis:?} ---");
         println!(
             "qubits {}, gates {}, T-count {}, T-depth {}, CNOTs {}",
-            counts.num_qubits, counts.total_gates, counts.t_count, counts.t_depth, counts.cnot_count
+            counts.num_qubits,
+            counts.total_gates,
+            counts.t_count,
+            counts.t_depth,
+            counts.cnot_count
         );
         println!(
             "Shift is {} (success probability {:.3})",

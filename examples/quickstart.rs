@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Compile it into a diagonal Clifford+T phase oracle.
     let report = compile_phase_function(&f)?;
-    println!("compiled phase oracle : {} gates, T-count {}", report.optimized.total_gates, report.optimized.t_count);
+    println!(
+        "compiled phase oracle : {} gates, T-count {}",
+        report.optimized.total_gates, report.optimized.t_count
+    );
     println!("{}", drawer::draw(&report.circuit));
 
     // 3. Use it inside the hidden shift algorithm with a planted shift of 1.

@@ -18,9 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("$ revgen --perm \"0 2 3 5 7 1 4 6\"; dbs; revsimp; rptm; tpar; simulate; ps -c");
-    for line in shell
-        .run_script("revgen --perm \"0 2 3 5 7 1 4 6\"; dbs; revsimp; rptm; tpar; simulate; ps -c")?
-    {
+    for line in shell.run_script(
+        "revgen --perm \"0 2 3 5 7 1 4 6\"; dbs; revsimp; rptm; tpar; simulate; ps -c",
+    )? {
         println!("{line}");
     }
     Ok(())

@@ -67,12 +67,18 @@ fn fig5_drawing_matches_golden() {
 
 #[test]
 fn fig8_qasm_export_matches_golden() {
-    check_golden("fig8_maiorana_mcfarland.qasm", &qasm::to_qasm(&fig8_circuit()));
+    check_golden(
+        "fig8_maiorana_mcfarland.qasm",
+        &qasm::to_qasm(&fig8_circuit()),
+    );
 }
 
 #[test]
 fn fig8_drawing_matches_golden() {
-    check_golden("fig8_maiorana_mcfarland.txt", &drawer::draw(&fig8_circuit()));
+    check_golden(
+        "fig8_maiorana_mcfarland.txt",
+        &drawer::draw(&fig8_circuit()),
+    );
 }
 
 #[test]

@@ -70,7 +70,9 @@ fn exec_config_variants_agree_on_the_benchmark() {
     let configs = [
         ExecConfig::baseline(),
         ExecConfig::sequential(),
-        ExecConfig::default().with_threads(4).with_parallel_threshold(2),
+        ExecConfig::default()
+            .with_threads(4)
+            .with_parallel_threshold(2),
     ];
     let mut histograms = Vec::new();
     for config in configs {

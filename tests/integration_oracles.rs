@@ -15,9 +15,18 @@ fn phase_oracle_signs_match(function: &TruthTable) {
     let state = Statevector::from_circuit(&circuit).unwrap();
     let reference = state.amplitude(0).re.signum();
     let magnitude = (1.0 / function.len() as f64).sqrt();
-    let base_sign = if function.get(0) { -reference } else { reference };
+    let base_sign = if function.get(0) {
+        -reference
+    } else {
+        reference
+    };
     for x in 0..function.len() {
-        let expected = base_sign * if function.get(x) { -magnitude } else { magnitude };
+        let expected = base_sign
+            * if function.get(x) {
+                -magnitude
+            } else {
+                magnitude
+            };
         let actual = state.amplitude(x);
         assert!(
             (actual.re - expected).abs() < 1e-9 && actual.im.abs() < 1e-9,

@@ -73,13 +73,8 @@ fn shell_results_match_the_programmatic_flow() {
 #[test]
 fn qasm_written_by_the_shell_parses_back() {
     let mut shell = Shell::new();
-    let output = shell
-        .run_script("revgen --hwb 3; tbs; rptm; qasm")
-        .unwrap();
-    let qasm_text: Vec<String> = output
-        .into_iter()
-        .filter(|l| !l.starts_with('['))
-        .collect();
+    let output = shell.run_script("revgen --hwb 3; tbs; rptm; qasm").unwrap();
+    let qasm_text: Vec<String> = output.into_iter().filter(|l| !l.starts_with('[')).collect();
     let parsed = qdaflow::quantum::qasm::from_qasm(&qasm_text.join("\n")).unwrap();
     assert_eq!(parsed.gates(), shell.store().quantum().unwrap().gates());
 }

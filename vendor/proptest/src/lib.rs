@@ -41,15 +41,16 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Map {
-            source: self,
-            map,
-        }
+        Map { source: self, map }
     }
 
     /// Discards generated values failing `filter`, retrying until one
     /// passes.
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, filter: F) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        filter: F,
+    ) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -121,7 +122,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return candidate;
             }
         }
-        panic!("prop_filter '{}' rejected 10000 candidates in a row", self.whence);
+        panic!(
+            "prop_filter '{}' rejected 10000 candidates in a row",
+            self.whence
+        );
     }
 }
 
