@@ -4,7 +4,9 @@ pub use qdaflow_boolfn::{
     bent::{InnerProduct, MaioranaMcFarland},
     Expr, Permutation, TruthTable,
 };
-pub use qdaflow_engine::{MainEngine, Qubit, SynthesisChoice};
+pub use qdaflow_engine::{
+    BatchEngine, BatchJob, MainEngine, OracleCache, OracleSpec, Qubit, SynthesisChoice,
+};
 pub use qdaflow_mapping::map::MappingOptions;
 pub use qdaflow_pipeline::{FlowError, Ir, Pass, Pipeline, PipelineReport, Stage, StageSet};
 pub use qdaflow_quantum::{
@@ -36,6 +38,8 @@ mod tests {
         let _ = SynthesisChoice::default();
         let _ = ExecConfig::default();
         let _ = DenseReference::new(1);
+        let _ = BatchEngine::new();
+        let _ = OracleSpec::permutation(Permutation::identity(2), SynthesisChoice::default());
         let _ = Pipeline::parse("revgen --hwb 3; tbs; ps").unwrap();
         let _ = equation5_pipeline(Default::default());
     }

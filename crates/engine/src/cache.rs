@@ -1,0 +1,318 @@
+//! The compiled-oracle cache: compilation results keyed by the canonical
+//! hash of their specification.
+//!
+//! Oracle compilation (reversible synthesis, simplification, Clifford+T
+//! mapping) is by far the most expensive step of the engine's flow, and a
+//! production deployment sees the *same* oracles over and over — the same
+//! permutation compiled for every incoming job, the same phase function
+//! re-submitted by many users. [`OracleCache`] memoizes
+//! [`CompiledProgram`]s under the [`SpecKey`] of their [`OracleSpec`] (the
+//! canonical digest of the specification plus the pass list, see
+//! [`qdaflow_pipeline::spec`]), so a repeated compilation is a hash lookup
+//! instead of a synthesis run. The cache is `Sync`: concurrent
+//! `get_or_compile` calls for distinct specs compile in parallel outside the
+//! lock, and a race on the same key keeps the first inserted program.
+
+use crate::oracle::{compile_permutation_oracle, compile_phase_oracle, SynthesisChoice};
+use crate::EngineError;
+use qdaflow_boolfn::{Permutation, TruthTable};
+use qdaflow_pipeline::spec::{self, CanonicalHasher, SpecKey};
+use qdaflow_quantum::resource::ResourceCounts;
+use qdaflow_quantum::QuantumCircuit;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A cacheable oracle specification: what to compile and through which
+/// passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OracleSpec {
+    /// A permutation oracle `|x⟩ → |π(x)⟩`, compiled through the paper's
+    /// synthesis → `revsimp` → `rptm` prefix of equation (5).
+    Permutation {
+        /// The permutation to realize.
+        permutation: Permutation,
+        /// Which reversible synthesis algorithm to use.
+        synthesis: SynthesisChoice,
+    },
+    /// A diagonal phase oracle `U_f`, compiled through the `po` pass.
+    PhaseFunction {
+        /// The Boolean function whose phase oracle is compiled.
+        function: TruthTable,
+    },
+}
+
+impl OracleSpec {
+    /// A permutation-oracle spec.
+    pub fn permutation(permutation: Permutation, synthesis: SynthesisChoice) -> Self {
+        Self::Permutation {
+            permutation,
+            synthesis,
+        }
+    }
+
+    /// A phase-oracle spec.
+    pub fn phase_function(function: TruthTable) -> Self {
+        Self::PhaseFunction { function }
+    }
+
+    /// Number of specification variables (the oracle's data qubits; the
+    /// compiled circuit may add ancillas).
+    pub fn num_vars(&self) -> usize {
+        match self {
+            Self::Permutation { permutation, .. } => permutation.num_vars(),
+            Self::PhaseFunction { function } => function.num_vars(),
+        }
+    }
+
+    /// The ordered pass descriptions this spec compiles through — the pass
+    /// list half of the cache key.
+    pub fn pass_list(&self) -> Vec<String> {
+        match self {
+            Self::Permutation { synthesis, .. } => {
+                let synthesis = match synthesis {
+                    SynthesisChoice::TransformationBased => "tbs",
+                    SynthesisChoice::DecompositionBased => "dbs",
+                };
+                vec![
+                    synthesis.to_owned(),
+                    "revsimp".to_owned(),
+                    "rptm".to_owned(),
+                ]
+            }
+            Self::PhaseFunction { .. } => vec!["po".to_owned()],
+        }
+    }
+
+    /// The canonical cache key: the digest of the specification contents and
+    /// the pass list. Equal for any two specs describing the same oracle
+    /// through the same passes, regardless of how they were constructed.
+    /// Hashes by reference, and produces the same key as
+    /// [`spec::spec_key`]`(Some(&ir), &self.pass_list())` over the
+    /// corresponding `Ir` value (enforced by `tests/integration_batch.rs`).
+    pub fn cache_key(&self) -> SpecKey {
+        let mut hasher = CanonicalHasher::new();
+        match self {
+            Self::Permutation { permutation, .. } => {
+                spec::write_permutation(&mut hasher, permutation)
+            }
+            Self::PhaseFunction { function } => spec::write_function(&mut hasher, function),
+        }
+        spec::write_passes(&mut hasher, &self.pass_list());
+        hasher.finish()
+    }
+
+    /// Compiles the spec to a Clifford+T circuit (uncached; see
+    /// [`OracleCache::get_or_compile`] for the cached path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis and mapping failures.
+    pub fn compile(&self) -> Result<QuantumCircuit, EngineError> {
+        match self {
+            Self::Permutation {
+                permutation,
+                synthesis,
+            } => compile_permutation_oracle(permutation, *synthesis),
+            Self::PhaseFunction { function } => compile_phase_oracle(function),
+        }
+    }
+}
+
+/// A compiled, immutable oracle: the circuit plus the metadata the batch
+/// layer reports. Shared via `Arc` between the cache and all jobs using it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledProgram {
+    key: SpecKey,
+    circuit: QuantumCircuit,
+    resources: ResourceCounts,
+    compile_time: Duration,
+}
+
+impl CompiledProgram {
+    /// The cache key the program is stored under.
+    pub fn key(&self) -> SpecKey {
+        self.key
+    }
+
+    /// The compiled Clifford+T circuit.
+    pub fn circuit(&self) -> &QuantumCircuit {
+        &self.circuit
+    }
+
+    /// Resource counts of the compiled circuit.
+    pub fn resources(&self) -> &ResourceCounts {
+        &self.resources
+    }
+
+    /// Wall-clock time the (cold) compilation took.
+    pub fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+}
+
+/// Hit/miss/occupancy statistics of an [`OracleCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of `get_or_compile` calls answered from the cache.
+    pub hits: u64,
+    /// Number of `get_or_compile` calls that compiled.
+    pub misses: u64,
+    /// Number of programs currently cached.
+    pub entries: usize,
+}
+
+/// A thread-safe memo table of [`CompiledProgram`]s keyed by [`SpecKey`].
+#[derive(Debug, Default)]
+pub struct OracleCache {
+    programs: Mutex<HashMap<SpecKey, Arc<CompiledProgram>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OracleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the compiled program for `spec`, compiling (and caching) it
+    /// on a miss. Compilation happens outside the cache lock, so concurrent
+    /// misses on *distinct* specs compile in parallel; concurrent misses on
+    /// the *same* spec may compile redundantly, and the first insertion
+    /// wins.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures; nothing is cached on error.
+    pub fn get_or_compile(&self, spec: &OracleSpec) -> Result<Arc<CompiledProgram>, EngineError> {
+        self.get_or_compile_keyed(spec.cache_key(), spec)
+    }
+
+    /// [`OracleCache::get_or_compile`] for callers that already computed
+    /// `spec.cache_key()` (the batch engine keys every job up front for
+    /// deduplication); `key` must be that spec's key.
+    pub(crate) fn get_or_compile_keyed(
+        &self,
+        key: SpecKey,
+        spec: &OracleSpec,
+    ) -> Result<Arc<CompiledProgram>, EngineError> {
+        if let Some(program) = self.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(program);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let circuit = spec.compile()?;
+        let program = Arc::new(CompiledProgram {
+            key,
+            resources: ResourceCounts::of(&circuit),
+            circuit,
+            compile_time: start.elapsed(),
+        });
+        Ok(self.lock().entry(key).or_insert(program).clone())
+    }
+
+    /// Looks a program up without compiling (does not touch the hit/miss
+    /// counters).
+    pub fn peek(&self, key: SpecKey) -> Option<Arc<CompiledProgram>> {
+        self.lock().get(&key).cloned()
+    }
+
+    /// Current hit/miss/occupancy statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.lock().len(),
+        }
+    }
+
+    /// Evicts every cached program and resets the counters.
+    pub fn clear(&self) {
+        self.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<SpecKey, Arc<CompiledProgram>>> {
+        self.programs.lock().expect("oracle cache lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdaflow_quantum::Statevector;
+
+    fn example_permutation() -> Permutation {
+        Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap()
+    }
+
+    #[test]
+    fn repeated_compilations_hit_the_cache() {
+        let cache = OracleCache::new();
+        let spec = OracleSpec::permutation(example_permutation(), SynthesisChoice::default());
+        let first = cache.get_or_compile(&spec).unwrap();
+        let second = cache.get_or_compile(&spec).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // An equal spec constructed independently also hits.
+        let rebuilt = OracleSpec::permutation(example_permutation(), SynthesisChoice::default());
+        assert!(Arc::ptr_eq(
+            &cache.get_or_compile(&rebuilt).unwrap(),
+            &first
+        ));
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn synthesis_choice_and_spec_kind_separate_keys() {
+        let pi = example_permutation();
+        let tbs = OracleSpec::permutation(pi.clone(), SynthesisChoice::TransformationBased);
+        let dbs = OracleSpec::permutation(pi, SynthesisChoice::DecompositionBased);
+        assert_ne!(tbs.cache_key(), dbs.cache_key());
+        let f = TruthTable::from_bits(3, (0..8).map(|x| x == 7)).unwrap();
+        let po = OracleSpec::phase_function(f);
+        assert_ne!(po.cache_key(), tbs.cache_key());
+        let cache = OracleCache::new();
+        cache.get_or_compile(&tbs).unwrap();
+        cache.get_or_compile(&dbs).unwrap();
+        cache.get_or_compile(&po).unwrap();
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(cache.stats().misses, 3);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn cached_programs_realize_their_specification() {
+        let cache = OracleCache::new();
+        let pi = example_permutation();
+        let spec = OracleSpec::permutation(pi.clone(), SynthesisChoice::default());
+        let program = cache.get_or_compile(&spec).unwrap();
+        assert_eq!(program.key(), spec.cache_key());
+        assert!(program.resources().total_gates > 0);
+        for basis in 0..8usize {
+            let mut state =
+                Statevector::basis_state(program.circuit().num_qubits(), basis).unwrap();
+            state.apply_circuit(program.circuit());
+            assert!(
+                state.probability_of(pi.apply(basis)) > 1.0 - 1e-9,
+                "{basis}"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_does_not_compile_or_count() {
+        let cache = OracleCache::new();
+        let spec = OracleSpec::permutation(example_permutation(), SynthesisChoice::default());
+        assert!(cache.peek(spec.cache_key()).is_none());
+        cache.get_or_compile(&spec).unwrap();
+        assert!(cache.peek(spec.cache_key()).is_some());
+        assert_eq!(cache.stats().hits, 0);
+    }
+}

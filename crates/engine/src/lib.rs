@@ -36,10 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod oracle;
 
+pub use batch::{BatchEngine, BatchJob};
+pub use cache::{CacheStats, CompiledProgram, OracleCache, OracleSpec};
 pub use engine::{ComputeSection, MainEngine, Qubit};
 pub use error::EngineError;
 pub use oracle::SynthesisChoice;

@@ -45,8 +45,10 @@ pub mod passes;
 #[allow(clippy::module_inception)]
 pub mod pipeline;
 pub mod script;
+pub mod spec;
 
 pub use error::FlowError;
 pub use ir::{Ir, Stage, StageSet};
 pub use pass::Pass;
 pub use pipeline::{Artifacts, PassRecord, Pipeline, PipelineBuilder, PipelineReport};
+pub use spec::{CanonicalHasher, SpecKey};

@@ -62,8 +62,16 @@ enum RevgenSpec {
     },
     /// An explicit permutation.
     Permutation(Permutation),
-    /// An explicit single-output Boolean function.
-    Function(TruthTable),
+    /// An explicit single-output Boolean function. The optional `source`
+    /// keeps the argument text the pass was parsed from (`--expr "…"
+    /// [--vars N]`), so parsed pipelines describe themselves in a form
+    /// [`Pipeline::parse`](crate::Pipeline::parse) accepts again.
+    Function {
+        /// The materialized truth table.
+        table: TruthTable,
+        /// The canonical argument suffix captured at parse time, if any.
+        source: Option<String>,
+    },
 }
 
 /// `revgen` — produce the specification a pipeline starts from.
@@ -112,7 +120,10 @@ impl Revgen {
     /// An explicit Boolean function (`--expr "(a & b) ^ c"`).
     pub fn function(function: TruthTable) -> Self {
         Self {
-            spec: RevgenSpec::Function(function),
+            spec: RevgenSpec::Function {
+                table: function,
+                source: None,
+            },
         }
     }
 
@@ -194,11 +205,20 @@ impl Revgen {
         }
         let expression = value_of("--expr").expect("exactly one mode flag is present");
         let expr = Expr::parse(expression)?;
-        let num_vars = value_of("--vars")
+        let explicit_vars = value_of("--vars")
             .map(|s| parse_usize("revgen", s))
-            .transpose()?
-            .unwrap_or_else(|| expr.num_vars());
-        Ok(Self::function(expr.truth_table(num_vars)?))
+            .transpose()?;
+        let num_vars = explicit_vars.unwrap_or_else(|| expr.num_vars());
+        let source = match explicit_vars {
+            Some(vars) => format!("--expr \"{expression}\" --vars {vars}"),
+            None => format!("--expr \"{expression}\""),
+        };
+        Ok(Self {
+            spec: RevgenSpec::Function {
+                table: expr.truth_table(num_vars)?,
+                source: Some(source),
+            },
+        })
     }
 }
 
@@ -214,8 +234,25 @@ impl Pass for Revgen {
             RevgenSpec::Random { num_vars, seed } => {
                 format!("revgen --random {num_vars} --seed {seed}")
             }
-            RevgenSpec::Permutation(p) => format!("revgen --perm ({} vars)", p.num_vars()),
-            RevgenSpec::Function(f) => format!("revgen --expr ({} vars)", f.num_vars()),
+            RevgenSpec::Permutation(p) => {
+                let images: Vec<String> = p.as_slice().iter().map(usize::to_string).collect();
+                format!("revgen --perm \"{}\"", images.join(" "))
+            }
+            RevgenSpec::Function {
+                source: Some(source),
+                ..
+            } => format!("revgen {source}"),
+            // No source text (programmatic construction): not re-parseable,
+            // but the truth-table hex keeps the description — and therefore
+            // any spec key derived from it — unique per function.
+            RevgenSpec::Function {
+                table,
+                source: None,
+            } => format!(
+                "revgen --expr ({} vars, 0x{})",
+                table.num_vars(),
+                table.to_hex()
+            ),
         }
     }
 
@@ -232,7 +269,7 @@ impl Pass for Revgen {
             RevgenSpec::Hwb(_) | RevgenSpec::Random { .. } | RevgenSpec::Permutation(_) => {
                 StageSet::PERMUTATION
             }
-            RevgenSpec::Function(_) => StageSet::FUNCTION,
+            RevgenSpec::Function { .. } => StageSet::FUNCTION,
         }
     }
 
@@ -258,7 +295,7 @@ impl Pass for Revgen {
                 Permutation::random_seeded(*num_vars, *seed),
             ))),
             RevgenSpec::Permutation(p) => Some(Ok(Ir::Permutation(p.clone()))),
-            RevgenSpec::Function(f) => Some(Ok(Ir::Function(f.clone()))),
+            RevgenSpec::Function { table, .. } => Some(Ok(Ir::Function(table.clone()))),
         }
     }
 

@@ -91,6 +91,12 @@ impl Pipeline {
         self.passes.iter().map(|p| p.describe()).collect()
     }
 
+    /// The canonical cache key of running this pipeline on `input` (`None`
+    /// for generated pipelines); see [`crate::spec`].
+    pub fn spec_key(&self, input: Option<&Ir>) -> crate::spec::SpecKey {
+        crate::spec::spec_key(input, &self.pass_names())
+    }
+
     /// Number of passes.
     pub fn len(&self) -> usize {
         self.passes.len()
@@ -183,6 +189,18 @@ impl Pipeline {
 impl fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Pipeline({})", self.pass_names().join("; "))
+    }
+}
+
+impl fmt::Display for Pipeline {
+    /// Renders the pipeline in the canonical shell syntax: the pass
+    /// descriptions joined by `"; "`. For every pipeline obtained from
+    /// [`Pipeline::parse`] the rendering parses back to an equivalent
+    /// pipeline with the identical rendering (parse/Display are mutually
+    /// normalizing; enforced by the `parse_display_roundtrip` property
+    /// suite).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pass_names().join("; "))
     }
 }
 
@@ -516,6 +534,31 @@ mod tests {
             .run(Ir::Quantum(QuantumCircuit::new(1)))
             .unwrap_err();
         assert!(matches!(err, FlowError::StageMismatch { .. }));
+    }
+
+    #[test]
+    fn programmatic_function_pipelines_have_distinct_spec_keys() {
+        // Regression: `Revgen::function` carries no source text, so its
+        // description must still distinguish different truth tables (the
+        // table hex is embedded) — otherwise two generated pipelines over
+        // different functions would share a cache key.
+        use qdaflow_boolfn::TruthTable;
+        let build = |bit: usize| {
+            Pipeline::builder()
+                .then(Revgen::function(
+                    TruthTable::from_bits(3, (0..8).map(|x| x == bit)).unwrap(),
+                ))
+                .then(crate::passes::Esopbs::default())
+                .then(Rptm::default())
+                .build()
+                .unwrap()
+        };
+        let a = build(1);
+        let b = build(2);
+        assert_ne!(a.pass_names(), b.pass_names());
+        assert_ne!(a.spec_key(None), b.spec_key(None));
+        // Identical construction produces identical keys.
+        assert_eq!(a.spec_key(None), build(1).spec_key(None));
     }
 
     #[test]

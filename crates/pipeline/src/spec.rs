@@ -1,0 +1,222 @@
+//! Canonical hashing of pipeline specifications.
+//!
+//! The batch execution subsystem caches compiled oracles by *what they are*,
+//! not by object identity: a [`SpecKey`] is a 128-bit FNV-1a digest of the
+//! canonical byte encoding of the input specification (permutation map,
+//! truth-table bits, or circuit rendering) together with the ordered pass
+//! list. Two jobs that describe the same oracle through the same passes
+//! produce the same key — however their specs were constructed — so repeated
+//! compilations hit the cache instead of re-running synthesis and mapping.
+//!
+//! The encoding is deliberately self-delimiting (every variable-length field
+//! is length-prefixed and every [`Ir`] variant is tagged), so distinct specs
+//! cannot collide by concatenation ambiguity; the remaining collision risk is
+//! the generic 2⁻¹²⁸ of the digest width.
+
+use crate::ir::Ir;
+use qdaflow_boolfn::{Permutation, TruthTable};
+use std::fmt;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// The canonical 128-bit digest of a pipeline specification — the cache key
+/// of the batch execution subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecKey(pub u128);
+
+impl fmt::Display for SpecKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a/128 hasher over a canonical, self-delimiting byte
+/// encoding. Unlike `std::hash::Hasher` the output is stable across runs,
+/// platforms and processes, which is what makes the digest usable as a
+/// persistent cache key.
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    state: u128,
+}
+
+impl CanonicalHasher {
+    /// Starts a fresh digest.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_byte(&mut self, byte: u8) {
+        self.state ^= u128::from(byte);
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a raw byte slice (not length-prefixed; use
+    /// [`CanonicalHasher::write_str`] or a preceding
+    /// [`CanonicalHasher::write_u64`] length for variable-length fields).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_byte(byte);
+        }
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` (widened to `u64` so the encoding is
+    /// platform-independent).
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Absorbs a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, text: &str) {
+        self.write_usize(text.len());
+        self.write_bytes(text.as_bytes());
+    }
+
+    /// Finishes the digest.
+    pub fn finish(&self) -> SpecKey {
+        SpecKey(self.state)
+    }
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Absorbs the canonical encoding of a permutation specification (variant
+/// tag, variable count, image list). Hashing by reference — no intermediate
+/// [`Ir`] needs to be constructed.
+pub fn write_permutation(hasher: &mut CanonicalHasher, permutation: &Permutation) {
+    hasher.write_byte(1);
+    hasher.write_usize(permutation.num_vars());
+    for &image in permutation.as_slice() {
+        hasher.write_usize(image);
+    }
+}
+
+/// Absorbs the canonical encoding of a single-output Boolean function
+/// specification (variant tag, variable count, truth-table hex).
+pub fn write_function(hasher: &mut CanonicalHasher, function: &TruthTable) {
+    hasher.write_byte(2);
+    hasher.write_usize(function.num_vars());
+    hasher.write_str(&function.to_hex());
+}
+
+/// Absorbs the canonical encoding of an [`Ir`] value: a variant tag followed
+/// by the permutation map, the truth-table bits, or the circuit's textual
+/// rendering (length-prefixed).
+pub fn write_ir(hasher: &mut CanonicalHasher, ir: &Ir) {
+    match ir {
+        Ir::Permutation(permutation) => write_permutation(hasher, permutation),
+        Ir::Function(function) => write_function(hasher, function),
+        Ir::Reversible(circuit) => {
+            hasher.write_byte(3);
+            hasher.write_usize(circuit.num_lines());
+            hasher.write_str(&circuit.to_string());
+        }
+        Ir::Quantum(circuit) => {
+            hasher.write_byte(4);
+            hasher.write_usize(circuit.num_qubits());
+            hasher.write_str(&circuit.to_string());
+        }
+    }
+}
+
+/// Absorbs an ordered pass list (length-prefixed, each description
+/// length-prefixed). The second half of every spec key.
+pub fn write_passes(hasher: &mut CanonicalHasher, passes: &[String]) {
+    hasher.write_usize(passes.len());
+    for pass in passes {
+        hasher.write_str(pass);
+    }
+}
+
+/// The canonical cache key of running `passes` (ordered pass descriptions,
+/// as produced by [`Pipeline::pass_names`](crate::Pipeline::pass_names)) on
+/// `input`. Pass `None` for generated pipelines whose first pass produces
+/// the specification itself (the generator's arguments are part of its
+/// description and therefore of the key).
+pub fn spec_key(input: Option<&Ir>, passes: &[String]) -> SpecKey {
+    let mut hasher = CanonicalHasher::new();
+    match input {
+        Some(ir) => write_ir(&mut hasher, ir),
+        None => hasher.write_byte(0),
+    }
+    write_passes(&mut hasher, passes);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdaflow_boolfn::{Permutation, TruthTable};
+
+    fn passes(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn equal_specs_hash_equal_and_distinct_specs_differ() {
+        let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+        let same = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+        let other = Permutation::new(vec![0, 2, 3, 5, 7, 1, 6, 4]).unwrap();
+        let chain = passes(&["tbs", "revsimp", "rptm"]);
+        let key = spec_key(Some(&pi.clone().into()), &chain);
+        assert_eq!(key, spec_key(Some(&same.into()), &chain));
+        assert_ne!(key, spec_key(Some(&other.into()), &chain));
+        // The pass list is part of the key.
+        assert_ne!(
+            key,
+            spec_key(
+                Some(&pi.clone().into()),
+                &passes(&["dbs", "revsimp", "rptm"])
+            )
+        );
+        assert_ne!(key, spec_key(Some(&pi.into()), &passes(&["tbs", "rptm"])));
+    }
+
+    #[test]
+    fn variants_and_concatenations_do_not_collide() {
+        // A function spec never collides with a permutation spec, and the
+        // pass-list boundary is length-delimited.
+        let f = TruthTable::from_bits(2, [false, true, true, false]).unwrap();
+        let pi = Permutation::identity(2);
+        let chain = passes(&["esopbs"]);
+        assert_ne!(
+            spec_key(Some(&f.into()), &chain),
+            spec_key(Some(&pi.into()), &chain)
+        );
+        assert_ne!(
+            spec_key(None, &passes(&["ab", "c"])),
+            spec_key(None, &passes(&["a", "bc"]))
+        );
+        assert_ne!(spec_key(None, &passes(&[])), spec_key(None, &passes(&[""])));
+    }
+
+    #[test]
+    fn keys_render_as_32_hex_digits() {
+        let rendered = spec_key(None, &passes(&["tbs"])).to_string();
+        assert_eq!(rendered.len(), 32);
+        assert!(rendered.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn hasher_is_stable_across_calls() {
+        let mut a = CanonicalHasher::new();
+        a.write_str("tbs");
+        a.write_u64(7);
+        let mut b = CanonicalHasher::new();
+        b.write_str("tbs");
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tests pinning `Pipeline::parse` and `Display` against each
+//! other: parsing any well-formed script and rendering it back produces the
+//! canonical form of that script, and the canonical form is a fixed point of
+//! parse → Display.
+//!
+//! Each case builds a random valid pass sequence *structurally* (so the
+//! canonical rendering is known by construction), then derives a noisy
+//! surface form — shuffled separators, `;;`, comment lines, stray
+//! whitespace, comma-separated permutation literals, `ps -c` — and checks
+//! `Pipeline::parse(noisy).to_string() == canonical`.
+
+use proptest::prelude::*;
+use qdaflow_pipeline::Pipeline;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One statement: its canonical rendering plus a noisy variant.
+struct Statement {
+    canonical: String,
+    noisy: String,
+}
+
+fn plain(text: &str) -> Statement {
+    Statement {
+        canonical: text.to_owned(),
+        noisy: text.to_owned(),
+    }
+}
+
+/// A random permutation literal over 2^n points, canonically space-separated
+/// and noisily comma/space-mixed.
+fn random_perm_statement(rng: &mut StdRng) -> Statement {
+    let n = rng.gen_range(2..4usize);
+    let mut images: Vec<usize> = (0..1 << n).collect();
+    for i in (1..images.len()).rev() {
+        images.swap(i, rng.gen_range(0..i + 1));
+    }
+    let rendered: Vec<String> = images.iter().map(usize::to_string).collect();
+    let canonical = format!("revgen --perm \"{}\"", rendered.join(" "));
+    let separator = if rng.gen::<bool>() { "," } else { " " };
+    let noisy = format!("revgen  --perm \"{}\"", rendered.join(separator));
+    Statement { canonical, noisy }
+}
+
+/// A random expression spec from a fixed pool, optionally with an explicit
+/// `--vars` count (always at least the expression's own variable count).
+fn random_expr_statement(rng: &mut StdRng) -> Statement {
+    let pool: [(&str, usize); 5] = [
+        ("a & b", 2),
+        ("a ^ b", 2),
+        ("(a & b) ^ c", 3),
+        ("a | b", 2),
+        ("(x0 & x1) ^ (x2 & x3)", 4),
+    ];
+    let (text, num_vars) = pool[rng.gen_range(0..pool.len())];
+    if rng.gen::<bool>() {
+        let vars = num_vars + rng.gen_range(0..2usize);
+        plain(&format!("revgen --expr \"{text}\" --vars {vars}"))
+    } else {
+        plain(&format!("revgen --expr \"{text}\""))
+    }
+}
+
+/// Builds a random valid pass sequence. The first statement fixes whether a
+/// permutation or a Boolean function flows in; the tail follows the stage
+/// lattice (synthesis → simplification → mapping → optimization), with `ps`
+/// sprinkled in (noisily sometimes as `ps -c`, canonically always `ps`).
+fn random_statements(rng: &mut StdRng) -> Vec<Statement> {
+    let mut statements = Vec::new();
+    // permutation-shaped (true) or function-shaped (false) flow.
+    let permutation_flow;
+    match rng.gen_range(0..6u32) {
+        0 => {
+            permutation_flow = true;
+            statements.push(plain(&format!("revgen --hwb {}", rng.gen_range(2..5usize))));
+        }
+        1 => {
+            permutation_flow = true;
+            statements.push(plain(&format!(
+                "revgen --random {} --seed {}",
+                rng.gen_range(2..4usize),
+                rng.gen_range(0..100u32)
+            )));
+        }
+        2 => {
+            permutation_flow = true;
+            statements.push(random_perm_statement(rng));
+        }
+        3 => {
+            permutation_flow = false;
+            statements.push(random_expr_statement(rng));
+        }
+        4 => {
+            // Passthrough revgen: the specification arrives at run time.
+            permutation_flow = rng.gen::<bool>();
+            statements.push(plain("revgen"));
+        }
+        _ => {
+            // No revgen at all: the pipeline starts at synthesis.
+            permutation_flow = rng.gen::<bool>();
+        }
+    }
+    let push_ps = |statements: &mut Vec<Statement>, rng: &mut StdRng| {
+        if rng.gen_range(0..3u32) == 0 {
+            statements.push(Statement {
+                canonical: "ps".to_owned(),
+                noisy: if rng.gen::<bool>() { "ps -c" } else { "ps" }.to_owned(),
+            });
+        }
+    };
+    if permutation_flow {
+        statements.push(plain(if rng.gen::<bool>() { "tbs" } else { "dbs" }));
+    } else if rng.gen::<bool>() {
+        statements.push(plain("po"));
+        if rng.gen::<bool>() {
+            statements.push(plain("tpar"));
+        }
+        push_ps(&mut statements, rng);
+        return statements;
+    } else {
+        statements.push(plain("esopbs"));
+    }
+    push_ps(&mut statements, rng);
+    if rng.gen::<bool>() {
+        statements.push(plain("revsimp"));
+    }
+    if rng.gen::<bool>() {
+        statements.push(plain("rptm"));
+        if rng.gen::<bool>() {
+            statements.push(plain("tpar"));
+        }
+        push_ps(&mut statements, rng);
+    }
+    statements
+}
+
+/// Joins noisy statements with randomized separators, blank statements and
+/// comment lines.
+fn join_noisily(statements: &[Statement], rng: &mut StdRng) -> String {
+    let mut script = String::new();
+    if rng.gen::<bool>() {
+        script.push_str("# generated case\n");
+    }
+    for statement in statements {
+        if rng.gen_range(0..4u32) == 0 {
+            script.push_str("  ");
+        }
+        script.push_str(&statement.noisy);
+        match rng.gen_range(0..4u32) {
+            0 => script.push_str("; "),
+            1 => script.push_str(" ;\n"),
+            2 => script.push_str(";;"),
+            _ => script.push('\n'),
+        }
+        if rng.gen_range(0..5u32) == 0 {
+            script.push_str("# a comment between statements\n");
+        }
+    }
+    script
+}
+
+fn canonical_script(statements: &[Statement]) -> String {
+    let parts: Vec<&str> = statements.iter().map(|s| s.canonical.as_str()).collect();
+    parts.join("; ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parsing the noisy surface form renders back to the canonical form:
+    /// `Pipeline::parse(s).to_string() == normalize(s)`, where the
+    /// normalized form is known by construction.
+    #[test]
+    fn parse_then_display_normalizes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let statements = random_statements(&mut rng);
+        let canonical = canonical_script(&statements);
+        let noisy = join_noisily(&statements, &mut rng);
+        let parsed = Pipeline::parse(&noisy)
+            .unwrap_or_else(|e| panic!("parse failed for {noisy:?}: {e}"));
+        prop_assert_eq!(parsed.to_string(), canonical);
+    }
+
+    /// The canonical form is a fixed point: parse → Display → parse →
+    /// Display converges after one step.
+    #[test]
+    fn canonical_form_is_a_parse_display_fixed_point(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let statements = random_statements(&mut rng);
+        let canonical = canonical_script(&statements);
+        let once = Pipeline::parse(&canonical)
+            .unwrap_or_else(|e| panic!("parse failed for {canonical:?}: {e}"))
+            .to_string();
+        prop_assert_eq!(&once, &canonical);
+        let twice = Pipeline::parse(&once).unwrap().to_string();
+        prop_assert_eq!(twice, once);
+    }
+}
+
+#[test]
+fn equation_5_renders_canonically() {
+    let pipeline = Pipeline::parse("revgen --hwb 4 ;  tbs;; revsimp\nrptm; tpar;  ps -c").unwrap();
+    assert_eq!(
+        pipeline.to_string(),
+        "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps"
+    );
+    // The rendering is itself parseable and runnable.
+    let reparsed = Pipeline::parse(&pipeline.to_string()).unwrap();
+    assert!(reparsed.run_generated().is_ok());
+}

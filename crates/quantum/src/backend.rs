@@ -137,6 +137,27 @@ impl StatevectorBackend {
     pub fn statevector(&self, circuit: &QuantumCircuit) -> Result<Statevector, QuantumError> {
         Statevector::run(circuit, &self.config)
     }
+
+    /// Runs the circuit and samples `shots` measurements with the
+    /// shot-sharded parallel sampler under an explicit `seed`, independent of
+    /// the backend's own RNG stream. The histogram is reproducible at any
+    /// thread count — it depends only on `(circuit, shots, seed,
+    /// shot_shard_size)`; see [`crate::sampling`]. This is the execution path
+    /// the batch engine uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] for oversized circuits.
+    pub fn run_sharded(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<ExecutionResult, QuantumError> {
+        let state = Statevector::run(circuit, &self.config)?;
+        let histogram = state.sample_counts_sharded(seed, shots, &self.config);
+        Ok(ExecutionResult::from_histogram(circuit, shots, &histogram))
+    }
 }
 
 impl Default for StatevectorBackend {
@@ -295,6 +316,25 @@ mod tests {
         let mut a = StatevectorBackend::seeded(99);
         let mut b = StatevectorBackend::seeded(99);
         assert_eq!(a.run(&bell(), 100).unwrap(), b.run(&bell(), 100).unwrap());
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant_and_seed_keyed() {
+        let circuit = bell();
+        let sequential = StatevectorBackend::with_config(0, ExecConfig::sequential())
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        let threaded = StatevectorBackend::with_config(0, ExecConfig::sequential().with_threads(8))
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        assert_eq!(sequential, threaded);
+        // The seed, not the backend's internal RNG, keys the histogram.
+        let reseeded = StatevectorBackend::with_config(1, ExecConfig::sequential())
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        assert_eq!(sequential, reseeded);
+        assert_eq!(sequential.shots, 4096);
+        assert!(sequential.probability_of(0b01) < 1e-12);
     }
 
     #[test]

@@ -46,6 +46,14 @@ pub enum QuantumError {
         /// Human readable description of the failure.
         message: String,
     },
+    /// A gate was handed to an operation that does not support its shape
+    /// (for example, requesting the 2×2 matrix of a multi-qubit gate).
+    UnsupportedGate {
+        /// The gate's mnemonic (see [`QuantumGate::name`](crate::QuantumGate::name)).
+        gate: &'static str,
+        /// The operation that rejected it.
+        operation: &'static str,
+    },
 }
 
 impl fmt::Display for QuantumError {
@@ -75,6 +83,9 @@ impl fmt::Display for QuantumError {
             }
             Self::ParseQasmError { line, message } => {
                 write!(f, "qasm parse error at line {line}: {message}")
+            }
+            Self::UnsupportedGate { gate, operation } => {
+                write!(f, "gate '{gate}' is not supported by {operation}")
             }
         }
     }

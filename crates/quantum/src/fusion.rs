@@ -51,6 +51,11 @@ pub struct ExecConfig {
     pub fusion: bool,
     /// Minimum amplitude-slice length before threads are spawned.
     pub parallel_threshold: usize,
+    /// Shots per shard of the sharded measurement sampler (see
+    /// [`crate::sampling`]). Part of the reproducibility contract: together
+    /// with the seed and the shot count it fully determines the sharded
+    /// histogram, independent of the thread count.
+    pub shot_shard_size: usize,
 }
 
 impl ExecConfig {
@@ -65,6 +70,7 @@ impl ExecConfig {
                 .min(MAX_THREADS),
             fusion: true,
             parallel_threshold: 1 << 16,
+            shot_shard_size: crate::sampling::DEFAULT_SHOT_SHARD_SIZE,
         }
     }
 
@@ -83,6 +89,7 @@ impl ExecConfig {
             threads: 1,
             fusion: false,
             parallel_threshold: usize::MAX,
+            ..Self::auto()
         }
     }
 
@@ -104,6 +111,14 @@ impl ExecConfig {
     #[must_use]
     pub fn with_parallel_threshold(mut self, parallel_threshold: usize) -> Self {
         self.parallel_threshold = parallel_threshold;
+        self
+    }
+
+    /// Replaces the shard size of the sharded measurement sampler. Values
+    /// below 1 are clamped to 1 at sampling time.
+    #[must_use]
+    pub fn with_shot_shard_size(mut self, shot_shard_size: usize) -> Self {
+        self.shot_shard_size = shot_shard_size;
         self
     }
 

@@ -233,6 +233,22 @@ impl QuantumGate {
         };
         Some(matrix)
     }
+
+    /// Like [`QuantumGate::single_qubit_matrix`], but reports multi-qubit
+    /// gates as a typed [`QuantumError::UnsupportedGate`] instead of `None`,
+    /// for callers that treat the request as fallible rather than optional.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::UnsupportedGate`] for gates without a single
+    /// 2×2 matrix.
+    pub fn single_qubit_matrix_checked(&self) -> Result<[[Complex; 2]; 2], crate::QuantumError> {
+        self.single_qubit_matrix()
+            .ok_or(crate::QuantumError::UnsupportedGate {
+                gate: self.name(),
+                operation: "single_qubit_matrix",
+            })
+    }
 }
 
 impl fmt::Display for QuantumGate {
@@ -283,10 +299,35 @@ mod tests {
             qubit: 0,
             angle: 0.7,
         };
-        match rz.dagger() {
-            QuantumGate::Rz { angle, .. } => assert!((angle + 0.7).abs() < 1e-15),
-            other => panic!("unexpected dagger {other:?}"),
+        // Rz negation is exact in IEEE arithmetic, so the adjoint can be
+        // asserted structurally — no panicking fallback arm needed.
+        assert_eq!(
+            rz.dagger(),
+            QuantumGate::Rz {
+                qubit: 0,
+                angle: -0.7,
+            }
+        );
+    }
+
+    #[test]
+    fn multi_qubit_matrix_request_is_a_typed_error() {
+        use crate::QuantumError;
+        assert!(QuantumGate::H(0).single_qubit_matrix_checked().is_ok());
+        let err = QuantumGate::Cx {
+            control: 0,
+            target: 1,
         }
+        .single_qubit_matrix_checked()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            QuantumError::UnsupportedGate {
+                gate: "cx",
+                operation: "single_qubit_matrix",
+            }
+        );
+        assert!(err.to_string().contains("cx"));
     }
 
     #[test]

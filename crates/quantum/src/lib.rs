@@ -40,6 +40,7 @@ pub mod noise;
 pub mod qasm;
 pub mod reference;
 pub mod resource;
+pub mod sampling;
 pub mod statevector;
 
 pub use backend::{Backend, ExecutionResult};
@@ -49,6 +50,7 @@ pub use error::QuantumError;
 pub use fusion::{ExecConfig, FusedOp, FusedProgram};
 pub use gate::QuantumGate;
 pub use reference::{DenseReference, DenseReferenceBackend};
+pub use sampling::CumulativeDistribution;
 pub use statevector::Statevector;
 
 /// Maximum number of qubits supported by the statevector simulator.

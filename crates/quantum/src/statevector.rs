@@ -8,6 +8,7 @@
 use crate::complex::Complex;
 use crate::fusion::{ExecConfig, FusedProgram};
 use crate::kernel;
+use crate::sampling::CumulativeDistribution;
 use crate::{QuantumCircuit, QuantumError, QuantumGate, MAX_SIMULATOR_QUBITS};
 use rand::Rng;
 
@@ -191,9 +192,34 @@ impl Statevector {
         FusedProgram::compile(circuit, config).apply(&mut self.amplitudes, config);
     }
 
+    /// The precomputed cumulative measurement distribution of this state,
+    /// for callers that sample the same state many times (each draw is then
+    /// a binary search instead of a linear scan).
+    pub fn cumulative_distribution(&self) -> CumulativeDistribution {
+        CumulativeDistribution::from_amplitudes(&self.amplitudes)
+    }
+
     /// Samples a measurement of all qubits in the computational basis,
     /// returning the observed basis state. The state is not collapsed.
+    ///
+    /// A *single* draw is answered by the early-exiting linear scan — for
+    /// one shot that is both allocation-free and cheaper than building the
+    /// prefix sums (the noisy simulator samples each per-shot state exactly
+    /// once). Callers taking many shots from the same state should use
+    /// [`Statevector::sample_counts`] /
+    /// [`Statevector::sample_counts_sharded`], which build the
+    /// [`CumulativeDistribution`] once and binary-search every draw; both
+    /// samplers map any given draw to the identical outcome.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample_linear(rng)
+    }
+
+    /// The per-shot linear scan, the reference implementation the
+    /// `sampling_differential.rs` property suite compares the binary-search
+    /// sampler against (and the one-shot fast path behind
+    /// [`Statevector::sample`]). Consumes one `f64` draw and returns the
+    /// same outcome the cumulative distribution assigns to that draw.
+    pub fn sample_linear<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let draw: f64 = rng.gen();
         let mut cumulative = 0.0f64;
         for (basis, amplitude) in self.amplitudes.iter().enumerate() {
@@ -206,13 +232,31 @@ impl Statevector {
     }
 
     /// Samples `shots` measurements and returns a histogram of observed
-    /// basis states.
+    /// basis states. The cumulative distribution is built once and every
+    /// shot is a binary search; the RNG stream and the resulting histogram
+    /// are identical to the historical per-shot linear scan.
     pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<usize> {
-        let mut histogram = vec![0usize; self.amplitudes.len()];
-        for _ in 0..shots {
-            histogram[self.sample(rng)] += 1;
-        }
-        histogram
+        self.cumulative_distribution().sample_counts(rng, shots)
+    }
+
+    /// Shot-sharded parallel sampling: `shots` are split into fixed-size
+    /// shards, each drawing from an independent deterministic RNG stream
+    /// derived from `(seed, shard index)`, executed on up to
+    /// `config.threads` scoped workers. The histogram is identical at every
+    /// thread count and fully determined by `(seed, shots,
+    /// config.shot_shard_size)`; see [`crate::sampling`].
+    pub fn sample_counts_sharded(
+        &self,
+        seed: u64,
+        shots: usize,
+        config: &ExecConfig,
+    ) -> Vec<usize> {
+        self.cumulative_distribution().sample_sharded(
+            seed,
+            shots,
+            config.threads,
+            config.shot_shard_size,
+        )
     }
 
     /// Returns the basis state with the highest probability (ties broken by
@@ -414,6 +458,41 @@ mod tests {
         assert_eq!(histogram[0b10], 0);
         let zero_fraction = histogram[0b00] as f64 / 4000.0;
         assert!((zero_fraction - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn binary_search_sampler_matches_the_linear_reference() {
+        let state = Statevector::from_circuit(&bell_circuit()).unwrap();
+        let distribution = state.cumulative_distribution();
+        let mut fast_rng = StdRng::seed_from_u64(99);
+        let mut slow_rng = StdRng::seed_from_u64(99);
+        for _ in 0..256 {
+            assert_eq!(
+                distribution.sample_one(&mut fast_rng),
+                state.sample_linear(&mut slow_rng)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_sampling_is_reproducible_across_thread_counts() {
+        let state = Statevector::from_circuit(&bell_circuit()).unwrap();
+        let sequential = state.sample_counts_sharded(
+            7,
+            5000,
+            &ExecConfig::sequential().with_shot_shard_size(256),
+        );
+        let threaded = state.sample_counts_sharded(
+            7,
+            5000,
+            &ExecConfig::sequential()
+                .with_threads(4)
+                .with_shot_shard_size(256),
+        );
+        assert_eq!(sequential, threaded);
+        assert_eq!(sequential.iter().sum::<usize>(), 5000);
+        assert_eq!(sequential[0b01], 0);
+        assert_eq!(sequential[0b10], 0);
     }
 
     #[test]

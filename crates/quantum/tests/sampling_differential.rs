@@ -1,0 +1,125 @@
+//! Differential property tests for the measurement sampler: the
+//! binary-search (CDF) fast path against the retained linear-scan reference,
+//! and the shot-sharded parallel sampler against itself at different thread
+//! counts.
+//!
+//! Random states of up to 10 qubits are produced by random circuits; each
+//! case then checks, for the *same* seeded RNG stream, that
+//! `Statevector::sample_counts` (CDF + binary search) reproduces the
+//! histogram of the per-shot linear scan bit for bit — not merely
+//! statistically — and that the sharded sampler's merged histogram is
+//! invariant under the worker count (1/2/4/8 threads), which is the
+//! reproducibility contract of the batch execution subsystem.
+
+use proptest::prelude::*;
+use qdaflow_quantum::fusion::ExecConfig;
+use qdaflow_quantum::sampling::CumulativeDistribution;
+use qdaflow_quantum::{QuantumCircuit, QuantumGate, Statevector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random state over 1..=10 qubits from a seed, via a random
+/// circuit mixing superposition, phases and entanglement.
+fn random_state(seed: u64) -> Statevector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_qubits = rng.gen_range(1..11usize);
+    let num_gates = rng.gen_range(1..31usize);
+    let mut circuit = QuantumCircuit::new(num_qubits);
+    for _ in 0..num_gates {
+        let qubit = rng.gen_range(0..num_qubits);
+        let gate = match rng.gen_range(0..6u32) {
+            0 => QuantumGate::H(qubit),
+            1 => QuantumGate::X(qubit),
+            2 => QuantumGate::T(qubit),
+            3 => QuantumGate::Rz {
+                qubit,
+                angle: f64::from(rng.gen_range(0..16u32)) * std::f64::consts::FRAC_PI_4,
+            },
+            4 if num_qubits >= 2 => {
+                let target = (qubit + 1 + rng.gen_range(0..num_qubits - 1)) % num_qubits;
+                QuantumGate::Cx {
+                    control: qubit,
+                    target,
+                }
+            }
+            _ => QuantumGate::H(qubit),
+        };
+        circuit.push(gate).expect("generated gates are in range");
+    }
+    Statevector::from_circuit(&circuit).expect("small register")
+}
+
+/// Histogram drawn with the retired per-shot linear scan — the reference
+/// implementation the fast path must match exactly.
+fn linear_scan_counts(state: &Statevector, rng_seed: u64, shots: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut histogram = vec![0usize; state.amplitudes().len()];
+    for _ in 0..shots {
+        histogram[state.sample_linear(&mut rng)] += 1;
+    }
+    histogram
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Suite 1: for the same RNG stream, the CDF/binary-search sampler and
+    /// the linear-scan sampler produce bit-identical histograms.
+    #[test]
+    fn cdf_sampler_matches_linear_scan(seed in any::<u64>()) {
+        let state = random_state(seed);
+        let rng_seed = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let shots = 200 + (seed % 300) as usize;
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let fast = state.sample_counts(&mut rng, shots);
+        let slow = linear_scan_counts(&state, rng_seed, shots);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Suite 2: per-shot agreement — every single draw of the same stream
+    /// lands on the same outcome under both samplers.
+    #[test]
+    fn cdf_sampler_matches_linear_scan_shot_for_shot(seed in any::<u64>()) {
+        let state = random_state(seed);
+        let dist = state.cumulative_distribution();
+        let mut fast_rng = StdRng::seed_from_u64(seed);
+        let mut slow_rng = StdRng::seed_from_u64(seed);
+        for shot in 0..64 {
+            let fast = dist.sample_one(&mut fast_rng);
+            let slow = state.sample_linear(&mut slow_rng);
+            prop_assert_eq!(fast, slow, "shot {} diverged", shot);
+        }
+    }
+
+    /// Suite 3: sharded sampling under the same (seed, shard) scheme merges
+    /// to an identical histogram at 1, 2, 4 and 8 worker threads.
+    #[test]
+    fn sharded_sampling_is_thread_count_invariant(seed in any::<u64>()) {
+        let state = random_state(seed);
+        let shots = 1000 + (seed % 2000) as usize;
+        let config = ExecConfig::sequential().with_shot_shard_size(128);
+        let reference = state.sample_counts_sharded(seed, shots, &config);
+        prop_assert_eq!(reference.iter().sum::<usize>(), shots);
+        for threads in [2usize, 4, 8] {
+            let threaded =
+                state.sample_counts_sharded(seed, shots, &config.with_threads(threads));
+            prop_assert_eq!(&threaded, &reference, "threads={} diverged", threads);
+        }
+    }
+
+    /// Suite 4: the sharded histogram is determined by (seed, shots, shard
+    /// size) alone — recomputing it from the raw probability vector through
+    /// the public [`CumulativeDistribution`] API gives the same counts.
+    #[test]
+    fn sharded_sampling_matches_raw_distribution_path(seed in any::<u64>()) {
+        let state = random_state(seed);
+        let shots = 500 + (seed % 500) as usize;
+        let config = ExecConfig::sequential()
+            .with_threads(4)
+            .with_shot_shard_size(64);
+        let via_state = state.sample_counts_sharded(seed, shots, &config);
+        let dist = CumulativeDistribution::from_probabilities(&state.probabilities());
+        let via_dist = dist.sample_sharded(seed, shots, 4, 64);
+        prop_assert_eq!(via_state, via_dist);
+    }
+}

@@ -18,9 +18,12 @@
 //! | `qasm`    | print the quantum circuit as OpenQASM                          |
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 //! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
+//! | `batch`   | compile + sample many oracle jobs through the cached batch engine |
 
 use crate::{RevkitError, Store};
+use qdaflow_engine::{BatchJob, OracleSpec, SynthesisChoice};
 use qdaflow_mapping::{map, optimize, verify};
+use qdaflow_pipeline::script::tokenize;
 use qdaflow_pipeline::{passes, FlowError, Ir, Pass, Pipeline, Stage};
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::{drawer, qasm, resource::ResourceCounts};
@@ -59,6 +62,7 @@ pub fn builtin_commands() -> Vec<Box<dyn Command>> {
         Box::new(Qasm),
         Box::new(Draw),
         Box::new(Flow),
+        Box::new(Batch),
     ]
 }
 
@@ -561,6 +565,169 @@ impl Command for Flow {
     }
 }
 
+/// `batch` — run many oracle jobs through the cached batch execution engine.
+///
+/// Each `--spec "<spec>"` names one job; the spec grammar is
+/// `hwb N` | `random N [SEED]` | `perm 0 2 3 5 7 1 4 6` | `expr (a & b) ^ c`.
+/// All jobs share `--shots` (default 1024), `--synth tbs|dbs` (permutation
+/// synthesis, default tbs) and a base `--seed` (default 1; job `i` samples
+/// under `seed + i`). Jobs with identical specs are deduplicated through the
+/// shell's persistent compiled-oracle cache, distinct oracles compile and
+/// simulate in parallel, and sampling is shot-sharded — reproducible at any
+/// thread count (see the `exec` command for the thread knob).
+pub struct Batch;
+
+impl Batch {
+    fn invalid(message: String) -> RevkitError {
+        RevkitError::InvalidArguments {
+            command: "batch",
+            message,
+        }
+    }
+
+    /// Parses one `--spec` value into an [`OracleSpec`].
+    fn parse_spec(text: &str, synthesis: SynthesisChoice) -> Result<OracleSpec, RevkitError> {
+        let tokens = tokenize(text);
+        let Some((kind, rest)) = tokens.split_first() else {
+            return Err(Self::invalid("empty --spec value".to_owned()));
+        };
+        match kind.as_str() {
+            "hwb" => {
+                let [n] = rest else {
+                    return Err(Self::invalid(format!(
+                        "'hwb' expects one number in '{text}'"
+                    )));
+                };
+                let n = parse_usize("batch", n)?;
+                Ok(OracleSpec::permutation(
+                    qdaflow_boolfn::hwb::hwb_permutation(n),
+                    synthesis,
+                ))
+            }
+            "random" => {
+                let (n, seed) = match rest {
+                    [n] => (n, None),
+                    [n, seed] => (n, Some(seed)),
+                    _ => {
+                        return Err(Self::invalid(format!(
+                            "'random' expects 'random N [SEED]' in '{text}'"
+                        )))
+                    }
+                };
+                let n = parse_usize("batch", n)?;
+                let seed = seed
+                    .map(|s| parse_usize("batch", s))
+                    .transpose()?
+                    .unwrap_or(1);
+                Ok(OracleSpec::permutation(
+                    qdaflow_boolfn::Permutation::random_seeded(n, seed as u64),
+                    synthesis,
+                ))
+            }
+            "perm" => {
+                let images: Result<Vec<usize>, _> =
+                    rest.iter().map(|t| parse_usize("batch", t)).collect();
+                let permutation = qdaflow_boolfn::Permutation::new(images?)
+                    .map_err(|e| Self::invalid(e.to_string()))?;
+                Ok(OracleSpec::permutation(permutation, synthesis))
+            }
+            "expr" => {
+                let expression = rest.join(" ");
+                let expr = qdaflow_boolfn::Expr::parse(&expression)
+                    .map_err(|e| Self::invalid(e.to_string()))?;
+                let table = expr
+                    .truth_table(expr.num_vars())
+                    .map_err(|e| Self::invalid(e.to_string()))?;
+                Ok(OracleSpec::phase_function(table))
+            }
+            other => Err(Self::invalid(format!(
+                "unknown spec kind '{other}' (expected hwb | random | perm | expr)"
+            ))),
+        }
+    }
+}
+
+impl Command for Batch {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn description(&self) -> &'static str {
+        "run oracle jobs through the cached batch engine: batch [--shots N] [--seed S] [--synth tbs|dbs] --spec \"hwb 4\" [--spec \"perm 0 2 1 3\" ...]"
+    }
+
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let shots = find_flag_value(args, "--shots")
+            .map(|s| parse_usize(self.name(), s))
+            .transpose()?
+            .unwrap_or(1024);
+        let base_seed = find_flag_value(args, "--seed")
+            .map(|s| parse_usize(self.name(), s))
+            .transpose()?
+            .unwrap_or(1) as u64;
+        let synthesis = match find_flag_value(args, "--synth") {
+            None | Some("tbs") => SynthesisChoice::TransformationBased,
+            Some("dbs") => SynthesisChoice::DecompositionBased,
+            Some(other) => {
+                return Err(Self::invalid(format!(
+                    "expected '--synth tbs' or '--synth dbs', found '{other}'"
+                )))
+            }
+        };
+        let specs: Vec<&str> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == "--spec")
+            .map(|(index, _)| {
+                args.get(index + 1)
+                    .map(String::as_str)
+                    .ok_or_else(|| Self::invalid("'--spec' expects a value".to_owned()))
+            })
+            .collect::<Result<_, _>>()?;
+        if specs.is_empty() {
+            return Err(Self::invalid(
+                "expected at least one --spec \"<spec>\"".to_owned(),
+            ));
+        }
+        let jobs: Vec<BatchJob> = specs
+            .iter()
+            .enumerate()
+            .map(|(index, text)| {
+                Ok(BatchJob::new(
+                    Self::parse_spec(text, synthesis)?,
+                    shots,
+                    base_seed.wrapping_add(index as u64),
+                ))
+            })
+            .collect::<Result<_, RevkitError>>()?;
+        let before = store.batch_engine().cache().stats();
+        let results = store
+            .batch_engine()
+            .run_batch_with(&jobs, &store.exec_config())?;
+        let after = store.batch_engine().cache().stats();
+        for (index, (result, text)) in results.iter().zip(&specs).enumerate() {
+            let outcome = result
+                .most_likely()
+                .map_or("no shots".to_owned(), |(outcome, p)| {
+                    format!("most likely {outcome} (p={p:.2})")
+                });
+            store.log(format!(
+                "[batch] job {index}: {text} -> {} qubits, T-count {}, {} shots, {outcome}",
+                result.num_qubits, result.resources.t_count, result.shots
+            ));
+        }
+        let compiled = after.misses - before.misses;
+        let hits = after.hits - before.hits;
+        store.log(format!(
+            "[batch] {} jobs ({} distinct), {compiled} compiled, {hits} cache hits ({} programs cached)",
+            jobs.len(),
+            compiled + hits,
+            after.entries
+        ));
+        Ok(())
+    }
+}
+
 /// `exec` — configure the execution layer used by simulating commands.
 pub struct Exec;
 
@@ -761,6 +928,70 @@ mod tests {
         assert!(log.contains("matches"));
         assert!(log.contains("OPENQASM"));
         assert!(!log.contains("DOES NOT"));
+    }
+
+    #[test]
+    fn batch_runs_deduplicated_jobs_through_the_cache() {
+        let mut store = Store::new();
+        run(
+            &Batch,
+            &[
+                "--shots",
+                "64",
+                "--seed",
+                "9",
+                "--spec",
+                "perm 0 2 3 5 7 1 4 6",
+                "--spec",
+                "perm 0 2 3 5 7 1 4 6",
+                "--spec",
+                "hwb 3",
+                "--spec",
+                "expr (a & b) ^ c",
+            ],
+            &mut store,
+        )
+        .unwrap();
+        let log = store.log_lines().join("\n");
+        assert!(log.contains("[batch] job 0"));
+        assert!(log.contains("[batch] job 3"));
+        assert!(log.contains("4 jobs (3 distinct), 3 compiled, 0 cache hits"));
+        // A second invocation over a known oracle is all cache hits.
+        run(&Batch, &["--shots", "32", "--spec", "hwb 3"], &mut store).unwrap();
+        assert!(store
+            .log_lines()
+            .last()
+            .unwrap()
+            .contains("1 jobs (1 distinct), 0 compiled, 1 cache hits"));
+    }
+
+    #[test]
+    fn batch_validates_its_arguments() {
+        let mut store = Store::new();
+        for args in [
+            &[][..],
+            &["--spec"],
+            &["--spec", "frobnicate 3"],
+            &["--spec", "hwb"],
+            &["--spec", "hwb 3", "--synth", "maybe"],
+            &["--spec", "perm 0 0 1 1"],
+            &["--spec", "expr )("],
+        ] {
+            assert!(
+                matches!(
+                    run(&Batch, args, &mut store),
+                    Err(RevkitError::InvalidArguments { .. })
+                ),
+                "{args:?}"
+            );
+        }
+        // Random permutation specs and dbs synthesis work.
+        run(
+            &Batch,
+            &["--synth", "dbs", "--spec", "random 3 7"],
+            &mut store,
+        )
+        .unwrap();
     }
 
     #[test]

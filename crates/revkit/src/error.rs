@@ -1,6 +1,7 @@
 //! Error types for the RevKit-style shell.
 
 use qdaflow_boolfn::BoolfnError;
+use qdaflow_engine::EngineError;
 use qdaflow_mapping::MappingError;
 use qdaflow_pipeline::FlowError;
 use qdaflow_quantum::QuantumError;
@@ -39,6 +40,12 @@ pub enum RevkitError {
     Quantum(QuantumError),
     /// An error from the mapping layer.
     Mapping(MappingError),
+    /// A structural engine error (e.g. from the batch execution subsystem)
+    /// degraded to its rendered message.
+    Engine {
+        /// Rendered engine error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for RevkitError {
@@ -55,6 +62,7 @@ impl fmt::Display for RevkitError {
             Self::Reversible(inner) => write!(f, "{inner}"),
             Self::Quantum(inner) => write!(f, "{inner}"),
             Self::Mapping(inner) => write!(f, "{inner}"),
+            Self::Engine { message } => f.write_str(message),
         }
     }
 }
@@ -92,6 +100,20 @@ impl From<QuantumError> for RevkitError {
 impl From<MappingError> for RevkitError {
     fn from(inner: MappingError) -> Self {
         Self::Mapping(inner)
+    }
+}
+
+impl From<EngineError> for RevkitError {
+    fn from(inner: EngineError) -> Self {
+        match inner {
+            EngineError::Boolfn(e) => Self::Boolfn(e),
+            EngineError::Reversible(e) => Self::Reversible(e),
+            EngineError::Quantum(e) => Self::Quantum(e),
+            EngineError::Mapping(e) => Self::Mapping(e),
+            other => Self::Engine {
+                message: other.to_string(),
+            },
+        }
     }
 }
 
@@ -163,5 +185,15 @@ mod tests {
         assert!(matches!(err, FlowError::Shell { .. }));
         let err: FlowError = RevkitError::Boolfn(BoolfnError::NotBent).into();
         assert!(matches!(err, FlowError::Boolfn(_)));
+    }
+
+    #[test]
+    fn engine_errors_bridge_into_shell_errors() {
+        let err: RevkitError =
+            EngineError::Quantum(QuantumError::DuplicateQubit { qubit: 3 }).into();
+        assert!(matches!(err, RevkitError::Quantum(_)));
+        let err: RevkitError = EngineError::InvalidComputeSection.into();
+        assert!(matches!(err, RevkitError::Engine { .. }));
+        assert!(err.to_string().contains("compute"));
     }
 }

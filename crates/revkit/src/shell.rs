@@ -204,6 +204,25 @@ mod tests {
     }
 
     #[test]
+    fn batch_command_reuses_the_cache_across_script_lines() {
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script(
+                "batch --shots 128 --spec \"hwb 4\" --spec \"hwb 4\"\n\
+                 batch --shots 256 --spec \"hwb 4\" --spec \"perm 0 2 3 5 7 1 4 6\"",
+            )
+            .unwrap();
+        assert!(output
+            .iter()
+            .any(|l| l.contains("2 jobs (1 distinct), 1 compiled, 0 cache hits")));
+        // The second line compiles only the new permutation oracle; the
+        // repeated hwb 4 oracle is a cache hit from the first line.
+        assert!(output.iter().any(
+            |l| l.contains("2 jobs (2 distinct), 1 compiled, 1 cache hits (2 programs cached)")
+        ));
+    }
+
+    #[test]
     fn unknown_commands_are_reported() {
         let mut shell = Shell::new();
         assert!(matches!(

@@ -7,9 +7,11 @@
 //! in the paper need.
 
 use qdaflow_boolfn::{Permutation, TruthTable};
+use qdaflow_engine::BatchEngine;
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::QuantumCircuit;
 use qdaflow_reversible::ReversibleCircuit;
+use std::sync::Arc;
 
 /// The mutable state shared by all shell commands.
 #[derive(Debug, Clone, Default)]
@@ -19,6 +21,7 @@ pub struct Store {
     reversible: Option<ReversibleCircuit>,
     quantum: Option<QuantumCircuit>,
     exec_config: ExecConfig,
+    batch: Arc<BatchEngine>,
     log: Vec<String>,
 }
 
@@ -76,6 +79,14 @@ impl Store {
     /// Replaces the execution configuration (the `exec` command).
     pub fn set_exec_config(&mut self, config: ExecConfig) {
         self.exec_config = config;
+    }
+
+    /// The shared batch execution engine (the `batch` command). Its
+    /// compiled-oracle cache persists across commands of the same shell, so
+    /// repeated batches over the same oracles skip recompilation; clones of
+    /// the store share the same cache.
+    pub fn batch_engine(&self) -> &BatchEngine {
+        &self.batch
     }
 
     /// Appends a line to the command log (what the shell prints).

@@ -11,6 +11,7 @@
 //! as a golden diff. To regenerate after an intentional change, run
 //! `UPDATE_GOLDENS=1 cargo test --test golden_files` and review the diff.
 
+use qdaflow::codegen::{hidden_shift_driver, permutation_oracle_namespace, QsharpOptions};
 use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
 use qdaflow::prelude::*;
 use qdaflow::quantum::{drawer, qasm};
@@ -79,6 +80,22 @@ fn fig8_drawing_matches_golden() {
         "fig8_maiorana_mcfarland.txt",
         &drawer::draw(&fig8_circuit()),
     );
+}
+
+/// The Fig. 10 Q# source: the RevKit-preprocessed permutation-oracle
+/// namespace for `π = [0, 2, 3, 5, 7, 1, 4, 6]` plus the hand-written
+/// hidden-shift driver of Fig. 9 — exactly what the `qsharp_codegen`
+/// example prints.
+fn fig10_qsharp_source() -> String {
+    let pi = Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap();
+    let namespace = permutation_oracle_namespace(&pi, &QsharpOptions::default()).unwrap();
+    let driver = hidden_shift_driver("Microsoft.Quantum.HiddenShift");
+    format!("{namespace}\n{driver}")
+}
+
+#[test]
+fn fig10_qsharp_codegen_matches_golden() {
+    check_golden("fig10_qsharp.qs", &fig10_qsharp_source());
 }
 
 #[test]

@@ -1,0 +1,81 @@
+namespace Microsoft.Quantum.PermOracle {
+    open Microsoft.Quantum.Primitive;
+
+    operation PermutationOracle
+        // signature of input types
+        (qubits : Qubit[]) :
+        // signature of output type
+        () {
+        body {
+            CNOT(qubits[0], qubits[2]);
+            CNOT(qubits[2], qubits[1]);
+            H(qubits[2]);
+            CNOT(qubits[1], qubits[2]);
+            (Adjoint T)(qubits[2]);
+            CNOT(qubits[0], qubits[2]);
+            T(qubits[2]);
+            CNOT(qubits[1], qubits[2]);
+            (Adjoint T)(qubits[2]);
+            CNOT(qubits[0], qubits[2]);
+            T(qubits[1]);
+            T(qubits[2]);
+            H(qubits[2]);
+            CNOT(qubits[0], qubits[1]);
+            T(qubits[0]);
+            (Adjoint T)(qubits[1]);
+            CNOT(qubits[0], qubits[1]);
+            CNOT(qubits[1], qubits[0]);
+        }
+        adjoint auto
+        controlled auto
+        controlled adjoint auto
+    }
+
+    operation BentFunctionImpl
+        (n : Int, qs : Qubit[]) : () {
+        body {
+            let xs = qs[0..(n-1)];
+            let ys = qs[n..(2*n-1)];
+            (Adjoint PermutationOracle)(ys);
+            for (idx in 0..(n-1)) {
+                (Controlled Z)([xs[idx]], ys[idx]);
+            }
+            PermutationOracle(ys);
+        }
+    }
+
+    function BentFunction
+        (n : Int) : (Qubit[] => ()) {
+        return BentFunctionImpl(3, _);
+    }
+}
+
+namespace Microsoft.Quantum.HiddenShift {
+    // basic operations: Hadamard, CNOT, etc
+    open Microsoft.Quantum.Primitive;
+    // useful lib functions and combinators
+    open Microsoft.Quantum.Canon;
+    // permutation defining the instance
+    open Microsoft.Quantum.PermOracle;
+
+    operation HiddenShift
+        (Ufstar : (Qubit[] => ()),
+         Ug : (Qubit[] => ()), n : Int) :
+        Result[] {
+        body {
+            mutable resultArray = new Result[n];
+            using (qubits = Qubit[n]) {
+                ApplyToEach(H, qubits);
+                Ug(qubits);
+                ApplyToEach(H, qubits);
+                Ufstar(qubits);
+                ApplyToEach(H, qubits);
+                for (idx in 0..(n-1)) {
+                    set resultArray[idx] = MResetZ(qubits[idx]);
+                }
+            }
+            Message($"result: {resultArray}");
+            return resultArray;
+        }
+    }
+}
