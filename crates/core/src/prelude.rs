@@ -5,7 +5,8 @@ pub use qdaflow_boolfn::{
     Expr, Permutation, TruthTable,
 };
 pub use qdaflow_engine::{
-    BatchEngine, BatchJob, MainEngine, OracleCache, OracleSpec, Qubit, SynthesisChoice,
+    BackendChoice, BatchEngine, BatchJob, MainEngine, OracleCache, OracleSpec, Qubit,
+    SynthesisChoice,
 };
 pub use qdaflow_mapping::map::MappingOptions;
 pub use qdaflow_pipeline::{FlowError, Ir, Pass, Pipeline, PipelineReport, Stage, StageSet};
@@ -19,6 +20,7 @@ pub use qdaflow_quantum::{
 };
 pub use qdaflow_reversible::{MctGate, ReversibleCircuit};
 pub use qdaflow_revkit::Shell;
+pub use qdaflow_sparse::{SparseBackend, SparseStatevector};
 
 pub use crate::classical::ClassicalSolver;
 pub use crate::flow::{
@@ -38,6 +40,9 @@ mod tests {
         let _ = SynthesisChoice::default();
         let _ = ExecConfig::default();
         let _ = DenseReference::new(1);
+        let _ = SparseStatevector::new(32);
+        let _ = SparseBackend::seeded(1);
+        let _ = BackendChoice::Sparse;
         let _ = BatchEngine::new();
         let _ = OracleSpec::permutation(Permutation::identity(2), SynthesisChoice::default());
         let _ = Pipeline::parse("revgen --hwb 3; tbs; ps").unwrap();

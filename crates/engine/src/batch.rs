@@ -1,35 +1,42 @@
 //! The batch execution subsystem: deduplicated compilation plus parallel,
 //! reproducible sampling for many jobs at once.
 //!
-//! A [`BatchJob`] is one workload — an [`OracleSpec`] plus a shot count and a
-//! sampling seed. [`BatchEngine::run_batch`] executes a whole slice of jobs:
+//! A [`BatchJob`] is one workload — an [`OracleSpec`] plus a shot count, a
+//! sampling seed and a simulation [`BackendChoice`] (dense or sparse).
+//! [`BatchEngine::run_batch`] executes a whole slice of jobs:
 //!
-//! 1. every job's spec is keyed by its canonical hash and **deduplicated**
-//!    through the engine's [`OracleCache`], so `N` jobs over `k` distinct
-//!    oracles cost `k` compilations (or fewer, when the cache is warm from a
-//!    previous batch);
+//! 1. every job is keyed by the canonical hash of its spec *and* backend
+//!    choice ([`BatchJob::cache_key`]) and **deduplicated** through the
+//!    engine's [`OracleCache`], so `N` jobs over `k` distinct oracles cost
+//!    `k` compilations (or fewer, when the cache is warm from a previous
+//!    batch);
 //! 2. the distinct programs are compiled and simulated **in parallel** over
-//!    `std::thread::scope` workers (one statevector per distinct program,
-//!    shared by every job that uses it);
+//!    `std::thread::scope` workers (one statevector — dense or sparse per
+//!    the job's backend — per distinct program, shared by every job that
+//!    uses it);
 //! 3. each job samples its shots with the **shot-sharded** sampler
-//!    ([`Statevector::sample_counts_sharded`]) under its own seed.
+//!    ([`Statevector::sample_counts_sharded`] /
+//!    [`SparseStatevector::sample_counts_sharded`]) under its own seed.
 //!
 //! Results come back in job order and are fully reproducible: a job's
-//! histogram depends only on `(spec, shots, seed, shot_shard_size)` — never
-//! on the thread count, the batch composition, or the cache state.
+//! histogram depends only on `(spec, backend, shots, seed,
+//! shot_shard_size)` — never on the thread count, the batch composition, or
+//! the cache state.
 
 use crate::cache::{CompiledProgram, OracleCache, OracleSpec};
+use crate::engine::BackendChoice;
 use crate::EngineError;
-use qdaflow_pipeline::spec::SpecKey;
+use qdaflow_pipeline::spec::{CanonicalHasher, SpecKey};
 use qdaflow_quantum::backend::ExecutionResult;
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::Statevector;
+use qdaflow_sparse::SparseStatevector;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread;
 
-/// One batch workload: compile `spec`, execute it, and sample `shots`
-/// measurements under `seed`.
+/// One batch workload: compile `spec`, execute it on the chosen simulation
+/// backend, and sample `shots` measurements under `seed`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchJob {
     /// The oracle to compile and execute.
@@ -38,12 +45,84 @@ pub struct BatchJob {
     pub shots: usize,
     /// Seed of the job's sharded sampling streams.
     pub seed: u64,
+    /// Which exact simulation engine executes the compiled oracle.
+    pub backend: BackendChoice,
 }
 
 impl BatchJob {
-    /// Creates a job.
+    /// Creates a job on the default (dense) simulation backend.
     pub fn new(spec: OracleSpec, shots: usize, seed: u64) -> Self {
-        Self { spec, shots, seed }
+        Self {
+            spec,
+            shots,
+            seed,
+            backend: BackendChoice::default(),
+        }
+    }
+
+    /// Replaces the simulation backend of the job.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The cache key of this job's compilation.
+    ///
+    /// Dense jobs use the spec's canonical key unchanged (so the batch path
+    /// shares cache entries with [`OracleCache::get_or_compile`] and keys
+    /// stay stable across releases); sparse jobs extend the digest with a
+    /// backend tag, so the cache distinguishes which execution engine a
+    /// program was compiled for. Compilation itself is backend-independent,
+    /// so a mixed dense+sparse workload over the same spec deliberately
+    /// compiles (and caches) it once *per backend* — the cache records the
+    /// execution-ready artifact per engine, trading one redundant
+    /// compilation for unambiguous per-backend provenance.
+    pub fn cache_key(&self) -> SpecKey {
+        let base = self.spec.cache_key();
+        match self.backend {
+            BackendChoice::Dense => base,
+            BackendChoice::Sparse => {
+                let mut hasher = CanonicalHasher::new();
+                hasher.write_u64((base.0 >> 64) as u64);
+                hasher.write_u64(base.0 as u64);
+                hasher.write_str("backend:sparse");
+                hasher.finish()
+            }
+        }
+    }
+}
+
+/// The simulated output state of one distinct batch program, on whichever
+/// engine its jobs selected.
+#[derive(Debug)]
+enum SimulatedState {
+    Dense(Statevector),
+    Sparse(SparseStatevector),
+}
+
+impl SimulatedState {
+    /// Samples a job's shots with the shot-sharded sampler and builds its
+    /// [`ExecutionResult`]; both engines use the same `(seed, shard)` RNG
+    /// scheme, so equal-seed jobs agree across backends.
+    fn sample_job(
+        &self,
+        program: &CompiledProgram,
+        shots: usize,
+        seed: u64,
+        config: &ExecConfig,
+    ) -> ExecutionResult {
+        match self {
+            Self::Dense(state) => {
+                let histogram = state.sample_counts_sharded(seed, shots, config);
+                ExecutionResult::from_histogram(program.circuit(), shots, &histogram)
+            }
+            Self::Sparse(state) => {
+                let counts =
+                    qdaflow_sparse::widen_counts(state.sample_counts_sharded(seed, shots, config));
+                ExecutionResult::from_counts(program.circuit(), shots, counts)
+            }
+        }
     }
 }
 
@@ -116,53 +195,58 @@ impl BatchEngine {
         jobs: &[BatchJob],
         config: &ExecConfig,
     ) -> Result<Vec<ExecutionResult>, EngineError> {
-        // Deduplicate specs by canonical key, keeping first-appearance order
-        // so error reporting and work distribution are deterministic.
-        let keys: Vec<SpecKey> = jobs.iter().map(|job| job.spec.cache_key()).collect();
+        // Deduplicate jobs by canonical (spec, backend) key, keeping
+        // first-appearance order so error reporting and work distribution
+        // are deterministic.
+        let keys: Vec<SpecKey> = jobs.iter().map(BatchJob::cache_key).collect();
         let mut seen = HashSet::with_capacity(jobs.len());
-        let mut distinct: Vec<(SpecKey, &OracleSpec)> = Vec::new();
+        let mut distinct: Vec<(SpecKey, &OracleSpec, BackendChoice)> = Vec::new();
         for (job, &key) in jobs.iter().zip(&keys) {
             if seen.insert(key) {
-                distinct.push((key, &job.spec));
+                distinct.push((key, &job.spec, job.backend));
             }
         }
         let executed = self.compile_and_simulate(&distinct, config)?;
         let mut results = Vec::with_capacity(jobs.len());
         for (job, key) in jobs.iter().zip(&keys) {
             let (program, state) = &executed[key];
-            let histogram = state.sample_counts_sharded(job.seed, job.shots, config);
-            results.push(ExecutionResult::from_histogram(
-                program.circuit(),
-                job.shots,
-                &histogram,
-            ));
+            results.push(state.sample_job(program, job.shots, job.seed, config));
         }
         Ok(results)
     }
 
-    /// Compiles (through the cache) and simulates every distinct spec, in
-    /// parallel over up to `config.threads` scoped workers.
+    /// Compiles (through the cache) and simulates every distinct spec on its
+    /// selected backend, in parallel over up to `config.threads` scoped
+    /// workers.
     #[allow(clippy::type_complexity)]
     fn compile_and_simulate(
         &self,
-        distinct: &[(SpecKey, &OracleSpec)],
+        distinct: &[(SpecKey, &OracleSpec, BackendChoice)],
         config: &ExecConfig,
-    ) -> Result<HashMap<SpecKey, (Arc<CompiledProgram>, Arc<Statevector>)>, EngineError> {
+    ) -> Result<HashMap<SpecKey, (Arc<CompiledProgram>, SimulatedState)>, EngineError> {
         let workers = config.threads.max(1).min(distinct.len().max(1));
         // Avoid thread oversubscription: the per-simulation thread budget is
         // the config's, divided by the batch workers running concurrently.
         let simulate_config = config.with_threads((config.threads / workers).max(1));
         let run_one = |key: SpecKey,
-                       spec: &OracleSpec|
-         -> Result<(Arc<CompiledProgram>, Arc<Statevector>), EngineError> {
+                       spec: &OracleSpec,
+                       backend: BackendChoice|
+         -> Result<(Arc<CompiledProgram>, SimulatedState), EngineError> {
             let program = self.cache.get_or_compile_keyed(key, spec)?;
-            let state = Statevector::run(program.circuit(), &simulate_config)?;
-            Ok((program, Arc::new(state)))
+            let state = match backend {
+                BackendChoice::Dense => {
+                    SimulatedState::Dense(Statevector::run(program.circuit(), &simulate_config)?)
+                }
+                BackendChoice::Sparse => {
+                    SimulatedState::Sparse(SparseStatevector::from_circuit(program.circuit())?)
+                }
+            };
+            Ok((program, state))
         };
         let mut outcomes: Vec<Option<Result<_, EngineError>>> = if workers <= 1 {
             distinct
                 .iter()
-                .map(|&(key, spec)| Some(run_one(key, spec)))
+                .map(|&(key, spec, backend)| Some(run_one(key, spec, backend)))
                 .collect()
         } else {
             let mut slots: Vec<Option<Result<_, EngineError>>> =
@@ -175,8 +259,8 @@ impl BatchEngine {
                         let mut local = Vec::new();
                         let mut index = worker;
                         while index < distinct.len() {
-                            let (key, spec) = distinct[index];
-                            local.push((index, run_one(key, spec)));
+                            let (key, spec, backend) = distinct[index];
+                            local.push((index, run_one(key, spec, backend)));
                             index += workers;
                         }
                         local
@@ -191,7 +275,7 @@ impl BatchEngine {
             slots
         };
         let mut executed = HashMap::with_capacity(distinct.len());
-        for ((key, _), outcome) in distinct.iter().zip(outcomes.iter_mut()) {
+        for ((key, _, _), outcome) in distinct.iter().zip(outcomes.iter_mut()) {
             let outcome = outcome.take().expect("every distinct spec was executed");
             executed.insert(*key, outcome?);
         }
@@ -297,5 +381,61 @@ mod tests {
         let engine = BatchEngine::new();
         assert!(engine.run_batch(&[]).unwrap().is_empty());
         assert_eq!(engine.cache().stats().entries, 0);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_backend_choice() {
+        let dense = perm_job(vec![0, 2, 3, 5, 7, 1, 4, 6], 64, 1);
+        let sparse = dense.clone().with_backend(BackendChoice::Sparse);
+        assert_ne!(dense.cache_key(), sparse.cache_key());
+        // The dense job key stays the raw spec key, so the batch path keeps
+        // sharing cache entries with direct `get_or_compile` callers.
+        assert_eq!(dense.cache_key(), dense.spec.cache_key());
+        // A mixed batch compiles (and caches) the oracle once per backend.
+        let engine = BatchEngine::new();
+        engine.run_batch(&[dense, sparse]).unwrap();
+        let stats = engine.cache().stats();
+        assert_eq!((stats.misses, stats.entries), (2, 2));
+    }
+
+    #[test]
+    fn sparse_jobs_match_dense_jobs_shot_for_shot() {
+        // Unfused sequential execution makes the two engines' amplitudes
+        // (and therefore their sampling prefix sums) bit-identical, so
+        // equal-seed jobs must produce the *same* histogram.
+        let config = ExecConfig::baseline().with_shot_shard_size(128);
+        let engine = BatchEngine::with_config(config);
+        let jobs: Vec<BatchJob> = [
+            perm_job(vec![0, 2, 3, 5, 7, 1, 4, 6], 2000, 11),
+            BatchJob::new(
+                OracleSpec::phase_function(
+                    TruthTable::from_bits(3, (0..8).map(|x| x % 3 == 0)).unwrap(),
+                ),
+                1500,
+                13,
+            ),
+        ]
+        .into_iter()
+        .flat_map(|job| [job.clone(), job.with_backend(BackendChoice::Sparse)])
+        .collect();
+        let results = engine.run_batch(&jobs).unwrap();
+        assert_eq!(results[0], results[1], "permutation oracle");
+        assert_eq!(results[2], results[3], "phase oracle");
+    }
+
+    #[test]
+    fn sparse_batches_are_thread_count_invariant() {
+        let jobs = vec![
+            perm_job(vec![0, 2, 3, 5, 7, 1, 4, 6], 2000, 11).with_backend(BackendChoice::Sparse),
+            perm_job(vec![1, 0, 3, 2], 1000, 3).with_backend(BackendChoice::Sparse),
+        ];
+        let config = ExecConfig::sequential().with_shot_shard_size(128);
+        let sequential = BatchEngine::with_config(config).run_batch(&jobs).unwrap();
+        for threads in [2usize, 4, 8] {
+            let threaded = BatchEngine::with_config(config.with_threads(threads))
+                .run_batch(&jobs)
+                .unwrap();
+            assert_eq!(sequential, threaded, "threads={threads}");
+        }
     }
 }

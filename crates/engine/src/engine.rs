@@ -10,6 +10,56 @@ use qdaflow_quantum::backend::{
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::noise::NoiseModel;
 use qdaflow_quantum::{QuantumCircuit, QuantumGate};
+use qdaflow_sparse::SparseBackend;
+use std::fmt;
+
+/// Which exact-simulation engine executes circuits: the dense statevector
+/// (a `Vec` of all `2^n` amplitudes) or the sparse statevector (a hash map
+/// of the nonzero amplitudes only).
+///
+/// The choice threads through the whole stack: [`MainEngine`] construction
+/// ([`MainEngine::with_simulator_choice`]), per-job batch execution
+/// ([`BatchJob::with_backend`](crate::BatchJob::with_backend), where it is
+/// keyed into the oracle-cache digest), and the shell's `backend` command.
+/// Dense is the default and the right choice for states with dense support
+/// (e.g. Hadamard layers over the full register); sparse lifts the qubit
+/// ceiling for the paper's permutation-dominated oracle workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// The dense [`StatevectorBackend`]: all `2^n` amplitudes, capped at
+    /// [`MAX_SIMULATOR_QUBITS`](qdaflow_quantum::MAX_SIMULATOR_QUBITS).
+    #[default]
+    Dense,
+    /// The [`SparseBackend`]: nonzero amplitudes only, capped at
+    /// [`MAX_SPARSE_QUBITS`](qdaflow_sparse::MAX_SPARSE_QUBITS).
+    Sparse,
+}
+
+impl BackendChoice {
+    /// The lower-case name used by the shell's `backend` command and the
+    /// cache-key encoding.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Dense => "dense",
+            Self::Sparse => "sparse",
+        }
+    }
+
+    /// Parses a backend name (`"dense"` or `"sparse"`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "dense" => Some(Self::Dense),
+            "sparse" => Some(Self::Sparse),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A handle to a qubit allocated by a [`MainEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -52,6 +102,23 @@ impl MainEngine {
     /// Creates an engine targeting the exact statevector simulator.
     pub fn with_simulator() -> Self {
         Self::new(Box::new(StatevectorBackend::default()))
+    }
+
+    /// Creates an engine targeting the sparse statevector simulator —
+    /// the same exact semantics as [`MainEngine::with_simulator`] on the
+    /// shared domain, with cost scaling in the state's support size instead
+    /// of `2^n` (see [`qdaflow_sparse`]).
+    pub fn with_sparse_simulator() -> Self {
+        Self::new(Box::new(SparseBackend::default()))
+    }
+
+    /// Creates an engine targeting the exact simulator selected by
+    /// `choice`.
+    pub fn with_simulator_choice(choice: BackendChoice) -> Self {
+        match choice {
+            BackendChoice::Dense => Self::with_simulator(),
+            BackendChoice::Sparse => Self::with_sparse_simulator(),
+        }
     }
 
     /// Creates an engine targeting the statevector simulator with an
@@ -466,6 +533,46 @@ mod tests {
         let circuit = engine.circuit();
         assert_eq!(circuit.num_gates(), 2);
         assert_eq!(engine.backend_name(), "statevector-simulator");
+    }
+
+    #[test]
+    fn backend_choice_selects_the_simulation_engine() {
+        assert_eq!(
+            BackendChoice::from_name("dense"),
+            Some(BackendChoice::Dense)
+        );
+        assert_eq!(
+            BackendChoice::from_name("sparse"),
+            Some(BackendChoice::Sparse)
+        );
+        assert_eq!(BackendChoice::from_name("frobnicate"), None);
+        assert_eq!(BackendChoice::Sparse.to_string(), "sparse");
+        let dense = MainEngine::with_simulator_choice(BackendChoice::Dense);
+        assert_eq!(dense.backend_name(), "statevector-simulator");
+        let sparse = MainEngine::with_simulator_choice(BackendChoice::Sparse);
+        assert_eq!(sparse.backend_name(), "sparse-statevector-simulator");
+    }
+
+    #[test]
+    fn sparse_engine_runs_the_fig4_program_identically() {
+        // The complete Fig. 4 program on both exact engines: same seeds are
+        // not required for this check because the ideal outcome is
+        // deterministic — every shot recovers the planted shift.
+        for choice in [BackendChoice::Dense, BackendChoice::Sparse] {
+            let mut engine = MainEngine::with_simulator_choice(choice);
+            let qubits = engine.allocate_qureg(4);
+            let f = Expr::parse("(x0 & x1) ^ (x2 & x3)").unwrap();
+            let section = engine.begin_compute();
+            engine.all_h(&qubits).unwrap();
+            engine.x(qubits[0]).unwrap();
+            let section = engine.end_compute(section);
+            engine.phase_oracle_expr(&f, &qubits).unwrap();
+            engine.uncompute(&section).unwrap();
+            engine.phase_oracle_expr(&f, &qubits).unwrap();
+            engine.all_h(&qubits).unwrap();
+            let result = engine.flush(256).unwrap();
+            assert_eq!(result.most_likely(), Some((1, 1.0)), "{choice}");
+        }
     }
 
     #[test]

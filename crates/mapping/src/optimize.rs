@@ -4,7 +4,7 @@
 //!
 //! * [`cancel_adjacent`] — removes adjacent gate/inverse pairs
 //!   (`H H`, `T T†`, `CNOT CNOT`, ...),
-//! * [`phase_folding`] — a simplified version of the T-par optimization [69]
+//! * [`phase_folding`] — a simplified version of the T-par optimization \[69\]
 //!   used as the `tpar` step of the RevKit pipeline: within the phase
 //!   polynomial picture, π/4-phase gates applied to the same parity of path
 //!   variables are merged, and the merged exponent is re-emitted with the

@@ -2,10 +2,10 @@
 //!
 //! The reversible-to-quantum mapping of the paper relies on the standard
 //! 7-T decomposition of the Toffoli gate [Nielsen–Chuang] and on Maslov's
-//! relative-phase Toffoli [42], which only needs 4 T gates but introduces a
+//! relative-phase Toffoli \[42\], which only needs 4 T gates but introduces a
 //! relative phase that must be undone by the matching uncompute gate.
 //! Larger multiple-controlled gates are decomposed into a ladder of Toffoli
-//! gates over clean ancilla qubits (Barenco et al. [40]).
+//! gates over clean ancilla qubits (Barenco et al. \[40\]).
 
 use qdaflow_quantum::QuantumGate;
 

@@ -204,8 +204,8 @@ impl fmt::Display for Pipeline {
     }
 }
 
-/// Accumulates passes and validates the sequence on [`build`]
-/// (`PipelineBuilder::build`).
+/// Accumulates passes and validates the sequence on
+/// [`build`](PipelineBuilder::build).
 #[must_use = "call .build() to obtain a validated pipeline"]
 pub struct PipelineBuilder {
     passes: Vec<Box<dyn Pass>>,

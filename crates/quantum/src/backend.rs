@@ -51,6 +51,27 @@ impl ExecutionResult {
         }
     }
 
+    /// Builds the result of a sampling backend from a *sparse* histogram of
+    /// measured basis states (outcome → count).
+    ///
+    /// Backends whose state representation never materializes all `2^n`
+    /// outcomes (the sparse statevector simulator) cannot afford the dense
+    /// histogram slice of [`ExecutionResult::from_histogram`]; this
+    /// constructor accepts the counts map directly while producing the exact
+    /// same result shape (zero counts are dropped either way).
+    pub fn from_counts(
+        circuit: &QuantumCircuit,
+        shots: usize,
+        counts: BTreeMap<usize, usize>,
+    ) -> Self {
+        Self {
+            num_qubits: circuit.num_qubits(),
+            shots,
+            counts: counts.into_iter().filter(|&(_, count)| count > 0).collect(),
+            resources: ResourceCounts::of(circuit),
+        }
+    }
+
     /// Builds the result of a backend that analyzes a circuit without
     /// sampling it (the [`ResourceCounterBackend`]).
     pub fn resources_only(circuit: &QuantumCircuit) -> Self {
@@ -335,6 +356,20 @@ mod tests {
         assert_eq!(sequential, reseeded);
         assert_eq!(sequential.shots, 4096);
         assert!(sequential.probability_of(0b01) < 1e-12);
+    }
+
+    #[test]
+    fn sparse_and_dense_histogram_constructors_agree() {
+        let circuit = bell();
+        let histogram = [100usize, 0, 0, 156];
+        let dense = ExecutionResult::from_histogram(&circuit, 256, &histogram);
+        let sparse = ExecutionResult::from_counts(
+            &circuit,
+            256,
+            BTreeMap::from([(0usize, 100usize), (1, 0), (3, 156)]),
+        );
+        assert_eq!(dense, sparse);
+        assert!(!sparse.counts.contains_key(&1), "zero counts are dropped");
     }
 
     #[test]

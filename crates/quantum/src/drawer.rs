@@ -4,7 +4,7 @@
 //! figures of the paper: one row per qubit, time flowing left to right,
 //! controls drawn as `*`, CNOT targets as `+`, and boxed single-qubit gates.
 
-use crate::{QuantumCircuit, QuantumGate};
+use crate::{QuantumCircuit, QuantumError, QuantumGate};
 
 /// Renders the circuit as ASCII art, one line per qubit.
 ///
@@ -23,13 +23,37 @@ use crate::{QuantumCircuit, QuantumGate};
 /// # }
 /// ```
 pub fn draw(circuit: &QuantumCircuit) -> String {
-    let num_qubits = circuit.num_qubits();
+    draw_gates(circuit.num_qubits(), circuit.gates())
+        .expect("gates of a QuantumCircuit are validated at construction")
+}
+
+/// Renders a raw gate list over an explicit register width.
+///
+/// This is the checked entry point for gates that did **not** pass through
+/// [`QuantumCircuit::push`]'s validation (e.g. user-assembled gate lists):
+/// an out-of-range qubit is reported as a typed error instead of the slice
+/// indexing panic the renderer would otherwise hit. [`draw`] delegates here —
+/// circuits enforce the invariant at construction, so their rendering cannot
+/// fail.
+///
+/// # Errors
+///
+/// Returns [`QuantumError::QubitOutOfRange`] if any gate references a qubit
+/// `>= num_qubits`.
+pub fn draw_gates(num_qubits: usize, gates: &[QuantumGate]) -> Result<String, QuantumError> {
+    for gate in gates {
+        for qubit in gate.qubits() {
+            if qubit >= num_qubits {
+                return Err(QuantumError::QubitOutOfRange { qubit, num_qubits });
+            }
+        }
+    }
     if num_qubits == 0 {
-        return String::new();
+        return Ok(String::new());
     }
     // Columns of symbols; each gate gets one column.
     let mut columns: Vec<Vec<String>> = Vec::new();
-    for gate in circuit {
+    for gate in gates {
         let mut column = vec!["---".to_owned(); num_qubits];
         match gate {
             QuantumGate::Cx { control, target } => {
@@ -93,7 +117,7 @@ pub fn draw(circuit: &QuantumCircuit) -> String {
         }
         lines.push(line);
     }
-    lines.join("\n")
+    Ok(lines.join("\n"))
 }
 
 #[cfg(test)]
@@ -162,5 +186,34 @@ mod tests {
             })
             .unwrap();
         assert!(draw(&circuit).contains("[R]"));
+    }
+
+    #[test]
+    fn raw_gate_lists_with_out_of_range_qubits_are_a_typed_error() {
+        use crate::QuantumError;
+        // An unvalidated gate list used to hit the renderer's slice indexing
+        // panic; the checked entry point reports it as a typed error.
+        let gates = [
+            QuantumGate::H(0),
+            QuantumGate::Cx {
+                control: 0,
+                target: 5,
+            },
+        ];
+        assert_eq!(
+            draw_gates(2, &gates).unwrap_err(),
+            QuantumError::QubitOutOfRange {
+                qubit: 5,
+                num_qubits: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn raw_gate_lists_render_like_circuits() {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit.push(QuantumGate::Swap { a: 0, b: 1 }).unwrap();
+        assert_eq!(draw_gates(2, circuit.gates()).unwrap(), draw(&circuit));
     }
 }

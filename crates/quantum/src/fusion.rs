@@ -1,7 +1,7 @@
 //! Gate fusion and chunked multi-threaded statevector execution.
 //!
 //! This module is the optimized execution layer sitting on top of the scalar
-//! [`kernel`](crate::kernel): a circuit is first *compiled* into a
+//! [`kernel`]: a circuit is first *compiled* into a
 //! [`FusedProgram`] — a short list of [`FusedOp`] kernel operations in which
 //! runs of adjacent diagonal gates on the same subspace mask have been
 //! coalesced into a single phase multiply and adjacent dense single-qubit

@@ -235,12 +235,12 @@ impl QuantumGate {
     }
 
     /// Like [`QuantumGate::single_qubit_matrix`], but reports multi-qubit
-    /// gates as a typed [`QuantumError::UnsupportedGate`] instead of `None`,
+    /// gates as a typed [`QuantumError::UnsupportedGate`](crate::QuantumError::UnsupportedGate) instead of `None`,
     /// for callers that treat the request as fallible rather than optional.
     ///
     /// # Errors
     ///
-    /// Returns [`QuantumError::UnsupportedGate`] for gates without a single
+    /// Returns [`QuantumError::UnsupportedGate`](crate::QuantumError::UnsupportedGate) for gates without a single
     /// 2×2 matrix.
     pub fn single_qubit_matrix_checked(&self) -> Result<[[Complex; 2]; 2], crate::QuantumError> {
         self.single_qubit_matrix()

@@ -27,6 +27,30 @@ pub fn to_qasm(circuit: &QuantumCircuit) -> String {
     out
 }
 
+/// Like [`to_qasm`], but rejects gates that have no faithful OpenQASM 2.0
+/// form instead of silently degrading them to comments.
+///
+/// [`to_qasm`] exports `mcx`/`mcz` gates as comment lines, so a re-import
+/// silently *drops* them — a semantic loss that used to be observable only
+/// by comparing gate counts. Callers that need a faithful round trip (the
+/// shell's `qasm` command, file export) should use this variant and decompose
+/// multi-controlled gates through the mapping crate first.
+///
+/// # Errors
+///
+/// Returns [`QuantumError::UnsupportedGate`] for `mcx` and `mcz` gates.
+pub fn to_qasm_checked(circuit: &QuantumCircuit) -> Result<String, QuantumError> {
+    for gate in circuit {
+        if matches!(gate, QuantumGate::Mcx { .. } | QuantumGate::Mcz { .. }) {
+            return Err(QuantumError::UnsupportedGate {
+                gate: gate.name(),
+                operation: "qasm export",
+            });
+        }
+    }
+    Ok(to_qasm(circuit))
+}
+
 fn gate_to_qasm(gate: &QuantumGate) -> String {
     match gate {
         QuantumGate::Rz { qubit, angle } => format!("rz({angle}) q[{qubit}];"),
@@ -311,5 +335,41 @@ mod tests {
         assert!(qasm.contains("// mcx"));
         // The importer skips the comment, producing an empty circuit.
         assert_eq!(from_qasm(&qasm).unwrap().num_gates(), 0);
+    }
+
+    #[test]
+    fn checked_export_rejects_symbolic_gates_with_a_typed_error() {
+        let mut circuit = QuantumCircuit::new(4);
+        circuit
+            .push(QuantumGate::Mcz {
+                qubits: vec![0, 1, 2],
+            })
+            .unwrap();
+        assert_eq!(
+            to_qasm_checked(&circuit).unwrap_err(),
+            QuantumError::UnsupportedGate {
+                gate: "mcz",
+                operation: "qasm export",
+            }
+        );
+        let mut with_mcx = QuantumCircuit::new(4);
+        with_mcx
+            .push(QuantumGate::Mcx {
+                controls: vec![0, 1],
+                target: 3,
+            })
+            .unwrap();
+        assert!(matches!(
+            to_qasm_checked(&with_mcx),
+            Err(QuantumError::UnsupportedGate { gate: "mcx", .. })
+        ));
+    }
+
+    #[test]
+    fn checked_export_round_trips_faithful_circuits() {
+        let original = sample_circuit();
+        let exported = to_qasm_checked(&original).unwrap();
+        assert_eq!(exported, to_qasm(&original));
+        assert_eq!(from_qasm(&exported).unwrap().gates(), original.gates());
     }
 }

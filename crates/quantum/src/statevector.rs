@@ -72,7 +72,7 @@ impl Statevector {
 
     /// Runs a full circuit on the all-zeros state with an explicit execution
     /// configuration: the circuit is compiled to a
-    /// [`FusedProgram`](crate::fusion::FusedProgram) and applied with the
+    /// [`FusedProgram`] and applied with the
     /// configured fusion/threading settings.
     ///
     /// # Errors
@@ -156,7 +156,7 @@ impl Statevector {
     }
 
     /// Applies a single gate in place through the shared
-    /// [`kernel`](crate::kernel) dispatch.
+    /// [`kernel`] dispatch.
     ///
     /// # Panics
     ///

@@ -16,9 +16,11 @@ mod dbs;
 mod esop;
 mod tbs;
 
-pub use dbs::{decomposition_based, decomposition_based_with, DbsOptions};
-pub use esop::{esop_based, esop_based_single, EsopSynthesisOptions};
-pub use tbs::{transformation_based, transformation_based_with, TbsDirection, TbsOptions};
+pub use dbs::{decomposition_based, decomposition_based_with, DbsOptions, MAX_DBS_VARS};
+pub use esop::{esop_based, esop_based_single, EsopSynthesisOptions, MAX_ESOP_VARS};
+pub use tbs::{
+    transformation_based, transformation_based_with, TbsDirection, TbsOptions, MAX_TBS_VARS,
+};
 
 use crate::{ReversibleCircuit, ReversibleError};
 use qdaflow_boolfn::Permutation;

@@ -19,9 +19,10 @@
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 //! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
 //! | `batch`   | compile + sample many oracle jobs through the cached batch engine |
+//! | `backend` | select the simulation backend for batch jobs (`dense`/`sparse`) |
 
 use crate::{RevkitError, Store};
-use qdaflow_engine::{BatchJob, OracleSpec, SynthesisChoice};
+use qdaflow_engine::{BackendChoice, BatchJob, OracleSpec, SynthesisChoice};
 use qdaflow_mapping::{map, optimize, verify};
 use qdaflow_pipeline::script::tokenize;
 use qdaflow_pipeline::{passes, FlowError, Ir, Pass, Pipeline, Stage};
@@ -63,6 +64,7 @@ pub fn builtin_commands() -> Vec<Box<dyn Command>> {
         Box::new(Draw),
         Box::new(Flow),
         Box::new(Batch),
+        Box::new(BackendCmd),
     ]
 }
 
@@ -697,7 +699,8 @@ impl Command for Batch {
                     Self::parse_spec(text, synthesis)?,
                     shots,
                     base_seed.wrapping_add(index as u64),
-                ))
+                )
+                .with_backend(store.backend_choice()))
             })
             .collect::<Result<_, RevkitError>>()?;
         let before = store.batch_engine().cache().stats();
@@ -719,11 +722,57 @@ impl Command for Batch {
         let compiled = after.misses - before.misses;
         let hits = after.hits - before.hits;
         store.log(format!(
-            "[batch] {} jobs ({} distinct), {compiled} compiled, {hits} cache hits ({} programs cached)",
+            "[batch] {} jobs ({} distinct), {compiled} compiled, {hits} cache hits ({} programs cached) on the {} backend",
             jobs.len(),
             compiled + hits,
-            after.entries
+            after.entries,
+            store.backend_choice()
         ));
+        Ok(())
+    }
+}
+
+/// `backend` — select the simulation backend used by the `batch` command's
+/// jobs.
+///
+/// `backend sparse` routes subsequent batch jobs through the sparse
+/// statevector engine (nonzero amplitudes only — the right choice for the
+/// flow's permutation-dominated oracles and for registers beyond the dense
+/// ceiling); `backend dense` restores the default dense engine. Without an
+/// argument the command reports the current choice. The choice is keyed into
+/// the batch engine's compiled-oracle cache digests, so dense and sparse
+/// runs of the same oracle are cached independently.
+pub struct BackendCmd;
+
+impl Command for BackendCmd {
+    fn name(&self) -> &'static str {
+        "backend"
+    }
+
+    fn description(&self) -> &'static str {
+        "select the simulation backend for batch jobs (backend dense|sparse); no argument prints the current choice"
+    }
+
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        match args {
+            [] => {}
+            [name] => {
+                let choice = BackendChoice::from_name(name).ok_or_else(|| {
+                    RevkitError::InvalidArguments {
+                        command: self.name(),
+                        message: format!("expected 'dense' or 'sparse', found '{name}'"),
+                    }
+                })?;
+                store.set_backend_choice(choice);
+            }
+            _ => {
+                return Err(RevkitError::InvalidArguments {
+                    command: self.name(),
+                    message: "expected at most one argument (dense|sparse)".to_owned(),
+                })
+            }
+        }
+        store.log(format!("[backend] {}", store.backend_choice()));
         Ok(())
     }
 }
@@ -800,7 +849,10 @@ impl Command for Qasm {
                 expected: "quantum circuit",
             })?
             .clone();
-        for line in qasm::to_qasm(&quantum).lines() {
+        // The checked exporter turns silent semantic loss (mcx/mcz degraded
+        // to comments that a re-import drops) into a typed error; circuits
+        // that reach this command through `rptm` are already Clifford+T.
+        for line in qasm::to_qasm_checked(&quantum)?.lines() {
             store.log(line.to_owned());
         }
         Ok(())
@@ -928,6 +980,51 @@ mod tests {
         assert!(log.contains("matches"));
         assert!(log.contains("OPENQASM"));
         assert!(!log.contains("DOES NOT"));
+    }
+
+    #[test]
+    fn backend_command_switches_the_batch_engine() {
+        let mut store = Store::new();
+        run(&BackendCmd, &[], &mut store).unwrap();
+        assert!(store.log_lines()[0].contains("[backend] dense"));
+        run(&BackendCmd, &["sparse"], &mut store).unwrap();
+        assert_eq!(store.backend_choice(), BackendChoice::Sparse);
+        assert!(store.log_lines()[1].contains("[backend] sparse"));
+        assert!(matches!(
+            run(&BackendCmd, &["maybe"], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
+        assert!(matches!(
+            run(&BackendCmd, &["dense", "sparse"], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
+        // Batch jobs pick up the choice and report it.
+        run(&Batch, &["--shots", "32", "--spec", "hwb 3"], &mut store).unwrap();
+        assert!(store
+            .log_lines()
+            .last()
+            .unwrap()
+            .contains("on the sparse backend"));
+    }
+
+    #[test]
+    fn qasm_command_reports_unexportable_gates_as_typed_errors() {
+        use qdaflow_quantum::{QuantumCircuit, QuantumGate};
+        let mut store = Store::new();
+        let mut circuit = QuantumCircuit::new(4);
+        circuit
+            .push(QuantumGate::Mcx {
+                controls: vec![0, 1, 2],
+                target: 3,
+            })
+            .unwrap();
+        store.set_quantum(circuit);
+        assert!(matches!(
+            run(&Qasm, &[], &mut store),
+            Err(RevkitError::Quantum(
+                qdaflow_quantum::QuantumError::UnsupportedGate { gate: "mcx", .. }
+            ))
+        ));
     }
 
     #[test]

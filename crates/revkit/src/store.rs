@@ -7,7 +7,7 @@
 //! in the paper need.
 
 use qdaflow_boolfn::{Permutation, TruthTable};
-use qdaflow_engine::BatchEngine;
+use qdaflow_engine::{BackendChoice, BatchEngine};
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::QuantumCircuit;
 use qdaflow_reversible::ReversibleCircuit;
@@ -21,6 +21,7 @@ pub struct Store {
     reversible: Option<ReversibleCircuit>,
     quantum: Option<QuantumCircuit>,
     exec_config: ExecConfig,
+    backend_choice: BackendChoice,
     batch: Arc<BatchEngine>,
     log: Vec<String>,
 }
@@ -81,6 +82,17 @@ impl Store {
         self.exec_config = config;
     }
 
+    /// The simulation backend used by the `batch` command's jobs (the
+    /// `backend` command).
+    pub fn backend_choice(&self) -> BackendChoice {
+        self.backend_choice
+    }
+
+    /// Replaces the simulation backend choice.
+    pub fn set_backend_choice(&mut self, choice: BackendChoice) {
+        self.backend_choice = choice;
+    }
+
     /// The shared batch execution engine (the `batch` command). Its
     /// compiled-oracle cache persists across commands of the same shell, so
     /// repeated batches over the same oracles skip recompilation; clones of
@@ -123,8 +135,11 @@ mod tests {
         assert!(store.quantum().is_some());
         store.log("hello");
         assert_eq!(store.log_lines(), ["hello"]);
+        store.set_backend_choice(BackendChoice::Sparse);
+        assert_eq!(store.backend_choice(), BackendChoice::Sparse);
         store.clear();
         assert!(store.permutation().is_none());
         assert!(store.log_lines().is_empty());
+        assert_eq!(store.backend_choice(), BackendChoice::Dense);
     }
 }

@@ -1,0 +1,204 @@
+//! The sparse simulator as an execution [`Backend`].
+
+use crate::SparseStatevector;
+use qdaflow_quantum::backend::{Backend, ExecutionResult};
+use qdaflow_quantum::fusion::ExecConfig;
+use qdaflow_quantum::{QuantumCircuit, QuantumError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Sparse statevector simulation backend: exact measurement statistics
+/// sampled from the nonzero entries of a [`SparseStatevector`].
+///
+/// The backend mirrors the dense
+/// [`StatevectorBackend`](qdaflow_quantum::backend::StatevectorBackend) —
+/// same seeding scheme, same one-draw-per-shot RNG consumption, same
+/// shot-sharded batch path — so it can be swapped into any flow (engine,
+/// batch subsystem, shell) without changing sampled histograms on the shared
+/// domain. Its qubit ceiling is [`MAX_SPARSE_QUBITS`](crate::MAX_SPARSE_QUBITS)
+/// instead of the dense
+/// [`MAX_SIMULATOR_QUBITS`](qdaflow_quantum::MAX_SIMULATOR_QUBITS), but cost
+/// scales with the state's support size, so circuits that spread mass over
+/// the full basis (e.g. `H` on every qubit of a large register) should stay
+/// on the dense engine.
+#[derive(Debug, Clone)]
+pub struct SparseBackend {
+    rng: StdRng,
+    config: ExecConfig,
+}
+
+impl SparseBackend {
+    /// Creates a backend with a fixed random seed (sampling is the only
+    /// source of randomness) and the default execution configuration.
+    pub fn seeded(seed: u64) -> Self {
+        Self::with_config(seed, ExecConfig::default())
+    }
+
+    /// Creates a backend with an explicit execution configuration. Sparse
+    /// evolution itself is sequential and unfused (it walks the support, not
+    /// the index space); the configuration governs the sampling layer
+    /// (`threads`, `shot_shard_size`).
+    pub fn with_config(seed: u64, config: ExecConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// The execution configuration in use.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Runs the circuit and returns the exact final sparse state instead of
+    /// sampled counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] for circuits beyond
+    /// [`MAX_SPARSE_QUBITS`](crate::MAX_SPARSE_QUBITS).
+    pub fn statevector(&self, circuit: &QuantumCircuit) -> Result<SparseStatevector, QuantumError> {
+        SparseStatevector::from_circuit(circuit)
+    }
+
+    /// Runs the circuit and samples `shots` measurements with the
+    /// shot-sharded parallel sampler under an explicit `seed`, independent
+    /// of the backend's own RNG stream — the execution path the batch engine
+    /// uses. Reproducible at any thread count, exactly like
+    /// [`StatevectorBackend::run_sharded`](qdaflow_quantum::backend::StatevectorBackend::run_sharded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::TooManyQubits`] for oversized circuits.
+    pub fn run_sharded(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<ExecutionResult, QuantumError> {
+        let state = SparseStatevector::from_circuit(circuit)?;
+        let counts = state.sample_counts_sharded(seed, shots, &self.config);
+        Ok(ExecutionResult::from_counts(
+            circuit,
+            shots,
+            widen_counts(counts),
+        ))
+    }
+}
+
+impl Default for SparseBackend {
+    fn default() -> Self {
+        Self::seeded(0xC0FFEE)
+    }
+}
+
+impl Backend for SparseBackend {
+    fn name(&self) -> &str {
+        "sparse-statevector-simulator"
+    }
+
+    fn run(
+        &mut self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+    ) -> Result<ExecutionResult, QuantumError> {
+        let state = SparseStatevector::from_circuit(circuit)?;
+        let counts = state.sample_counts(&mut self.rng, shots);
+        Ok(ExecutionResult::from_counts(
+            circuit,
+            shots,
+            widen_counts(counts),
+        ))
+    }
+
+    fn set_exec_config(&mut self, config: ExecConfig) {
+        self.config = config;
+    }
+}
+
+/// Converts sparse `u64` basis keys into the `usize` outcomes of
+/// [`ExecutionResult`] (lossless: [`MAX_SPARSE_QUBITS`](crate::MAX_SPARSE_QUBITS)
+/// keeps every key well inside `usize` range on 64-bit hosts). Shared by
+/// every layer that adapts sparse histograms to `ExecutionResult` (this
+/// backend and the engine crate's batch subsystem).
+pub fn widen_counts(counts: BTreeMap<u64, usize>) -> BTreeMap<usize, usize> {
+    counts
+        .into_iter()
+        .map(|(key, count)| (key as usize, count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdaflow_quantum::backend::StatevectorBackend;
+    use qdaflow_quantum::QuantumGate;
+
+    fn bell() -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 1,
+            })
+            .unwrap();
+        circuit
+    }
+
+    #[test]
+    fn sparse_backend_matches_the_dense_backend_with_equal_seeds() {
+        let mut sparse = SparseBackend::seeded(11);
+        let mut dense = StatevectorBackend::seeded(11);
+        let a = sparse.run(&bell(), 2048).unwrap();
+        let b = dense.run(&bell(), 2048).unwrap();
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.resources, b.resources);
+        assert_eq!(sparse.name(), "sparse-statevector-simulator");
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant_and_matches_dense() {
+        let circuit = bell();
+        let config = ExecConfig::sequential().with_shot_shard_size(256);
+        let sparse = SparseBackend::with_config(0, config)
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        let threaded = SparseBackend::with_config(1, config.with_threads(8))
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        assert_eq!(sparse, threaded);
+        let dense = StatevectorBackend::with_config(0, config)
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        assert_eq!(sparse.counts, dense.counts);
+    }
+
+    #[test]
+    fn runs_circuits_beyond_the_dense_ceiling() {
+        // 32 qubits: the dense backend cannot even allocate this register.
+        let mut circuit = QuantumCircuit::new(32);
+        circuit.push(QuantumGate::X(31)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 31,
+                target: 0,
+            })
+            .unwrap();
+        assert!(matches!(
+            StatevectorBackend::seeded(1).run(&circuit, 16),
+            Err(QuantumError::TooManyQubits { .. })
+        ));
+        let result = SparseBackend::seeded(1).run(&circuit, 16).unwrap();
+        assert_eq!(result.most_likely(), Some(((1usize << 31) | 1, 1.0)));
+        assert_eq!(result.shots, 16);
+    }
+
+    #[test]
+    fn reproducibility_with_fixed_seed() {
+        let mut a = SparseBackend::seeded(99);
+        let mut b = SparseBackend::seeded(99);
+        assert_eq!(a.run(&bell(), 100).unwrap(), b.run(&bell(), 100).unwrap());
+    }
+}

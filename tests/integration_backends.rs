@@ -30,6 +30,7 @@ fn sampling_backends() -> Vec<Box<dyn Backend>> {
         Box::new(StatevectorBackend::seeded(SEED)),
         Box::new(NoisyHardwareBackend::new(NoiseModel::noiseless(), SEED)),
         Box::new(DenseReferenceBackend::seeded(SEED)),
+        Box::new(SparseBackend::seeded(SEED)),
     ]
 }
 
@@ -100,6 +101,80 @@ fn hidden_shift_runner_recovers_the_shift_on_every_backend() {
             backend.name()
         );
     }
+}
+
+#[test]
+fn batch_engine_sparse_jobs_match_dense_for_oracle_workloads() {
+    // The BatchEngine path with the sparse backend: same compiled oracles,
+    // same seeds, same histograms as the dense path. Unfused sequential
+    // execution keeps the two engines' sampling prefix sums bit-identical,
+    // so the counts must be *equal*, not merely close.
+    let config = ExecConfig::baseline().with_shot_shard_size(256);
+    let engine = BatchEngine::with_config(config);
+    let specs = [
+        OracleSpec::permutation(
+            qdaflow::boolfn::hwb::hwb_permutation(4),
+            SynthesisChoice::default(),
+        ),
+        OracleSpec::phase_function(
+            Expr::parse("(x0 & x1) ^ (x2 & x3)")
+                .unwrap()
+                .truth_table(4)
+                .unwrap(),
+        ),
+    ];
+    let dense_jobs: Vec<BatchJob> = specs
+        .iter()
+        .enumerate()
+        .map(|(index, spec)| BatchJob::new(spec.clone(), 2048, 40 + index as u64))
+        .collect();
+    let sparse_jobs: Vec<BatchJob> = dense_jobs
+        .iter()
+        .map(|job| job.clone().with_backend(BackendChoice::Sparse))
+        .collect();
+    let dense_results = engine.run_batch(&dense_jobs).unwrap();
+    let sparse_results = engine.run_batch(&sparse_jobs).unwrap();
+    assert_eq!(dense_results, sparse_results);
+    // The cache keys distinguish the backend choice: each oracle compiled
+    // once per backend, under distinct digests.
+    for (dense, sparse) in dense_jobs.iter().zip(&sparse_jobs) {
+        assert_ne!(dense.cache_key(), sparse.cache_key());
+        assert_eq!(dense.cache_key(), dense.spec.cache_key());
+    }
+    assert_eq!(engine.cache().stats().entries, 4);
+    assert_eq!(engine.cache().stats().misses, 4);
+}
+
+#[test]
+fn shell_backend_command_routes_batches_through_the_sparse_engine() {
+    // The shell path: `backend sparse` switches batch jobs to the sparse
+    // engine; the (deterministic) oracle outcome and cache bookkeeping are
+    // identical to a dense shell session.
+    let script = "batch --shots 256 --seed 3 --spec \"hwb 4\" --spec \"expr (a & b) ^ (c & d)\"";
+    let mut dense_shell = Shell::new();
+    let dense_log = dense_shell.run_script(script).unwrap();
+    let mut sparse_shell = Shell::new();
+    sparse_shell.run_script("backend sparse").unwrap();
+    let sparse_log = sparse_shell.run_script(script).unwrap();
+    // Per-job report lines (qubits, T-count, most-likely outcome) agree.
+    let job_lines = |log: &[String]| -> Vec<String> {
+        log.iter()
+            .filter(|l| l.contains("] job "))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(job_lines(&dense_log), job_lines(&sparse_log));
+    assert_eq!(job_lines(&dense_log).len(), 2);
+    assert!(sparse_log.iter().any(
+        |l| l.contains("2 jobs (2 distinct), 2 compiled, 0 cache hits")
+            && l.contains("on the sparse backend")
+    ));
+    // Switching back re-compiles under the dense keys: the cache holds both.
+    sparse_shell.run_script("backend dense").unwrap();
+    let again = sparse_shell.run_script(script).unwrap();
+    assert!(again
+        .iter()
+        .any(|l| l.contains("2 compiled, 0 cache hits (4 programs cached) on the dense backend")));
 }
 
 #[test]

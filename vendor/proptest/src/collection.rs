@@ -3,7 +3,7 @@
 use crate::{Strategy, TestRng};
 use rand::Rng as _;
 
-/// Length specification for [`vec`]: an exact `usize` or a half-open range.
+/// Length specification for [`vec()`]: an exact `usize` or a half-open range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
     min: usize,
@@ -47,7 +47,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy produced by [`vec`].
+/// Strategy produced by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
