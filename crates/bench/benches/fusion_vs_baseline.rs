@@ -8,7 +8,11 @@
 //! same circuit to a `FusedProgram` first: the H/X shift sandwiches merge
 //! into single dense ops, the CZ layers run as subspace-enumerating phase
 //! multiplies instead of full scans, and — where the host has more than one
-//! CPU — the dense and phase sweeps split across scoped threads.
+//! CPU — the dense and phase sweeps split across scoped threads. The
+//! `plan_*` variants go one layer further and lower the fused program to an
+//! `ExecPlan`: split re/im amplitude storage, adjacent dense ops batched
+//! into 4×4 applications, cache-blocked sweeps, and a persistent worker
+//! pool instead of per-op thread spawns.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
@@ -59,18 +63,39 @@ fn bench_fusion_vs_baseline(c: &mut Criterion) {
         })
     });
 
-    // Fused program, still single-threaded: isolates the fusion win.
+    // Fused program on the legacy interleaved path, single-threaded:
+    // isolates the fusion win over the per-gate baseline.
     group.bench_function("fused_sequential", |b| {
+        b.iter(|| {
+            let config = ExecConfig::sequential().with_plan(false);
+            let state = Statevector::run(&circuit, &config).unwrap();
+            state.amplitude(0)
+        })
+    });
+
+    // Legacy path with the auto-threaded configuration.
+    group.bench_function("fused_parallel_auto", |b| {
+        b.iter(|| {
+            let config = ExecConfig::default().with_plan(false);
+            let state = Statevector::run(&circuit, &config).unwrap();
+            state.amplitude(0)
+        })
+    });
+
+    // ExecPlan SoA interpreter, single-threaded: split re/im sweeps, 4x4
+    // batching and cache-blocked local runs, no worker pool.
+    group.bench_function("plan_sequential", |b| {
         b.iter(|| {
             let state = Statevector::run(&circuit, &ExecConfig::sequential()).unwrap();
             state.amplitude(0)
         })
     });
 
-    // Fused program with the default (auto-threaded) configuration.
-    group.bench_function("fused_parallel_auto", |b| {
+    // ExecPlan with the full auto configuration: the persistent worker pool
+    // picks up block batches where the host has more than one CPU.
+    group.bench_function("plan_parallel_auto", |b| {
         b.iter(|| {
-            let state = Statevector::run(&circuit, &ExecConfig::default()).unwrap();
+            let state = Statevector::run(&circuit, &ExecConfig::auto()).unwrap();
             state.amplitude(0)
         })
     });

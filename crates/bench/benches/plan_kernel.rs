@@ -1,0 +1,99 @@
+//! Criterion benchmark: the `ExecPlan` SoA kernel in isolation on the
+//! 20-qubit hidden shift circuit.
+//!
+//! Where `fusion_vs_baseline` compares whole execution paths end to end,
+//! this bench separates the plan pipeline into its stages: compiling the
+//! circuit down to flat dispatch records, and interpreting a precompiled
+//! plan against a resident split re/im register. The block-size variants
+//! show the cache-blocking trade-off directly, and the no-pair-fusion
+//! variant prices the bit-compatibility mode the differential suites and
+//! the noisy replay run in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdaflow::hidden_shift::{HiddenShiftInstance, OracleStyle};
+use qdaflow::prelude::*;
+use qdaflow::quantum::plan::{ExecPlan, SoaStatevector};
+use std::time::Duration;
+
+const NUM_QUBITS: usize = 20;
+
+/// Same 20-qubit hidden shift instance as `fusion_vs_baseline`: the
+/// inner-product bent function with shift `0b10_1101_1001`, synthesised
+/// with the transformation-based method.
+fn twenty_qubit_hidden_shift() -> QuantumCircuit {
+    let mm = MaioranaMcFarland::inner_product(NUM_QUBITS / 2);
+    let instance = HiddenShiftInstance::from_maiorana_mcfarland(&mm, 0b10_1101_1001).unwrap();
+    let circuit = instance
+        .build_circuit(OracleStyle::MaioranaMcFarland {
+            synthesis: SynthesisChoice::TransformationBased,
+        })
+        .unwrap();
+    assert_eq!(circuit.num_qubits(), NUM_QUBITS);
+    circuit
+}
+
+fn bench_plan_kernel(c: &mut Criterion) {
+    let circuit = twenty_qubit_hidden_shift();
+    let config = ExecConfig::sequential();
+    let plan = ExecPlan::compile(&circuit, &config);
+    println!(
+        "hidden-shift-20q: {} gates -> {} dispatch records ({} pool f64s, block_bits {})",
+        circuit.num_gates(),
+        plan.num_records(),
+        plan.matrix_pool().len(),
+        plan.block_bits(),
+    );
+
+    let mut group = c.benchmark_group("plan_kernel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    // Lowering + batching + scheduling only — no state touched. This is the
+    // per-circuit cost the noisy simulator amortises across shots.
+    group.bench_function("compile_20q", |b| {
+        b.iter(|| ExecPlan::compile(&circuit, &config).num_records())
+    });
+
+    // Interpreting a precompiled plan against a resident SoA register —
+    // the steady-state cost a shot replay pays.
+    group.bench_function("apply_20q_soa", |b| {
+        let mut state = SoaStatevector::zero_state(NUM_QUBITS, plan.block_bits());
+        b.iter(|| {
+            state.reset();
+            plan.apply_soa(&mut state, &config);
+            state.amplitude(0)
+        })
+    });
+
+    // Smaller cache blocks (2^10 amplitudes = 16 KiB per re/im pair): more
+    // cross-block dispatch, but each local run stays in L1.
+    group.bench_function("apply_20q_block_10", |b| {
+        let small = config.with_block_bits(10);
+        let plan = ExecPlan::compile(&circuit, &small);
+        let mut state = SoaStatevector::zero_state(NUM_QUBITS, plan.block_bits());
+        b.iter(|| {
+            state.reset();
+            plan.apply_soa(&mut state, &small);
+            state.amplitude(0)
+        })
+    });
+
+    // Bit-compatibility mode: 4x4 batching disabled, one record per fused
+    // op, exactly the arithmetic of the legacy interleaved path.
+    group.bench_function("apply_20q_no_pair_fusion", |b| {
+        let exact = config.with_pair_fusion(false);
+        let plan = ExecPlan::compile(&circuit, &exact);
+        let mut state = SoaStatevector::zero_state(NUM_QUBITS, plan.block_bits());
+        b.iter(|| {
+            state.reset();
+            plan.apply_soa(&mut state, &exact);
+            state.amplitude(0)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_kernel);
+criterion_main!(benches);

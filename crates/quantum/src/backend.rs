@@ -6,6 +6,13 @@
 //! three software backends of this reproduction: the exact
 //! [`StatevectorBackend`], the [`NoisyHardwareBackend`] standing in for the
 //! IBM Quantum Experience chip, and the [`ResourceCounterBackend`].
+//!
+//! Dense state evolution inside these backends is governed by the
+//! [`ExecConfig`] they are built with: by default circuits compile into the
+//! [`ExecPlan`](crate::plan::ExecPlan) kernel (structure-of-arrays amplitudes,
+//! cache-blocked sweeps, persistent worker pool); setting
+//! [`ExecConfig::plan`] to `false` replays the legacy fused gate-at-a-time
+//! path instead.
 
 use crate::fusion::ExecConfig;
 use crate::noise::{NoiseModel, NoisySimulator};

@@ -56,6 +56,24 @@ pub struct ExecConfig {
     /// with the seed and the shot count it fully determines the sharded
     /// histogram, independent of the thread count.
     pub shot_shard_size: usize,
+    /// Whether circuits execute through the [`ExecPlan`] SoA interpreter
+    /// (the production path) or the legacy interleaved `Vec<Complex>` fused
+    /// path (kept as the differential oracle).
+    ///
+    /// [`ExecPlan`]: crate::plan::ExecPlan
+    pub plan: bool,
+    /// log2 of the amplitudes per cache block of the plan interpreter;
+    /// `0` selects [`DEFAULT_BLOCK_BITS`](crate::plan::DEFAULT_BLOCK_BITS).
+    /// Clamped to the register size.
+    pub block_bits: usize,
+    /// Whether the plan lowering may reorder and batch ops: commuting ops
+    /// are clustered so block-local runs stay unbroken, same-qubit dense
+    /// pairs multiply into one 2×2, and adjacent cross-block dense ops
+    /// batch into single 4×4 applications. Exact up to floating-point
+    /// rounding (reordering only ever swaps commuting ops, batching adds
+    /// one rounding in the composed matrix); disable for bit-identical
+    /// replay of the legacy op order.
+    pub pair_fusion: bool,
 }
 
 impl ExecConfig {
@@ -71,6 +89,9 @@ impl ExecConfig {
             fusion: true,
             parallel_threshold: 1 << 16,
             shot_shard_size: crate::sampling::DEFAULT_SHOT_SHARD_SIZE,
+            plan: true,
+            block_bits: 0,
+            pair_fusion: true,
         }
     }
 
@@ -82,13 +103,15 @@ impl ExecConfig {
         }
     }
 
-    /// The pre-fusion behaviour: one kernel op per gate, single-threaded.
-    /// This is the baseline the `fusion_vs_baseline` bench compares against.
+    /// The pre-fusion behaviour: one kernel op per gate, single-threaded,
+    /// on the legacy interleaved path. This is the baseline the
+    /// `fusion_vs_baseline` bench compares against.
     pub fn baseline() -> Self {
         Self {
             threads: 1,
             fusion: false,
             parallel_threshold: usize::MAX,
+            plan: false,
             ..Self::auto()
         }
     }
@@ -122,8 +145,32 @@ impl ExecConfig {
         self
     }
 
+    /// Selects the plan interpreter (`true`, default) or the legacy
+    /// interleaved path (`false`).
+    #[must_use]
+    pub fn with_plan(mut self, plan: bool) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Replaces the plan interpreter's cache-block size (log2 amplitudes;
+    /// `0` = auto).
+    #[must_use]
+    pub fn with_block_bits(mut self, block_bits: usize) -> Self {
+        self.block_bits = block_bits;
+        self
+    }
+
+    /// Enables or disables commuting-op clustering and dense batching in
+    /// the plan lowering (see [`ExecConfig::pair_fusion`]).
+    #[must_use]
+    pub fn with_pair_fusion(mut self, pair_fusion: bool) -> Self {
+        self.pair_fusion = pair_fusion;
+        self
+    }
+
     /// The number of threads actually used for a slice of `len` amplitudes.
-    fn effective_threads(&self, len: usize) -> usize {
+    pub(crate) fn effective_threads(&self, len: usize) -> usize {
         if self.threads <= 1 || len < self.parallel_threshold.max(2) {
             1
         } else {
@@ -397,8 +444,10 @@ fn apply_op_with_threads(amplitudes: &mut [Complex], op: &FusedOp, threads: usiz
             }
         }
         FusedOp::Phase { mask, phase } => {
+            // `mask == 0` (a global phase) is already covered by the range
+            // check: the slice length is at least 1.
             assert!(
-                *mask < amplitudes.len() || *mask == 0,
+                *mask < amplitudes.len(),
                 "mask {mask:#x} out of range for a {num_qubits}-qubit register"
             );
             if threads > 1 {
@@ -850,16 +899,40 @@ mod tests {
     #[test]
     fn config_constructors() {
         assert!(ExecConfig::default().fusion);
+        assert!(ExecConfig::default().plan);
         assert_eq!(ExecConfig::sequential().threads, 1);
         assert!(!ExecConfig::baseline().fusion);
+        assert!(!ExecConfig::baseline().plan);
         let custom = ExecConfig::auto()
             .with_threads(2)
             .with_fusion(false)
-            .with_parallel_threshold(64);
+            .with_parallel_threshold(64)
+            .with_plan(false)
+            .with_block_bits(8)
+            .with_pair_fusion(false);
         assert_eq!(custom.threads, 2);
         assert!(!custom.fusion);
         assert_eq!(custom.parallel_threshold, 64);
+        assert!(!custom.plan);
+        assert_eq!(custom.block_bits, 8);
+        assert!(!custom.pair_fusion);
         // Tiny registers never spawn threads under the auto threshold.
         assert_eq!(ExecConfig::auto().with_threads(8).effective_threads(16), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_phase_mask_panics() {
+        // The mask names a qubit outside the 2-qubit register; the guard
+        // must reject it rather than silently touching nothing.
+        let mut amplitudes = uniform_state(2);
+        apply_op(
+            &mut amplitudes,
+            &FusedOp::Phase {
+                mask: 0b100,
+                phase: Complex::I,
+            },
+            &ExecConfig::sequential(),
+        );
     }
 }

@@ -6,6 +6,14 @@
 //! per-gate dispatch in one place means an optimization (or a new gate)
 //! lands in the ideal simulator, the noise model and every backend at once.
 //!
+//! This gate-at-a-time kernel is the reference semantics. The production
+//! dense path lowers whole circuits into an [`ExecPlan`](crate::plan::ExecPlan)
+//! — a flat dispatch-record program over a structure-of-arrays amplitude
+//! layout — and only falls back to this kernel (via the fused program) when
+//! [`ExecConfig::plan`](crate::fusion::ExecConfig::plan) is disabled. The
+//! differential suites in `tests/plan_differential.rs` hold the two paths
+//! bit-identical.
+//!
 //! The kernel operates on a raw amplitude slice of length `2^n`, with qubit 0
 //! as the least significant bit of the basis-state index. Three specialized
 //! loops cover the gate classes of the Clifford+T IR:

@@ -37,6 +37,7 @@ pub mod fusion;
 pub mod gate;
 pub mod kernel;
 pub mod noise;
+pub mod plan;
 pub mod qasm;
 pub mod reference;
 pub mod resource;
@@ -49,6 +50,7 @@ pub use complex::Complex;
 pub use error::QuantumError;
 pub use fusion::{ExecConfig, FusedOp, FusedProgram};
 pub use gate::QuantumGate;
+pub use plan::{DispatchRecord, ExecPlan, OpKind, SoaStatevector};
 pub use reference::{DenseReference, DenseReferenceBackend};
 pub use sampling::CumulativeDistribution;
 pub use statevector::Statevector;

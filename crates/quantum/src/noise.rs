@@ -17,9 +17,10 @@
 //! hidden shift benchmark in the same success-probability regime as the
 //! paper's histogram.
 
-use crate::fusion::{self, ExecConfig, FusedOp};
+use crate::fusion::{self, ExecConfig, FusedOp, FusedProgram};
+use crate::plan::{ExecPlan, SoaStatevector};
 use crate::statevector::Statevector;
-use crate::{QuantumCircuit, QuantumError, QuantumGate};
+use crate::{QuantumCircuit, QuantumError, QuantumGate, MAX_SIMULATOR_QUBITS};
 use rand::Rng;
 
 /// Parameters of the stochastic gate-level noise model.
@@ -98,11 +99,15 @@ impl Default for NoiseModel {
 /// statevector simulator with randomly inserted Pauli errors, then samples a
 /// measurement and applies readout errors.
 ///
-/// Gate application goes through the fused execution layer: the circuit is
-/// lowered once per [`NoisySimulator::run`] into kernel ops (one per gate,
+/// Gate application goes through the configured execution layer: the circuit
+/// is lowered once per [`NoisySimulator::run`] into kernel ops (one per gate,
 /// since the stochastic noise channel between gates forbids cross-gate
-/// fusion) and every shot replays the lowered program with the configured
-/// threading.
+/// fusion) and every shot replays the lowered program. With `config.plan`
+/// set (the default) the lowering is additionally compiled once into an
+/// [`ExecPlan`] whose records are replayed shot after shot on a reused SoA
+/// state — the plan, its matrix pool and the amplitude buffers are built a
+/// single time for the whole run. The RNG stream and the produced histograms
+/// are bit-identical between the plan and legacy paths.
 #[derive(Debug, Clone)]
 pub struct NoisySimulator {
     model: NoiseModel,
@@ -149,9 +154,31 @@ impl NoisySimulator {
         let mut histogram = vec![0usize; 1 << num_qubits];
         // Lower once, replay per shot.
         let lowered = Self::lower(circuit);
-        for _ in 0..shots {
-            let outcome = self.run_lowered_shot(&lowered, num_qubits, rng)?;
-            histogram[outcome] += 1;
+        if self.config.plan {
+            if num_qubits > MAX_SIMULATOR_QUBITS {
+                return Err(QuantumError::TooManyQubits {
+                    requested: num_qubits,
+                    maximum: MAX_SIMULATOR_QUBITS,
+                });
+            }
+            // Plan once for the whole run: records stay 1:1 with the gates
+            // (pair fusion off) so noise channels interleave between them,
+            // and the SoA state is reset in place between shots.
+            let plan = ExecPlan::from_program(
+                &FusedProgram::lower(circuit),
+                &self.config.with_pair_fusion(false),
+            );
+            debug_assert_eq!(plan.num_records(), lowered.len());
+            let mut state = SoaStatevector::zero_state(num_qubits, plan.block_bits());
+            for _ in 0..shots {
+                let outcome = self.run_plan_shot(&plan, &lowered, &mut state, num_qubits, rng);
+                histogram[outcome] += 1;
+            }
+        } else {
+            for _ in 0..shots {
+                let outcome = self.run_lowered_shot(&lowered, num_qubits, rng)?;
+                histogram[outcome] += 1;
+            }
         }
         Ok(histogram)
     }
@@ -165,7 +192,8 @@ impl NoisySimulator {
             .collect()
     }
 
-    /// Runs one shot of a pre-lowered program.
+    /// Runs one shot of a pre-lowered program on the legacy interleaved
+    /// amplitude layout.
     fn run_lowered_shot<R: Rng + ?Sized>(
         &self,
         lowered: &[(FusedOp, Vec<usize>, bool)],
@@ -178,6 +206,32 @@ impl NoisySimulator {
             self.apply_depolarizing(&mut state, qubits, *is_single_qubit, rng);
         }
         Ok(self.measure_with_readout(&state, num_qubits, rng))
+    }
+
+    /// Runs one shot by replaying a pre-compiled plan record by record on a
+    /// reused SoA state, drawing the exact RNG sequence of the legacy path.
+    fn run_plan_shot<R: Rng + ?Sized>(
+        &self,
+        plan: &ExecPlan,
+        lowered: &[(FusedOp, Vec<usize>, bool)],
+        state: &mut SoaStatevector,
+        num_qubits: usize,
+        rng: &mut R,
+    ) -> usize {
+        state.reset();
+        for (index, (_, qubits, is_single_qubit)) in lowered.iter().enumerate() {
+            plan.apply_record(state, index);
+            self.apply_depolarizing_soa(state, qubits, *is_single_qubit, rng);
+        }
+        let mut outcome = state.sample_linear(rng);
+        if self.model.readout_error > 0.0 {
+            for qubit in 0..num_qubits {
+                if rng.gen::<f64>() < self.model.readout_error {
+                    outcome ^= 1usize << qubit;
+                }
+            }
+        }
+        outcome
     }
 
     /// Runs one noisy shot and returns the measured basis state.
@@ -217,6 +271,38 @@ impl NoisySimulator {
                     1 => state.apply_gate(&QuantumGate::Y(qubit)),
                     _ => state.apply_gate(&QuantumGate::Z(qubit)),
                 }
+            }
+        }
+    }
+
+    /// The SoA twin of [`NoisySimulator::apply_depolarizing`]: identical RNG
+    /// draws, with the Pauli insertions routed through the same dense/phase
+    /// classification as the kernel (X and Y dense, Z a phase) so the
+    /// amplitude evolution matches the legacy path bit for bit.
+    fn apply_depolarizing_soa<R: Rng + ?Sized>(
+        &self,
+        state: &mut SoaStatevector,
+        qubits: &[usize],
+        is_single_qubit: bool,
+        rng: &mut R,
+    ) {
+        let probability = if is_single_qubit {
+            self.model.single_qubit_depolarizing
+        } else {
+            self.model.two_qubit_depolarizing
+        };
+        if probability == 0.0 {
+            return;
+        }
+        for &qubit in qubits {
+            if rng.gen::<f64>() < probability {
+                // Depolarizing channel: apply X, Y or Z with equal probability.
+                let pauli = match rng.gen_range(0..3) {
+                    0 => QuantumGate::X(qubit),
+                    1 => QuantumGate::Y(qubit),
+                    _ => QuantumGate::Z(qubit),
+                };
+                state.apply_fused_op(&FusedOp::from_gate(&pauli));
             }
         }
     }

@@ -1,0 +1,1814 @@
+//! The execution-plan kernel: a GPU-shaped dispatch-record program over a
+//! struct-of-arrays amplitude state.
+//!
+//! This module is the production dense execution layer (enabled by
+//! [`ExecConfig::plan`], the default). Where the legacy
+//! [`FusedProgram::apply`] path walks `Vec<Complex>` one op at a time —
+//! spawning a fresh `thread::scope` per op — the plan interpreter lowers a
+//! [`FusedProgram`] into an [`ExecPlan`]:
+//!
+//! * a **flat array of uniform [`DispatchRecord`]s** (op kind, bit-mask
+//!   operands, matrix-pool slot) plus one flat `f64` matrix pool. Every
+//!   record has the same fixed shape, so a future GPU backend (wgpu compute
+//!   shaders walking the same records) can interpret the plan unchanged;
+//! * a **struct-of-arrays state** ([`SoaStatevector`]): amplitudes live in
+//!   split `re`/`im` `Vec<f64>` arrays so the dense 2×2/4×4 and phase sweeps
+//!   are branch-free loops over contiguous `f64` data that the compiler
+//!   autovectorizes;
+//! * **4×4 batching**: adjacent dense single-qubit records on two distinct
+//!   qubits merge into one two-qubit [`OpKind::Dense2`] record at lowering
+//!   time (controlled by [`ExecConfig::pair_fusion`]), halving the number of
+//!   passes over the amplitude arrays for dense layers;
+//! * **cache blocking**: the state is tiled into cache-block-sized
+//!   [`SoaStatevector::block_bits`] chunks, and maximal *runs* of block-local
+//!   records (dense ops on low qubits, every diagonal phase, MCX with a low
+//!   target) are applied per block while the block is hot in cache — one
+//!   memory sweep per run instead of one per op;
+//! * a **persistent worker pool**: `ExecPlan::apply` spawns one
+//!   `thread::scope` for the whole program. Workers receive owned amplitude
+//!   blocks over a channel, apply whole runs (or cross-block pair/quad
+//!   records — including the Mcx/Swap permutation sweeps, which the legacy
+//!   path hard-codes sequentially) and send the blocks back; no per-op
+//!   spawning, and no `unsafe`.
+//!
+//! Correctness is established differentially (`tests/plan_differential.rs`):
+//! amplitudes match the [`DenseReference`](crate::reference::DenseReference)
+//! oracle and the legacy fused path at 1e-10 on random circuits over every
+//! gate kind, and with `pair_fusion` disabled the interpreter reproduces the
+//! legacy path *bit for bit* at every thread count (the per-element
+//! arithmetic is association-identical and independent of the block and
+//! thread partition).
+
+use crate::circuit::QuantumCircuit;
+use crate::complex::Complex;
+use crate::fusion::{ExecConfig, FusedOp, FusedProgram};
+use crate::kernel;
+use std::ops::Range;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Default log2 of the amplitudes per cache block when
+/// [`ExecConfig::block_bits`] is `0` (auto): `2^13` amplitudes are two
+/// 64 KiB `f64` arrays per block, sized to stay resident in a typical L2
+/// cache while a run of records sweeps over them. A block-size sweep on
+/// the 20-qubit hidden-shift workload is flat from `2^11` through `2^16`
+/// and degrades past `2^17`; `13` sits at the low end of the plateau so
+/// smaller hosts keep the same behaviour.
+pub const DEFAULT_BLOCK_BITS: usize = 13;
+
+/// The kind discriminant of a [`DispatchRecord`].
+///
+/// Gates that act identically on the amplitude arrays lower to the same
+/// kind, mirroring [`FusedOp`]; `Dense2` is produced only by the lowering
+/// pass (two adjacent dense records batched into one 4×4 application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum OpKind {
+    /// 2×2 unitary on one qubit. `arg0` = target bit value; `slot` points at
+    /// 8 pool values (row-major `[re, im]` pairs).
+    Dense1,
+    /// 4×4 unitary on two qubits. `arg0` = lower bit value, `arg1` = higher
+    /// bit value; `slot` points at 32 pool values (row-major over the basis
+    /// `2·hi + lo`).
+    Dense2,
+    /// Phase multiply on the all-ones subspace of a mask. `arg0` = mask
+    /// (`0` = global phase); `slot` points at 2 pool values (`re`, `im`).
+    Phase,
+    /// Multiple-controlled X. `arg0` = control mask, `arg1` = target bit
+    /// value; no pool data.
+    Mcx,
+    /// Qubit exchange. `arg0` = lower bit value, `arg1` = higher bit value;
+    /// no pool data.
+    Swap,
+}
+
+/// One uniform instruction of an [`ExecPlan`].
+///
+/// Every record is the same fixed-size POD shape — a kind tag, two bit-mask
+/// operands and a matrix-pool slot — regardless of the gate it encodes. The
+/// per-kind operand meaning is documented on [`OpKind`]. This uniformity is
+/// deliberate: the record array and the flat `f64` matrix pool are exactly
+/// the two buffers a GPU interpreter would bind, with no pointer chasing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchRecord {
+    /// Operation kind (selects the interpreter loop).
+    pub kind: OpKind,
+    /// First operand: a qubit bit value or subspace mask (see [`OpKind`]).
+    pub arg0: u64,
+    /// Second operand: a qubit bit value, or `0` when unused.
+    pub arg1: u64,
+    /// Offset of this record's matrix data in the flat pool returned by
+    /// [`ExecPlan::matrix_pool`]; `0` for kinds without matrix data.
+    pub slot: u32,
+}
+
+/// One cache block of split-component amplitudes. Blocks are owned `Vec`s so
+/// the worker pool can move them to a thread and back without `unsafe`
+/// aliasing.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct AmpBlock {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
+/// A statevector in struct-of-arrays layout, tiled into cache blocks.
+///
+/// The `2^n` amplitudes are split into `2^{n-b}` blocks of `2^b` (`b` =
+/// [`SoaStatevector::block_bits`]); within a block the real and imaginary
+/// components live in two separate contiguous `f64` arrays. Basis state `k`
+/// lives in block `k >> b` at local index `k & (2^b - 1)`, with qubit 0 as
+/// the least significant bit — the same indexing contract as the dense
+/// [`Statevector`](crate::statevector::Statevector).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaStatevector {
+    num_qubits: usize,
+    block_bits: usize,
+    blocks: Vec<AmpBlock>,
+}
+
+impl SoaStatevector {
+    /// Creates the all-zeros state `|0...0⟩` with the given block size
+    /// (clamped to the register size).
+    pub fn zero_state(num_qubits: usize, block_bits: usize) -> Self {
+        let block_bits = block_bits.min(num_qubits);
+        let block_len = 1usize << block_bits;
+        let num_blocks = 1usize << (num_qubits - block_bits);
+        let mut blocks: Vec<AmpBlock> = (0..num_blocks)
+            .map(|_| AmpBlock {
+                re: vec![0.0; block_len],
+                im: vec![0.0; block_len],
+            })
+            .collect();
+        blocks[0].re[0] = 1.0;
+        Self {
+            num_qubits,
+            block_bits,
+            blocks,
+        }
+    }
+
+    /// Converts an interleaved amplitude slice into blocked SoA layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length is not a power of two.
+    pub fn from_amplitudes(amplitudes: &[Complex], block_bits: usize) -> Self {
+        let num_qubits = kernel::num_qubits_of(amplitudes);
+        let block_bits = block_bits.min(num_qubits);
+        let block_len = 1usize << block_bits;
+        let blocks = amplitudes
+            .chunks_exact(block_len)
+            .map(|chunk| AmpBlock {
+                re: chunk.iter().map(|a| a.re).collect(),
+                im: chunk.iter().map(|a| a.im).collect(),
+            })
+            .collect();
+        Self {
+            num_qubits,
+            block_bits,
+            blocks,
+        }
+    }
+
+    /// Writes the state back into an interleaved amplitude slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from `2^num_qubits`.
+    pub fn write_to(&self, amplitudes: &mut [Complex]) {
+        assert_eq!(
+            amplitudes.len(),
+            1usize << self.num_qubits,
+            "amplitude slice length mismatch"
+        );
+        let block_len = 1usize << self.block_bits;
+        for (block, chunk) in self
+            .blocks
+            .iter()
+            .zip(amplitudes.chunks_exact_mut(block_len))
+        {
+            for ((out, &re), &im) in chunk.iter_mut().zip(&block.re).zip(&block.im) {
+                *out = Complex::new(re, im);
+            }
+        }
+    }
+
+    /// The state as a freshly allocated interleaved amplitude vector.
+    pub fn to_amplitudes(&self) -> Vec<Complex> {
+        let mut amplitudes = vec![Complex::ZERO; 1usize << self.num_qubits];
+        self.write_to(&mut amplitudes);
+        amplitudes
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// log2 of the amplitudes per cache block.
+    pub fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    /// The amplitude of basis state `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis` is out of range.
+    pub fn amplitude(&self, basis: usize) -> Complex {
+        let block = &self.blocks[basis >> self.block_bits];
+        let local = basis & ((1usize << self.block_bits) - 1);
+        Complex::new(block.re[local], block.im[local])
+    }
+
+    /// Sum of all probabilities; 1 up to floating-point error for any state
+    /// produced by unitary evolution.
+    pub fn norm(&self) -> f64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.re.iter().zip(&b.im))
+            .map(|(&re, &im)| re * re + im * im)
+            .sum()
+    }
+
+    /// Resets the state to `|0...0⟩` in place, reusing the allocations.
+    pub fn reset(&mut self) {
+        for block in &mut self.blocks {
+            block.re.fill(0.0);
+            block.im.fill(0.0);
+        }
+        self.blocks[0].re[0] = 1.0;
+    }
+
+    /// Samples a measurement of all qubits by the same early-exiting linear
+    /// scan (and the same single `f64` draw) as
+    /// [`Statevector::sample_linear`](crate::statevector::Statevector::sample_linear),
+    /// so a given RNG state maps to the identical outcome on either layout.
+    /// The state is not collapsed.
+    pub fn sample_linear<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let draw: f64 = rng.gen();
+        let mut cumulative = 0.0f64;
+        let block_len = 1usize << self.block_bits;
+        for (block_index, block) in self.blocks.iter().enumerate() {
+            for (local, (&re, &im)) in block.re.iter().zip(&block.im).enumerate() {
+                cumulative += re * re + im * im;
+                if draw < cumulative {
+                    return (block_index << self.block_bits) | local;
+                }
+            }
+        }
+        (self.blocks.len() - 1) * block_len + block_len - 1
+    }
+
+    /// Applies one kernel op in place, sequentially, with arithmetic
+    /// identical to the legacy [`fusion::apply_op`](crate::fusion::apply_op)
+    /// path (used by the noisy simulator's stochastic Pauli insertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op references a qubit outside the register.
+    pub fn apply_fused_op(&mut self, op: &FusedOp) {
+        let record = lower_single(op);
+        let pool = single_op_pool(op);
+        apply_global_sequential(&record, &pool, self);
+    }
+}
+
+/// Lowers one [`FusedOp`] to a record whose `slot` is `0` (paired with
+/// [`single_op_pool`]).
+fn lower_single(op: &FusedOp) -> DispatchRecord {
+    match op {
+        FusedOp::Dense { qubit, .. } => DispatchRecord {
+            kind: OpKind::Dense1,
+            arg0: 1u64 << qubit,
+            arg1: 0,
+            slot: 0,
+        },
+        FusedOp::Phase { mask, phase: _ } => DispatchRecord {
+            kind: OpKind::Phase,
+            arg0: *mask as u64,
+            arg1: 0,
+            slot: 0,
+        },
+        FusedOp::Mcx {
+            control_mask,
+            target,
+        } => DispatchRecord {
+            kind: OpKind::Mcx,
+            arg0: *control_mask as u64,
+            arg1: 1u64 << target,
+            slot: 0,
+        },
+        FusedOp::Swap { a, b } => DispatchRecord {
+            kind: OpKind::Swap,
+            arg0: 1u64 << a.min(b),
+            arg1: 1u64 << a.max(b),
+            slot: 0,
+        },
+    }
+}
+
+/// The matrix-pool payload of one ad-hoc op (see [`lower_single`]).
+fn single_op_pool(op: &FusedOp) -> Vec<f64> {
+    match op {
+        FusedOp::Dense { matrix, .. } => flatten_2x2(matrix),
+        FusedOp::Phase { phase, .. } => vec![phase.re, phase.im],
+        _ => Vec::new(),
+    }
+}
+
+fn flatten_2x2(matrix: &[[Complex; 2]; 2]) -> Vec<f64> {
+    matrix
+        .iter()
+        .flatten()
+        .flat_map(|entry| [entry.re, entry.im])
+        .collect()
+}
+
+/// Intermediate lowering IR: records with owned matrices, so the batching
+/// peephole can compose them before the flat pool is emitted.
+#[derive(Debug, Clone)]
+enum Lowered {
+    D1 {
+        bit: usize,
+        matrix: [[Complex; 2]; 2],
+    },
+    D2 {
+        /// Lower of the two bit values.
+        lo: usize,
+        /// Higher of the two bit values.
+        hi: usize,
+        /// Row-major 4×4 over the basis index `2·(hi bit) + (lo bit)`.
+        matrix: [Complex; 16],
+    },
+    Ph {
+        mask: usize,
+        phase: Complex,
+    },
+    Mcx {
+        control_mask: usize,
+        target_bit: usize,
+    },
+    Swap {
+        bit_a: usize,
+        bit_b: usize,
+    },
+}
+
+/// Expands a 2×2 matrix to the 4×4 acting on the `lo` (when `on_lo`) or `hi`
+/// position of the two-qubit basis `2·hi + lo`.
+fn expand_2x2(matrix: &[[Complex; 2]; 2], on_lo: bool) -> [Complex; 16] {
+    let mut out = [Complex::ZERO; 16];
+    for row in 0..4usize {
+        for col in 0..4usize {
+            let (acted_row, acted_col, spect_row, spect_col) = if on_lo {
+                (row & 1, col & 1, row >> 1, col >> 1)
+            } else {
+                (row >> 1, col >> 1, row & 1, col & 1)
+            };
+            if spect_row == spect_col {
+                out[row * 4 + col] = matrix[acted_row][acted_col];
+            }
+        }
+    }
+    out
+}
+
+/// 4×4 matrix product `left · right` (`right` applied first).
+fn matmul_4x4(left: &[Complex; 16], right: &[Complex; 16]) -> [Complex; 16] {
+    let mut out = [Complex::ZERO; 16];
+    for row in 0..4usize {
+        for col in 0..4usize {
+            let mut acc = Complex::ZERO;
+            for k in 0..4usize {
+                acc += left[row * 4 + k] * right[k * 4 + col];
+            }
+            out[row * 4 + col] = acc;
+        }
+    }
+    out
+}
+
+/// 2×2 matrix product `left · right` (`right` applied first).
+fn matmul_2x2(left: &[[Complex; 2]; 2], right: &[[Complex; 2]; 2]) -> [[Complex; 2]; 2] {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for (row, out_row) in out.iter_mut().enumerate() {
+        for (col, entry) in out_row.iter_mut().enumerate() {
+            *entry = left[row][0] * right[0][col] + left[row][1] * right[1][col];
+        }
+    }
+    out
+}
+
+/// Attempts to batch `later` into `earlier` (both dense): two adjacent
+/// single-qubit denses on distinct qubits become one 4×4, a dense landing on
+/// a qubit of an adjacent 4×4 composes into it, and same-qubit denses
+/// multiply into one 2×2. Adjacent dense ops on disjoint qubits commute, so
+/// the composition is exact (up to one extra rounding in the product).
+fn batch_dense(earlier: &Lowered, later: &Lowered) -> Option<Lowered> {
+    match (earlier, later) {
+        (
+            Lowered::D1 {
+                bit: bit_a,
+                matrix: m_a,
+            },
+            Lowered::D1 {
+                bit: bit_b,
+                matrix: m_b,
+            },
+        ) => {
+            if bit_a == bit_b {
+                Some(Lowered::D1 {
+                    bit: *bit_a,
+                    matrix: matmul_2x2(m_b, m_a),
+                })
+            } else {
+                let (lo, hi) = (*bit_a.min(bit_b), *bit_a.max(bit_b));
+                let first = expand_2x2(m_a, *bit_a == lo);
+                let second = expand_2x2(m_b, *bit_b == lo);
+                Some(Lowered::D2 {
+                    lo,
+                    hi,
+                    matrix: matmul_4x4(&second, &first),
+                })
+            }
+        }
+        (Lowered::D2 { lo, hi, matrix }, Lowered::D1 { bit, matrix: m })
+            if bit == lo || bit == hi =>
+        {
+            let expanded = expand_2x2(m, bit == lo);
+            Some(Lowered::D2 {
+                lo: *lo,
+                hi: *hi,
+                matrix: matmul_4x4(&expanded, matrix),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// One group of ops built by [`cluster_by_locality`]: a maximal set of
+/// same-locality ops that can legally execute back to back.
+struct Cluster {
+    ops: Vec<Lowered>,
+    /// Union of the members' qubit-support masks.
+    support: u64,
+    /// Whether every member is diagonal (a phase).
+    diagonal: bool,
+    /// Whether the members are block-local at the clustering block size.
+    local: bool,
+}
+
+/// The qubit-support mask of a lowered op (bits the op reads or writes).
+fn support_of(op: &Lowered) -> u64 {
+    match op {
+        Lowered::D1 { bit, .. } => *bit as u64,
+        Lowered::D2 { lo, hi, .. } => (*lo | *hi) as u64,
+        Lowered::Ph { mask, .. } => *mask as u64,
+        Lowered::Mcx {
+            control_mask,
+            target_bit,
+        } => (*control_mask | *target_bit) as u64,
+        Lowered::Swap { bit_a, bit_b } => (*bit_a | *bit_b) as u64,
+    }
+}
+
+/// Whether a lowered op is diagonal in the computational basis.
+fn is_diagonal(op: &Lowered) -> bool {
+    matches!(op, Lowered::Ph { .. })
+}
+
+/// Whether a lowered op is block-local for `block_len`-amplitude blocks
+/// (same classification as [`locality_of`], one level earlier).
+fn is_local(op: &Lowered, block_len: usize) -> bool {
+    match op {
+        Lowered::Ph { .. } => true,
+        Lowered::D1 { bit, .. } => *bit < block_len,
+        Lowered::D2 { hi, .. } => *hi < block_len,
+        Lowered::Mcx { target_bit, .. } => *target_bit < block_len,
+        Lowered::Swap { bit_b, .. } => *bit_b < block_len,
+    }
+}
+
+/// Regroups the lowered sequence so block-local ops cluster together,
+/// hopping each op backwards only past ops it provably commutes with
+/// (disjoint qubit support, or both diagonal).
+///
+/// Circuits interleave low- and high-qubit gates freely, which chops the
+/// scheduler's cache-block runs into fragments — every fragment then costs
+/// a full memory sweep and the register is re-streamed from DRAM once per
+/// op, exactly like the legacy path. Clustering restores long local runs
+/// (one sweep applies the whole run per block) and packs the global ops
+/// side by side where the 4×4 batcher can merge high-qubit pairs into
+/// single cross-block passes. Reordering commuting ops is exact in exact
+/// arithmetic but changes floating-point rounding, so it runs only under
+/// [`ExecConfig::pair_fusion`] — the knob that already licenses
+/// non-bit-identical (but tolerance-exact) optimization.
+fn cluster_by_locality(ops: Vec<Lowered>, block_bits: usize) -> Vec<Lowered> {
+    let block_len = 1usize << block_bits;
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for op in ops {
+        let support = support_of(&op);
+        let diagonal = is_diagonal(&op);
+        let local = is_local(&op, block_len);
+        // Walk back over the clusters the op commutes with; it may join any
+        // same-locality cluster in that commuting suffix (appending keeps it
+        // after every op it does not commute with).
+        let mut joined = None;
+        for index in (0..clusters.len()).rev() {
+            let cluster = &clusters[index];
+            if cluster.local == local {
+                joined = Some(index);
+            }
+            let commutes = (support & cluster.support) == 0 || (diagonal && cluster.diagonal);
+            if !commutes {
+                break;
+            }
+        }
+        match joined {
+            Some(index) => {
+                let cluster = &mut clusters[index];
+                cluster.ops.push(op);
+                cluster.support |= support;
+                cluster.diagonal &= diagonal;
+            }
+            None => clusters.push(Cluster {
+                ops: vec![op],
+                support,
+                diagonal,
+                local,
+            }),
+        }
+    }
+    clusters
+        .into_iter()
+        .flat_map(|cluster| cluster.ops)
+        .collect()
+}
+
+/// Whether two lowered ops are single-qubit denses on the same qubit (their
+/// product is a single 2×2 — always cheaper than two sweeps).
+fn same_qubit_denses(a: &Lowered, b: &Lowered) -> bool {
+    matches!(
+        (a, b),
+        (Lowered::D1 { bit: bit_a, .. }, Lowered::D1 { bit: bit_b, .. }) if bit_a == bit_b
+    )
+}
+
+/// How one record interacts with the block partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Locality {
+    /// Applies independently per block (given the block index): dense ops on
+    /// low qubits, every phase, MCX with a low target.
+    Local,
+    /// Couples amplitudes across blocks; executed as a dedicated pair/quad
+    /// dispatch over the pool.
+    Global,
+}
+
+/// A scheduled span of the record array: either a maximal run of block-local
+/// records (applied per block, one cache sweep for the whole run) or a
+/// single global record.
+#[derive(Debug, Clone, PartialEq)]
+struct Segment {
+    range: Range<usize>,
+    locality: Locality,
+}
+
+/// A [`FusedProgram`] lowered to flat dispatch records plus a flat matrix
+/// pool, pre-scheduled into cache-block segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    num_qubits: usize,
+    block_bits: usize,
+    records: Vec<DispatchRecord>,
+    pool: Vec<f64>,
+    segments: Vec<Segment>,
+}
+
+impl ExecPlan {
+    /// Compiles a circuit end to end: gate fusion per `config.fusion`, then
+    /// lowering (with 4×4 batching per `config.pair_fusion`) and segment
+    /// scheduling for the configured cache-block size.
+    pub fn compile(circuit: &QuantumCircuit, config: &ExecConfig) -> Self {
+        Self::from_program(&FusedProgram::compile(circuit, config), config)
+    }
+
+    /// Lowers an already fused program into a plan.
+    ///
+    /// With `config.pair_fusion` disabled the records correspond 1:1 to the
+    /// program's ops (degenerate MCX records whose control set contains the
+    /// target are kept as explicit no-ops), which the noisy simulator relies
+    /// on to interleave stochastic noise between gates.
+    pub fn from_program(program: &FusedProgram, config: &ExecConfig) -> Self {
+        let num_qubits = program.num_qubits();
+        let block_bits = effective_block_bits(config, num_qubits);
+        let mut lowered: Vec<Lowered> = Vec::with_capacity(program.num_ops());
+        for op in program.ops() {
+            let next = match op {
+                FusedOp::Dense { qubit, matrix } => Lowered::D1 {
+                    bit: 1usize << qubit,
+                    matrix: *matrix,
+                },
+                FusedOp::Phase { mask, phase } => Lowered::Ph {
+                    mask: *mask,
+                    phase: *phase,
+                },
+                FusedOp::Mcx {
+                    control_mask,
+                    target,
+                } => Lowered::Mcx {
+                    control_mask: *control_mask,
+                    target_bit: 1usize << target,
+                },
+                FusedOp::Swap { a, b } => Lowered::Swap {
+                    bit_a: 1usize << a.min(b),
+                    bit_b: 1usize << a.max(b),
+                },
+            };
+            lowered.push(next);
+        }
+        if config.pair_fusion {
+            lowered = cluster_by_locality(lowered, block_bits);
+            // Merge only where a 4×4 saves a full memory sweep: same-qubit
+            // 2×2 products are always profitable, and two *global* ops fold
+            // into one cross-block pass. Block-local ops already share one
+            // sweep per run, and a local 4×4's inner runs are as short as
+            // the low stride, which defeats vectorization — measured slower
+            // than the two factored 2×2 passes despite equal multiplies.
+            let block_len = 1usize << block_bits;
+            let mut batched: Vec<Lowered> = Vec::with_capacity(lowered.len());
+            for next in lowered {
+                let profitable = batched.last().is_some_and(|earlier| {
+                    same_qubit_denses(earlier, &next)
+                        || (!is_local(earlier, block_len) && !is_local(&next, block_len))
+                });
+                if profitable {
+                    if let Some(merged) = batched
+                        .last()
+                        .and_then(|earlier| batch_dense(earlier, &next))
+                    {
+                        *batched.last_mut().expect("checked non-empty") = merged;
+                        continue;
+                    }
+                }
+                batched.push(next);
+            }
+            lowered = batched;
+        }
+        let mut records = Vec::with_capacity(lowered.len());
+        let mut pool = Vec::new();
+        for op in &lowered {
+            records.push(emit(op, &mut pool));
+        }
+        let segments = schedule(&records, block_bits);
+        Self {
+            num_qubits,
+            block_bits,
+            records,
+            pool,
+            segments,
+        }
+    }
+
+    /// Number of qubits of the source program.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// log2 of the amplitudes per cache block this plan was scheduled for.
+    pub fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    /// The flat dispatch records in execution order.
+    pub fn records(&self) -> &[DispatchRecord] {
+        &self.records
+    }
+
+    /// The flat matrix pool indexed by [`DispatchRecord::slot`].
+    pub fn matrix_pool(&self) -> &[f64] {
+        &self.pool
+    }
+
+    /// Number of dispatch records (≤ the fused op count).
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Applies the plan in place to a `2^n` interleaved amplitude slice: the
+    /// slice is transposed into blocked SoA layout, interpreted (with the
+    /// worker pool when the register clears
+    /// [`ExecConfig::parallel_threshold`]), and transposed back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is shorter than the plan's register (extra qubits
+    /// are spectators, as in the legacy path).
+    pub fn apply(&self, amplitudes: &mut [Complex], config: &ExecConfig) {
+        assert!(
+            kernel::num_qubits_of(amplitudes) >= self.num_qubits,
+            "a {}-qubit plan cannot run on {} amplitudes",
+            self.num_qubits,
+            amplitudes.len()
+        );
+        let mut state = SoaStatevector::from_amplitudes(amplitudes, self.block_bits);
+        self.apply_soa(&mut state, config);
+        state.write_to(amplitudes);
+    }
+
+    /// Applies the plan in place to a blocked SoA state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is smaller than the plan's register or was built
+    /// with a different block size than the plan was scheduled for.
+    pub fn apply_soa(&self, state: &mut SoaStatevector, config: &ExecConfig) {
+        assert!(
+            state.num_qubits >= self.num_qubits,
+            "a {}-qubit plan cannot run on a {}-qubit state",
+            self.num_qubits,
+            state.num_qubits
+        );
+        assert_eq!(
+            state.block_bits,
+            self.block_bits.min(state.num_qubits),
+            "state block size does not match the plan schedule"
+        );
+        let threads = config.effective_threads(1usize << state.num_qubits);
+        if threads > 1 && state.blocks.len() > 1 {
+            self.apply_pooled(state, threads);
+        } else {
+            for segment in &self.segments {
+                match segment.locality {
+                    Locality::Local => {
+                        for (block_index, block) in state.blocks.iter_mut().enumerate() {
+                            apply_local_run(
+                                &self.records[segment.range.clone()],
+                                &self.pool,
+                                block_index,
+                                block,
+                            );
+                        }
+                    }
+                    Locality::Global => {
+                        let record = &self.records[segment.range.start];
+                        apply_global_sequential(record, &self.pool, state);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a single record to the state, sequentially. The noisy
+    /// simulator replays plans through this entry point so it can interleave
+    /// stochastic noise channels between records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn apply_record(&self, state: &mut SoaStatevector, index: usize) {
+        apply_global_sequential(&self.records[index], &self.pool, state);
+    }
+
+    /// The persistent-pool interpreter: one `thread::scope` for the entire
+    /// program. Workers pull owned blocks from a shared channel, apply a
+    /// whole segment's worth of work and return them; the main thread only
+    /// routes blocks and performs the free block-permutation fast paths.
+    fn apply_pooled(&self, state: &mut SoaStatevector, threads: usize) {
+        let block_bits = state.block_bits;
+        thread::scope(|scope| {
+            let (task_tx, task_rx) = mpsc::channel::<Task>();
+            let task_rx = Arc::new(Mutex::new(task_rx));
+            let (done_tx, done_rx) = mpsc::channel::<Task>();
+            for _ in 0..threads {
+                let task_rx = Arc::clone(&task_rx);
+                let done_tx = done_tx.clone();
+                let plan = &*self;
+                scope.spawn(move || loop {
+                    let next = { task_rx.lock().expect("pool lock poisoned").recv() };
+                    match next {
+                        Ok(mut task) => {
+                            for item in &mut task.items {
+                                plan.process_item(item, block_bits);
+                            }
+                            if done_tx.send(task).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            drop(done_tx);
+            for segment in &self.segments {
+                match segment.locality {
+                    Locality::Local => {
+                        let items: Vec<WorkItem> = state
+                            .blocks
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(index, block)| WorkItem::Run {
+                                index,
+                                block: std::mem::take(block),
+                                ops: segment.range.clone(),
+                            })
+                            .collect();
+                        dispatch(&task_tx, &done_rx, items, threads, &mut state.blocks);
+                    }
+                    Locality::Global => {
+                        let record_index = segment.range.start;
+                        let record = self.records[record_index];
+                        if let Some(items) =
+                            global_work_items(&record, record_index, state, block_bits)
+                        {
+                            dispatch(&task_tx, &done_rx, items, threads, &mut state.blocks);
+                        }
+                    }
+                }
+            }
+            drop(task_tx);
+        });
+    }
+
+    /// Applies one pool work item (worker-side).
+    fn process_item(&self, item: &mut WorkItem, block_bits: usize) {
+        match item {
+            WorkItem::Run { index, block, ops } => {
+                apply_local_run(&self.records[ops.clone()], &self.pool, *index, block);
+            }
+            WorkItem::Pair { record, a, b, .. } => {
+                apply_pair(&self.records[*record], &self.pool, a, b, block_bits);
+            }
+            WorkItem::Quad { record, blocks, .. } => {
+                let [v0, v1, v2, v3] = blocks;
+                dense2_across_quad(
+                    matrix4(&self.pool, self.records[*record].slot),
+                    v0,
+                    v1,
+                    v2,
+                    v3,
+                );
+            }
+        }
+    }
+}
+
+/// Resolves [`ExecConfig::block_bits`] (`0` = [`DEFAULT_BLOCK_BITS`]),
+/// clamped to the register size.
+fn effective_block_bits(config: &ExecConfig, num_qubits: usize) -> usize {
+    let requested = if config.block_bits == 0 {
+        DEFAULT_BLOCK_BITS
+    } else {
+        config.block_bits
+    };
+    requested.min(num_qubits)
+}
+
+/// Emits the flat record for one lowered op, appending its matrix data to
+/// the pool.
+fn emit(op: &Lowered, pool: &mut Vec<f64>) -> DispatchRecord {
+    match op {
+        Lowered::D1 { bit, matrix } => {
+            let slot = pool.len() as u32;
+            pool.extend(flatten_2x2(matrix));
+            DispatchRecord {
+                kind: OpKind::Dense1,
+                arg0: *bit as u64,
+                arg1: 0,
+                slot,
+            }
+        }
+        Lowered::D2 { lo, hi, matrix } => {
+            let slot = pool.len() as u32;
+            pool.extend(matrix.iter().flat_map(|entry| [entry.re, entry.im]));
+            DispatchRecord {
+                kind: OpKind::Dense2,
+                arg0: *lo as u64,
+                arg1: *hi as u64,
+                slot,
+            }
+        }
+        Lowered::Ph { mask, phase } => {
+            let slot = pool.len() as u32;
+            pool.extend([phase.re, phase.im]);
+            DispatchRecord {
+                kind: OpKind::Phase,
+                arg0: *mask as u64,
+                arg1: 0,
+                slot,
+            }
+        }
+        Lowered::Mcx {
+            control_mask,
+            target_bit,
+        } => DispatchRecord {
+            kind: OpKind::Mcx,
+            arg0: *control_mask as u64,
+            arg1: *target_bit as u64,
+            slot: 0,
+        },
+        Lowered::Swap { bit_a, bit_b } => DispatchRecord {
+            kind: OpKind::Swap,
+            arg0: *bit_a as u64,
+            arg1: *bit_b as u64,
+            slot: 0,
+        },
+    }
+}
+
+/// Classifies a record against the block partition.
+fn locality_of(record: &DispatchRecord, block_bits: usize) -> Locality {
+    let block_len = 1u64 << block_bits;
+    let local = match record.kind {
+        // Diagonal: the block index fixes the high mask bits, the low bits
+        // select within the block — always blockwise independent.
+        OpKind::Phase => true,
+        OpKind::Dense1 => record.arg0 < block_len,
+        OpKind::Dense2 => record.arg1 < block_len,
+        // Controls are diagonal; only a high target couples blocks.
+        OpKind::Mcx => record.arg1 < block_len,
+        OpKind::Swap => record.arg1 < block_len,
+    };
+    if local {
+        Locality::Local
+    } else {
+        Locality::Global
+    }
+}
+
+/// Groups the record array into maximal block-local runs separated by
+/// singleton global records.
+fn schedule(records: &[DispatchRecord], block_bits: usize) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut run_start = 0usize;
+    for (index, record) in records.iter().enumerate() {
+        if locality_of(record, block_bits) == Locality::Global {
+            if run_start < index {
+                segments.push(Segment {
+                    range: run_start..index,
+                    locality: Locality::Local,
+                });
+            }
+            segments.push(Segment {
+                range: index..index + 1,
+                locality: Locality::Global,
+            });
+            run_start = index + 1;
+        }
+    }
+    if run_start < records.len() {
+        segments.push(Segment {
+            range: run_start..records.len(),
+            locality: Locality::Local,
+        });
+    }
+    segments
+}
+
+/// One unit of pool work: a whole run applied to one block, or one global
+/// record applied to a pair/quad of coupled blocks.
+enum WorkItem {
+    Run {
+        index: usize,
+        block: AmpBlock,
+        ops: Range<usize>,
+    },
+    Pair {
+        low: usize,
+        high: usize,
+        a: AmpBlock,
+        b: AmpBlock,
+        record: usize,
+    },
+    Quad {
+        indices: [usize; 4],
+        blocks: [AmpBlock; 4],
+        record: usize,
+    },
+}
+
+/// A batch of work items routed to one worker.
+struct Task {
+    items: Vec<WorkItem>,
+}
+
+/// Sends `items` to the pool as ~`threads` balanced tasks, waits for all of
+/// them, and moves the processed blocks back into `blocks`.
+fn dispatch(
+    task_tx: &mpsc::Sender<Task>,
+    done_rx: &mpsc::Receiver<Task>,
+    items: Vec<WorkItem>,
+    threads: usize,
+    blocks: &mut [AmpBlock],
+) {
+    if items.is_empty() {
+        return;
+    }
+    let per_task = items.len().div_ceil(threads);
+    let mut sent = 0usize;
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(per_task));
+        task_tx
+            .send(Task { items })
+            .expect("worker pool hung up early");
+        items = rest;
+        sent += 1;
+    }
+    for _ in 0..sent {
+        let task = done_rx.recv().expect("worker pool died");
+        for item in task.items {
+            match item {
+                WorkItem::Run { index, block, .. } => blocks[index] = block,
+                WorkItem::Pair {
+                    low, high, a, b, ..
+                } => {
+                    blocks[low] = a;
+                    blocks[high] = b;
+                }
+                WorkItem::Quad {
+                    indices,
+                    blocks: quad,
+                    ..
+                } => {
+                    for (index, block) in indices.into_iter().zip(quad) {
+                        blocks[index] = block;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the pool work items for one global record, taking the involved
+/// blocks out of the state. Returns `None` when the record reduces to a
+/// block permutation, which is performed directly (swapping `Vec` handles
+/// moves no amplitude data).
+fn global_work_items(
+    record: &DispatchRecord,
+    record_index: usize,
+    state: &mut SoaStatevector,
+    block_bits: usize,
+) -> Option<Vec<WorkItem>> {
+    match global_dispatch(record, state.blocks.len(), block_bits) {
+        GlobalDispatch::Pairs(pairs) => Some(
+            pairs
+                .into_iter()
+                .map(|(low, high)| {
+                    let a = std::mem::take(&mut state.blocks[low]);
+                    let b = std::mem::take(&mut state.blocks[high]);
+                    WorkItem::Pair {
+                        low,
+                        high,
+                        a,
+                        b,
+                        record: record_index,
+                    }
+                })
+                .collect(),
+        ),
+        GlobalDispatch::Quads(quads) => Some(
+            quads
+                .into_iter()
+                .map(|indices| {
+                    let blocks = indices.map(|index| std::mem::take(&mut state.blocks[index]));
+                    WorkItem::Quad {
+                        indices,
+                        blocks,
+                        record: record_index,
+                    }
+                })
+                .collect(),
+        ),
+        GlobalDispatch::Permute(swaps) => {
+            for (a, b) in swaps {
+                state.blocks.swap(a, b);
+            }
+            None
+        }
+        GlobalDispatch::Noop => None,
+    }
+}
+
+/// How a global record decomposes over the block array.
+enum GlobalDispatch {
+    /// Elementwise work on pairs of blocks.
+    Pairs(Vec<(usize, usize)>),
+    /// Elementwise work on quads of blocks (both Dense2 qubits high).
+    Quads(Vec<[usize; 4]>),
+    /// A pure permutation of whole blocks.
+    Permute(Vec<(usize, usize)>),
+    /// Nothing to do (degenerate MCX).
+    Noop,
+}
+
+/// Decomposes one global record into block-pair/quad/permutation work.
+fn global_dispatch(
+    record: &DispatchRecord,
+    num_blocks: usize,
+    block_bits: usize,
+) -> GlobalDispatch {
+    let block_len = 1u64 << block_bits;
+    match record.kind {
+        OpKind::Dense1 => {
+            let offset = (record.arg0 >> block_bits) as usize;
+            GlobalDispatch::Pairs(pair_indices(num_blocks, offset, 0, 0))
+        }
+        OpKind::Dense2 => {
+            let lo = record.arg0;
+            let hi = record.arg1;
+            if lo < block_len {
+                // Mixed: low qubit inside the block, high qubit across.
+                let offset = (hi >> block_bits) as usize;
+                GlobalDispatch::Pairs(pair_indices(num_blocks, offset, 0, 0))
+            } else {
+                let off_lo = (lo >> block_bits) as usize;
+                let off_hi = (hi >> block_bits) as usize;
+                let quads = (0..num_blocks)
+                    .filter(|k| k & (off_lo | off_hi) == 0)
+                    .map(|k| [k, k | off_lo, k | off_hi, k | off_lo | off_hi])
+                    .collect();
+                GlobalDispatch::Quads(quads)
+            }
+        }
+        OpKind::Mcx => {
+            if record.arg0 & record.arg1 != 0 {
+                return GlobalDispatch::Noop;
+            }
+            let target_offset = (record.arg1 >> block_bits) as usize;
+            let controls_high = (record.arg0 >> block_bits) as usize;
+            let controls_low = record.arg0 & (block_len - 1);
+            let pairs = pair_indices(num_blocks, target_offset, controls_high, controls_high);
+            if controls_low == 0 {
+                // Every local amplitude swaps: permuting the blocks is free.
+                GlobalDispatch::Permute(pairs)
+            } else {
+                GlobalDispatch::Pairs(pairs)
+            }
+        }
+        OpKind::Swap => {
+            let lo = record.arg0;
+            let hi = record.arg1;
+            let off_hi = (hi >> block_bits) as usize;
+            if lo >= block_len {
+                // Both qubits high: exchange whole blocks.
+                let off_lo = (lo >> block_bits) as usize;
+                let swaps = (0..num_blocks)
+                    .filter(|k| k & off_lo != 0 && k & off_hi == 0)
+                    .map(|k| (k, k ^ (off_lo | off_hi)))
+                    .collect();
+                GlobalDispatch::Permute(swaps)
+            } else {
+                GlobalDispatch::Pairs(pair_indices(num_blocks, off_hi, 0, 0))
+            }
+        }
+        OpKind::Phase => unreachable!("phase records are always block-local"),
+    }
+}
+
+/// Block-index pairs `(k, k | offset)` over blocks with the pair bit clear
+/// and the required high control bits set.
+fn pair_indices(
+    num_blocks: usize,
+    offset: usize,
+    required_mask: usize,
+    required_value: usize,
+) -> Vec<(usize, usize)> {
+    (0..num_blocks)
+        .filter(|k| k & offset == 0 && k & required_mask == required_value)
+        .map(|k| (k, k | offset))
+        .collect()
+}
+
+/// Applies one global record sequentially over the whole blocked state.
+fn apply_global_sequential(record: &DispatchRecord, pool: &[f64], state: &mut SoaStatevector) {
+    let block_bits = state.block_bits;
+    if locality_of(record, block_bits) == Locality::Local {
+        for (block_index, block) in state.blocks.iter_mut().enumerate() {
+            apply_local_record(record, pool, block_index, block, block_bits);
+        }
+        return;
+    }
+    match global_dispatch(record, state.blocks.len(), block_bits) {
+        GlobalDispatch::Pairs(pairs) => {
+            for (low, high) in pairs {
+                let (a, b) = pair_mut(&mut state.blocks, low, high);
+                apply_pair(record, pool, a, b, block_bits);
+            }
+        }
+        GlobalDispatch::Quads(quads) => {
+            for indices in quads {
+                let mut taken = indices.map(|index| std::mem::take(&mut state.blocks[index]));
+                let [v0, v1, v2, v3] = &mut taken;
+                dense2_across_quad(matrix4(pool, record.slot), v0, v1, v2, v3);
+                for (index, block) in indices.into_iter().zip(taken) {
+                    state.blocks[index] = block;
+                }
+            }
+        }
+        GlobalDispatch::Permute(swaps) => {
+            for (a, b) in swaps {
+                state.blocks.swap(a, b);
+            }
+        }
+        GlobalDispatch::Noop => {}
+    }
+}
+
+/// Two disjoint `&mut` blocks out of the block array.
+fn pair_mut(blocks: &mut [AmpBlock], low: usize, high: usize) -> (&mut AmpBlock, &mut AmpBlock) {
+    debug_assert!(low < high);
+    let (head, tail) = blocks.split_at_mut(high);
+    (&mut head[low], &mut tail[0])
+}
+
+/// Applies one global record to a coupled block pair (worker-side and
+/// sequential fallback).
+fn apply_pair(
+    record: &DispatchRecord,
+    pool: &[f64],
+    a: &mut AmpBlock,
+    b: &mut AmpBlock,
+    block_bits: usize,
+) {
+    let block_len = 1u64 << block_bits;
+    match record.kind {
+        // High dense qubit: the pair's blocks are exactly the low/high
+        // halves — one fully contiguous, branch-free sweep.
+        OpKind::Dense1 => dense1_rows(
+            &mut a.re,
+            &mut a.im,
+            &mut b.re,
+            &mut b.im,
+            matrix2(pool, record.slot),
+        ),
+        OpKind::Dense2 => {
+            // Mixed 4×4: the low qubit pairs within each block, the high
+            // qubit pairs across the two blocks.
+            dense2_across_pair(matrix4(pool, record.slot), record.arg0 as usize, a, b);
+        }
+        OpKind::Mcx => {
+            let controls_low = (record.arg0 & (block_len - 1)) as usize;
+            let positions = kernel::mask_bit_values(controls_low);
+            let count = a.re.len() >> positions.len();
+            for compact in 0..count {
+                let mut index = compact;
+                for &bit in &positions {
+                    index = kernel::insert_bit(index, bit, true);
+                }
+                std::mem::swap(&mut a.re[index], &mut b.re[index]);
+                std::mem::swap(&mut a.im[index], &mut b.im[index]);
+            }
+        }
+        OpKind::Swap => {
+            // Low qubit inside the block, high qubit across: global
+            // (a=1, b_high=0) ↔ (a=0, b_high=1).
+            let bit_a = record.arg0 as usize;
+            for compact in 0..a.re.len() / 2 {
+                let index = kernel::insert_bit(compact, bit_a, true);
+                let partner = index ^ bit_a;
+                std::mem::swap(&mut a.re[index], &mut b.re[partner]);
+                std::mem::swap(&mut a.im[index], &mut b.im[partner]);
+            }
+        }
+        OpKind::Phase => unreachable!("phase records are always block-local"),
+    }
+}
+
+/// Applies a run of block-local records to one block.
+fn apply_local_run(
+    records: &[DispatchRecord],
+    pool: &[f64],
+    block_index: usize,
+    block: &mut AmpBlock,
+) {
+    let block_bits = block.re.len().trailing_zeros() as usize;
+    for record in records {
+        apply_local_record(record, pool, block_index, block, block_bits);
+    }
+}
+
+/// Applies one block-local record to one block.
+fn apply_local_record(
+    record: &DispatchRecord,
+    pool: &[f64],
+    block_index: usize,
+    block: &mut AmpBlock,
+    block_bits: usize,
+) {
+    let block_len = 1usize << block_bits;
+    match record.kind {
+        OpKind::Dense1 => {
+            dense1_block(
+                &mut block.re,
+                &mut block.im,
+                record.arg0 as usize,
+                matrix2(pool, record.slot),
+            );
+        }
+        OpKind::Dense2 => dense2_block(
+            &mut block.re,
+            &mut block.im,
+            record.arg0 as usize,
+            record.arg1 as usize,
+            matrix4(pool, record.slot),
+        ),
+        OpKind::Phase => {
+            let mask = record.arg0 as usize;
+            let high = mask >> block_bits;
+            if block_index & high != high {
+                return;
+            }
+            let local = mask & (block_len - 1);
+            let phase = matrix2(pool, record.slot);
+            let (phase_re, phase_im) = (phase[0], phase[1]);
+            if local == 0 {
+                phase_all(&mut block.re, &mut block.im, phase_re, phase_im);
+            } else {
+                phase_masked(&mut block.re, &mut block.im, local, phase_re, phase_im);
+            }
+        }
+        OpKind::Mcx => {
+            let control_mask = record.arg0 as usize;
+            let target_bit = record.arg1 as usize;
+            if control_mask & target_bit != 0 {
+                // Degenerate: a control on the target can never fire.
+                return;
+            }
+            let high = control_mask >> block_bits;
+            if block_index & high != high {
+                return;
+            }
+            mcx_block(
+                &mut block.re,
+                &mut block.im,
+                control_mask & (block_len - 1),
+                target_bit,
+            );
+        }
+        OpKind::Swap => swap_block(
+            &mut block.re,
+            &mut block.im,
+            record.arg0 as usize,
+            record.arg1 as usize,
+        ),
+    }
+}
+
+/// The 8-value (or 2-value, for phases) matrix slice of a record.
+fn matrix2(pool: &[f64], slot: u32) -> &[f64] {
+    &pool[slot as usize..]
+}
+
+/// The 32-value 4×4 matrix slice of a record.
+fn matrix4(pool: &[f64], slot: u32) -> &[f64; 32] {
+    (&pool[slot as usize..slot as usize + 32])
+        .try_into()
+        .expect("dense2 slots are 32 values wide")
+}
+
+/// The vectorizable core of every dense 2×2 application: paired low/high
+/// component rows of equal length. The multiply-add association matches the
+/// legacy `matrix[0][0] * a + matrix[0][1] * b` complex arithmetic exactly,
+/// so the SoA path is bit-identical to the legacy path per element.
+fn dense1_rows(
+    low_re: &mut [f64],
+    low_im: &mut [f64],
+    high_re: &mut [f64],
+    high_im: &mut [f64],
+    m: &[f64],
+) {
+    let (m00r, m00i, m01r, m01i) = (m[0], m[1], m[2], m[3]);
+    let (m10r, m10i, m11r, m11i) = (m[4], m[5], m[6], m[7]);
+    for (((lr, li), hr), hi) in low_re
+        .iter_mut()
+        .zip(low_im.iter_mut())
+        .zip(high_re.iter_mut())
+        .zip(high_im.iter_mut())
+    {
+        let (ar, ai) = (*lr, *li);
+        let (br, bi) = (*hr, *hi);
+        *lr = (m00r * ar - m00i * ai) + (m01r * br - m01i * bi);
+        *li = (m00r * ai + m00i * ar) + (m01r * bi + m01i * br);
+        *hr = (m10r * ar - m10i * ai) + (m11r * br - m11i * bi);
+        *hi = (m10r * ai + m10i * ar) + (m11r * bi + m11i * br);
+    }
+}
+
+/// In-block dense 2×2: splits every `2·bit` chunk into its low/high halves.
+fn dense1_block(re: &mut [f64], im: &mut [f64], bit: usize, m: &[f64]) {
+    // Small strides pay heavily for a runtime-length inner loop (the
+    // vectorizer emits a scalar tail that dominates when runs are 1-8
+    // elements long), so dispatch them to const-stride clones where LLVM
+    // sees the run length at compile time. Same chunking, same arithmetic,
+    // same rounding — only the generated code differs.
+    // Copying the matrix to the stack first severs any aliasing question
+    // between the coefficient pool and the amplitude slices, so the eight
+    // loads hoist out of the sweep.
+    let m_local: [f64; 8] = [m[0], m[1], m[2], m[3], m[4], m[5], m[6], m[7]];
+    let m = &m_local[..];
+    // Strides 1 and 2 are the pathological run lengths; wider runs already
+    // vectorize well from the generic loop (and measured slower through the
+    // const clones, which trade the loop for heavier straight-line code).
+    match bit {
+        1 => return dense1_block_fixed::<1>(re, im, m),
+        2 => return dense1_block_fixed::<2>(re, im, m),
+        _ => {}
+    }
+    for (re_chunk, im_chunk) in re
+        .chunks_exact_mut(bit << 1)
+        .zip(im.chunks_exact_mut(bit << 1))
+    {
+        let (low_re, high_re) = re_chunk.split_at_mut(bit);
+        let (low_im, high_im) = im_chunk.split_at_mut(bit);
+        dense1_rows(low_re, low_im, high_re, high_im, m);
+    }
+}
+
+/// `dense1_block` with the stride as a compile-time constant: identical
+/// structure and arithmetic, but the fixed run length lets the compiler
+/// unroll the inner rows instead of falling into its scalar
+/// variable-length tail.
+fn dense1_block_fixed<const BIT: usize>(re: &mut [f64], im: &mut [f64], m: &[f64]) {
+    for (re_chunk, im_chunk) in re
+        .chunks_exact_mut(BIT << 1)
+        .zip(im.chunks_exact_mut(BIT << 1))
+    {
+        let (low_re, high_re) = re_chunk.split_at_mut(BIT);
+        let (low_im, high_im) = im_chunk.split_at_mut(BIT);
+        dense1_rows(low_re, low_im, high_re, high_im, m);
+    }
+}
+
+/// The vectorizable core of every dense 4×4 application: four equal-length
+/// component-row pairs holding the quad's basis states in `2·hi + lo` order.
+/// Strided callers carve the rows out of their blocks with `split_at_mut`,
+/// so the sweep is branch-free streaming with no index arithmetic — the
+/// accumulation order matches the old per-quad mat-vec exactly.
+#[allow(clippy::too_many_arguments)]
+fn dense2_rows(
+    r0: &mut [f64],
+    i0: &mut [f64],
+    r1: &mut [f64],
+    i1: &mut [f64],
+    r2: &mut [f64],
+    i2: &mut [f64],
+    r3: &mut [f64],
+    i3: &mut [f64],
+    m: &[f64; 32],
+) {
+    let n = r0.len();
+    assert!(
+        i0.len() == n
+            && r1.len() == n
+            && i1.len() == n
+            && r2.len() == n
+            && i2.len() == n
+            && r3.len() == n
+            && i3.len() == n,
+        "dense2 rows must have equal lengths"
+    );
+    for k in 0..n {
+        let v = [
+            (r0[k], i0[k]),
+            (r1[k], i1[k]),
+            (r2[k], i2[k]),
+            (r3[k], i3[k]),
+        ];
+        let mut out = [(0.0f64, 0.0f64); 4];
+        for (row, entry) in out.iter_mut().enumerate() {
+            let mut acc_re = 0.0f64;
+            let mut acc_im = 0.0f64;
+            for (col, &(vr, vi)) in v.iter().enumerate() {
+                let mr = m[(row * 4 + col) * 2];
+                let mi = m[(row * 4 + col) * 2 + 1];
+                acc_re += mr * vr - mi * vi;
+                acc_im += mr * vi + mi * vr;
+            }
+            *entry = (acc_re, acc_im);
+        }
+        r0[k] = out[0].0;
+        i0[k] = out[0].1;
+        r1[k] = out[1].0;
+        i1[k] = out[1].1;
+        r2[k] = out[2].0;
+        i2[k] = out[2].1;
+        r3[k] = out[3].0;
+        i3[k] = out[3].1;
+    }
+}
+
+/// In-block dense 4×4 over the quads `(i, i|lo, i|hi, i|lo|hi)`: every
+/// `2·hi` chunk splits into its `hi` halves, every `2·lo` sub-chunk into its
+/// `lo` halves, leaving four contiguous rows per quad group.
+fn dense2_block(re: &mut [f64], im: &mut [f64], lo: usize, hi: usize, m: &[f64; 32]) {
+    for (re_outer, im_outer) in re
+        .chunks_exact_mut(hi << 1)
+        .zip(im.chunks_exact_mut(hi << 1))
+    {
+        let (re_low, re_high) = re_outer.split_at_mut(hi);
+        let (im_low, im_high) = im_outer.split_at_mut(hi);
+        for (((rl, il), rh), ih) in re_low
+            .chunks_exact_mut(lo << 1)
+            .zip(im_low.chunks_exact_mut(lo << 1))
+            .zip(re_high.chunks_exact_mut(lo << 1))
+            .zip(im_high.chunks_exact_mut(lo << 1))
+        {
+            let (r0, r1) = rl.split_at_mut(lo);
+            let (i0, i1) = il.split_at_mut(lo);
+            let (r2, r3) = rh.split_at_mut(lo);
+            let (i2, i3) = ih.split_at_mut(lo);
+            dense2_rows(r0, i0, r1, i1, r2, i2, r3, i3, m);
+        }
+    }
+}
+
+/// Mixed 4×4 (low qubit in-block, high qubit across a block pair): quads are
+/// `(a[i], a[i|lo], b[i], b[i|lo])`.
+fn dense2_across_pair(m: &[f64; 32], lo: usize, a: &mut AmpBlock, b: &mut AmpBlock) {
+    for (((ar, ai), br), bi) in
+        a.re.chunks_exact_mut(lo << 1)
+            .zip(a.im.chunks_exact_mut(lo << 1))
+            .zip(b.re.chunks_exact_mut(lo << 1))
+            .zip(b.im.chunks_exact_mut(lo << 1))
+    {
+        let (r0, r1) = ar.split_at_mut(lo);
+        let (i0, i1) = ai.split_at_mut(lo);
+        let (r2, r3) = br.split_at_mut(lo);
+        let (i2, i3) = bi.split_at_mut(lo);
+        dense2_rows(r0, i0, r1, i1, r2, i2, r3, i3, m);
+    }
+}
+
+/// Both-high 4×4: the four blocks are the four basis combinations of the two
+/// qubits, so the matrix applies elementwise across them — a fully
+/// contiguous four-row sweep.
+fn dense2_across_quad(
+    m: &[f64; 32],
+    v0: &mut AmpBlock,
+    v1: &mut AmpBlock,
+    v2: &mut AmpBlock,
+    v3: &mut AmpBlock,
+) {
+    dense2_rows(
+        &mut v0.re, &mut v0.im, &mut v1.re, &mut v1.im, &mut v2.re, &mut v2.im, &mut v3.re,
+        &mut v3.im, m,
+    );
+}
+
+/// Whole-block phase multiply (all mask bits are high, or the mask is 0).
+fn phase_all(re: &mut [f64], im: &mut [f64], phase_re: f64, phase_im: f64) {
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        let (ar, ai) = (*r, *i);
+        *r = phase_re * ar - phase_im * ai;
+        *i = phase_re * ai + phase_im * ar;
+    }
+}
+
+/// Masked phase multiply over the block-local subspace: peels the mask one
+/// bit at a time from the top, restricting to the high half of every
+/// `2·bit` chunk, so the innermost sweeps are contiguous [`phase_all`] runs
+/// of the mask's lowest bit value — strided streaming instead of per-index
+/// bit insertion. Each matching amplitude is multiplied exactly once with
+/// the same arithmetic as before, so results are bit-identical to the
+/// legacy enumeration order.
+fn phase_masked(re: &mut [f64], im: &mut [f64], mask: usize, phase_re: f64, phase_im: f64) {
+    if mask == 0 {
+        phase_all(re, im, phase_re, phase_im);
+        return;
+    }
+    if mask < 4 {
+        // A mask of only the two lowest bits leaves contiguous runs of 1-2
+        // elements, where the peel degrades to scalar code. A predicated
+        // full sweep vectorizes instead: matching lanes get exactly the
+        // `phase_all` arithmetic, non-matching lanes are stored back
+        // untouched, so results stay bit-identical either way.
+        for (index, (r, i)) in re.iter_mut().zip(im.iter_mut()).enumerate() {
+            let hit = index & mask == mask;
+            let (ar, ai) = (*r, *i);
+            let rotated_re = phase_re * ar - phase_im * ai;
+            let rotated_im = phase_re * ai + phase_im * ar;
+            *r = if hit { rotated_re } else { ar };
+            *i = if hit { rotated_im } else { ai };
+        }
+        return;
+    }
+    let top = 1usize << (usize::BITS as usize - 1 - mask.leading_zeros() as usize);
+    let rest = mask ^ top;
+    for (rc, ic) in re
+        .chunks_exact_mut(top << 1)
+        .zip(im.chunks_exact_mut(top << 1))
+    {
+        let (_, high_re) = rc.split_at_mut(top);
+        let (_, high_im) = ic.split_at_mut(top);
+        phase_masked(high_re, high_im, rest, phase_re, phase_im);
+    }
+}
+
+/// In-block MCX: swaps across the target bit where the (block-local)
+/// controls are satisfied (mirrors the legacy `mcx_masked`).
+fn mcx_block(re: &mut [f64], im: &mut [f64], control_mask: usize, target_bit: usize) {
+    let fixed = control_mask | target_bit;
+    let free_bits = re.len().trailing_zeros() as usize - fixed.count_ones() as usize;
+    let positions = kernel::mask_bit_values(fixed);
+    for compact in 0..1usize << free_bits {
+        let mut index = compact;
+        for &bit in &positions {
+            index = kernel::insert_bit(index, bit, bit != target_bit);
+        }
+        re.swap(index, index | target_bit);
+        im.swap(index, index | target_bit);
+    }
+}
+
+/// In-block SWAP of two low qubits (mirrors the legacy `swap_masked`).
+fn swap_block(re: &mut [f64], im: &mut [f64], bit_a: usize, bit_b: usize) {
+    if bit_a == bit_b {
+        return;
+    }
+    let low = bit_a.min(bit_b);
+    let high = bit_a.max(bit_b);
+    for compact in 0..re.len() / 4 {
+        let index =
+            kernel::insert_bit(kernel::insert_bit(compact, low, false), high, false) | bit_a;
+        re.swap(index, index ^ (bit_a | bit_b));
+        im.swap(index, index ^ (bit_a | bit_b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::QuantumGate;
+    use crate::kernel;
+
+    fn push_all(circuit: &mut QuantumCircuit, gates: impl IntoIterator<Item = QuantumGate>) {
+        for gate in gates {
+            circuit.push(gate).unwrap();
+        }
+    }
+
+    #[test]
+    fn records_have_the_documented_shape() {
+        // The dispatch-record encoding is a contract (a future GPU backend
+        // interprets it unchanged): pin the lowering of one gate per kind.
+        let mut circuit = QuantumCircuit::new(4);
+        push_all(
+            &mut circuit,
+            [
+                QuantumGate::H(1),
+                QuantumGate::Cz { a: 0, b: 2 },
+                QuantumGate::Ccx {
+                    control_a: 0,
+                    control_b: 1,
+                    target: 3,
+                },
+                QuantumGate::Swap { a: 3, b: 1 },
+            ],
+        );
+        let config = ExecConfig::baseline().with_pair_fusion(false);
+        let plan = ExecPlan::from_program(&FusedProgram::lower(&circuit), &config);
+        let records = plan.records();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].kind, OpKind::Dense1);
+        assert_eq!(records[0].arg0, 0b10);
+        assert_eq!(records[1].kind, OpKind::Phase);
+        assert_eq!(records[1].arg0, 0b101);
+        assert_eq!(records[2].kind, OpKind::Mcx);
+        assert_eq!((records[2].arg0, records[2].arg1), (0b11, 0b1000));
+        assert_eq!(records[3].kind, OpKind::Swap);
+        // Swap operands are normalized to (lower bit, higher bit).
+        assert_eq!((records[3].arg0, records[3].arg1), (0b10, 0b1000));
+        // Dense matrices occupy 8 pool values, phases 2.
+        assert_eq!(plan.matrix_pool().len(), 10);
+    }
+
+    #[test]
+    fn pair_fusion_batches_adjacent_dense_ops() {
+        // A layer of H on 4 qubits with 4-amplitude blocks: qubits 0 and 1
+        // are block-local (they already share one sweep per run, so they
+        // stay as 2×2 records), while the global H's on qubits 2 and 3
+        // batch into one cross-block 4×4.
+        let mut circuit = QuantumCircuit::new(4);
+        push_all(&mut circuit, (0..4).map(QuantumGate::H));
+        let config = ExecConfig::sequential().with_block_bits(2);
+        let plan = ExecPlan::compile(&circuit, &config);
+        assert_eq!(plan.num_records(), 3);
+        // The fusion/clustering passes may reorder commuting ops; check the
+        // record shapes as a set.
+        let mut shapes: Vec<(OpKind, u64, u64)> = plan
+            .records()
+            .iter()
+            .map(|r| (r.kind, r.arg0, r.arg1))
+            .collect();
+        shapes.sort_unstable();
+        assert_eq!(
+            shapes,
+            vec![
+                (OpKind::Dense1, 1, 0),
+                (OpKind::Dense1, 2, 0),
+                (OpKind::Dense2, 4, 8),
+            ]
+        );
+        // Same-qubit denses always merge: X·H collapses to one 2×2 record.
+        let mut same = QuantumCircuit::new(2);
+        push_all(&mut same, [QuantumGate::H(0), QuantumGate::X(0)]);
+        let merged = ExecPlan::compile(&same, &ExecConfig::sequential().with_fusion(false));
+        assert_eq!(merged.num_records(), 1);
+        // Without pair fusion the layer stays one record per gate.
+        let unbatched =
+            ExecPlan::compile(&circuit, &ExecConfig::sequential().with_pair_fusion(false));
+        assert_eq!(unbatched.num_records(), 4);
+    }
+
+    #[test]
+    fn soa_roundtrip_preserves_amplitudes() {
+        let amplitudes: Vec<Complex> = (0..16)
+            .map(|k| Complex::new(k as f64, -(k as f64) / 2.0))
+            .collect();
+        let state = SoaStatevector::from_amplitudes(&amplitudes, 2);
+        assert_eq!(state.num_qubits(), 4);
+        assert_eq!(state.block_bits(), 2);
+        assert_eq!(state.amplitude(13), amplitudes[13]);
+        assert_eq!(state.to_amplitudes(), amplitudes);
+    }
+
+    #[test]
+    fn zero_state_resets_in_place() {
+        let mut state = SoaStatevector::zero_state(3, 1);
+        state.apply_fused_op(&FusedOp::from_gate(&QuantumGate::X(2)));
+        assert_eq!(state.amplitude(0b100), Complex::ONE);
+        state.reset();
+        assert_eq!(state.amplitude(0), Complex::ONE);
+        assert!((state.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ad_hoc_ops_match_the_kernel() {
+        // apply_fused_op (the noise path's entry point) against the scalar
+        // kernel, per gate class, on a non-trivial state and a 2-amp block
+        // size that forces the cross-block branches.
+        let gates = [
+            QuantumGate::X(2),
+            QuantumGate::Y(0),
+            QuantumGate::Z(1),
+            QuantumGate::H(2),
+            QuantumGate::S(0),
+        ];
+        let mut expected: Vec<Complex> = (0..8)
+            .map(|k| Complex::new(1.0 / (k as f64 + 1.0), 0.25 * k as f64))
+            .collect();
+        let mut state = SoaStatevector::from_amplitudes(&expected, 1);
+        for gate in gates {
+            kernel::apply_gate(&mut expected, &gate);
+            state.apply_fused_op(&FusedOp::from_gate(&gate));
+        }
+        assert_eq!(state.to_amplitudes(), expected);
+    }
+
+    #[test]
+    fn pooled_interpreter_matches_sequential() {
+        // A circuit with high/low/mixed dense pairs, a high-target MCX and a
+        // high-high swap, on 4-amplitude blocks: every dispatch shape runs
+        // through the worker pool and must agree with the sequential
+        // interpreter bit for bit.
+        let mut circuit = QuantumCircuit::new(5);
+        push_all(
+            &mut circuit,
+            [
+                QuantumGate::H(0),
+                QuantumGate::H(4),
+                QuantumGate::H(3),
+                QuantumGate::T(2),
+                QuantumGate::Ccx {
+                    control_a: 0,
+                    control_b: 2,
+                    target: 4,
+                },
+                QuantumGate::Swap { a: 3, b: 4 },
+                QuantumGate::Cz { a: 1, b: 4 },
+                QuantumGate::H(2),
+            ],
+        );
+        let sequential_config = ExecConfig::sequential().with_block_bits(2);
+        let pooled_config = sequential_config.with_threads(4).with_parallel_threshold(2);
+        let plan = ExecPlan::compile(&circuit, &sequential_config);
+        let mut sequential = SoaStatevector::zero_state(5, plan.block_bits());
+        plan.apply_soa(&mut sequential, &sequential_config);
+        let mut pooled = SoaStatevector::zero_state(5, plan.block_bits());
+        plan.apply_soa(&mut pooled, &pooled_config);
+        assert_eq!(pooled, sequential);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn mismatched_block_size_is_rejected() {
+        let circuit = QuantumCircuit::new(3);
+        let config = ExecConfig::sequential().with_block_bits(1);
+        let plan = ExecPlan::compile(&circuit, &config);
+        let mut state = SoaStatevector::zero_state(3, 2);
+        plan.apply_soa(&mut state, &config);
+    }
+}

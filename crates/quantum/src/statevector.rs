@@ -8,6 +8,7 @@
 use crate::complex::Complex;
 use crate::fusion::{ExecConfig, FusedProgram};
 use crate::kernel;
+use crate::plan::{ExecPlan, SoaStatevector};
 use crate::sampling::CumulativeDistribution;
 use crate::{QuantumCircuit, QuantumError, QuantumGate, MAX_SIMULATOR_QUBITS};
 use rand::Rng;
@@ -79,6 +80,25 @@ impl Statevector {
     ///
     /// Returns [`QuantumError::TooManyQubits`] for oversized circuits.
     pub fn run(circuit: &QuantumCircuit, config: &ExecConfig) -> Result<Self, QuantumError> {
+        if config.plan {
+            // Plan fast path: start from a blocked SoA zero state and
+            // convert to the interleaved layout once at the end, instead of
+            // allocating an interleaved zero register only to split it into
+            // SoA and merge it back (two extra full-register passes).
+            if circuit.num_qubits() > MAX_SIMULATOR_QUBITS {
+                return Err(QuantumError::TooManyQubits {
+                    requested: circuit.num_qubits(),
+                    maximum: MAX_SIMULATOR_QUBITS,
+                });
+            }
+            let plan = ExecPlan::compile(circuit, config);
+            let mut state = SoaStatevector::zero_state(circuit.num_qubits(), plan.block_bits());
+            plan.apply_soa(&mut state, config);
+            return Ok(Self {
+                num_qubits: circuit.num_qubits(),
+                amplitudes: state.to_amplitudes(),
+            });
+        }
         let mut state = Self::new(circuit.num_qubits())?;
         state.apply_circuit_with(circuit, config);
         Ok(state)
@@ -177,7 +197,9 @@ impl Statevector {
     }
 
     /// Applies every gate of a circuit with an explicit execution
-    /// configuration.
+    /// configuration: through the [`ExecPlan`] SoA interpreter when
+    /// `config.plan` is set (the default), or the legacy interleaved
+    /// [`FusedProgram`] path otherwise.
     ///
     /// # Panics
     ///
@@ -189,7 +211,11 @@ impl Statevector {
             circuit.num_qubits(),
             self.num_qubits
         );
-        FusedProgram::compile(circuit, config).apply(&mut self.amplitudes, config);
+        if config.plan {
+            ExecPlan::compile(circuit, config).apply(&mut self.amplitudes, config);
+        } else {
+            FusedProgram::compile(circuit, config).apply(&mut self.amplitudes, config);
+        }
     }
 
     /// The precomputed cumulative measurement distribution of this state,

@@ -1,5 +1,5 @@
-//! Differential property tests: the fused, multi-threaded execution layer
-//! against the naive [`DenseReference`] oracle.
+//! Differential property tests: the legacy fused, multi-threaded execution
+//! layer against the naive [`DenseReference`] oracle.
 //!
 //! Random 2–8 qubit Clifford+T circuits (with Toffoli, MCX, MCZ, SWAP and
 //! π/4-step rotations mixed in) are executed on both simulators and compared
@@ -7,6 +7,10 @@
 //! production path goes through `FusedProgram` and the chunked kernel loops,
 //! the reference through out-of-place column accumulation — so agreement on
 //! every random circuit is strong evidence that neither is wrong.
+//!
+//! Every config here pins `.with_plan(false)`: these suites keep the legacy
+//! interleaved path covered now that the `ExecPlan` SoA interpreter is the
+//! default (`tests/plan_differential.rs` owns the plan-path suites).
 
 use proptest::prelude::*;
 use qdaflow_quantum::fusion::ExecConfig;
@@ -123,7 +127,7 @@ proptest! {
     #[test]
     fn fused_kernel_matches_dense_reference(seed in any::<u64>()) {
         let circuit = random_circuit(seed);
-        assert_matches_reference(&circuit, &ExecConfig::sequential());
+        assert_matches_reference(&circuit, &ExecConfig::sequential().with_plan(false));
     }
 
     /// Suite 2: the chunked multi-threaded path (threading forced on even
@@ -132,6 +136,7 @@ proptest! {
     fn parallel_kernel_matches_dense_reference(seed in any::<u64>()) {
         let circuit = random_circuit(seed);
         let config = ExecConfig::sequential()
+            .with_plan(false)
             .with_threads(4)
             .with_parallel_threshold(2);
         assert_matches_reference(&circuit, &config);
@@ -142,6 +147,7 @@ proptest! {
     #[test]
     fn lowered_kernel_matches_dense_reference(seed in any::<u64>()) {
         let circuit = random_circuit(seed);
+        // `baseline()` already selects the legacy path.
         assert_matches_reference(&circuit, &ExecConfig::baseline());
     }
 
@@ -150,7 +156,10 @@ proptest! {
     #[test]
     fn fused_execution_preserves_norm(seed in any::<u64>()) {
         let circuit = random_circuit(seed);
-        let config = ExecConfig::default().with_threads(4).with_parallel_threshold(2);
+        let config = ExecConfig::default()
+            .with_plan(false)
+            .with_threads(4)
+            .with_parallel_threshold(2);
         let state = Statevector::run(&circuit, &config).expect("small register");
         prop_assert!((state.norm() - 1.0).abs() < TOLERANCE);
         let reference = DenseReference::from_circuit(&circuit).expect("small register");

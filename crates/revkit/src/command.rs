@@ -14,7 +14,7 @@
 //! | `tpar`    | T-count optimization of the quantum circuit                    |
 //! | `ps`      | print statistics (`-c` selects the circuit stores)            |
 //! | `simulate`| check the quantum circuit against the reversible circuit       |
-//! | `exec`    | configure the execution layer (threads, gate fusion)           |
+//! | `exec`    | configure the execution layer (threads, fusion, plan kernel)   |
 //! | `qasm`    | print the quantum circuit as OpenQASM                          |
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 //! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
@@ -786,7 +786,7 @@ impl Command for Exec {
     }
 
     fn description(&self) -> &'static str {
-        "configure circuit execution (--threads N | --fusion on|off | --threshold N); no arguments prints the current settings"
+        "configure circuit execution (--threads N | --fusion on|off | --threshold N | --plan on|off | --block-bits N | --pair-fusion on|off); no arguments prints the current settings"
     }
 
     fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
@@ -802,30 +802,48 @@ impl Command for Exec {
             config = config.with_threads(threads);
         }
         if let Some(fusion) = find_flag_value(args, "--fusion") {
-            config = match fusion {
-                "on" => config.with_fusion(true),
-                "off" => config.with_fusion(false),
-                other => {
-                    return Err(RevkitError::InvalidArguments {
-                        command: self.name(),
-                        message: format!(
-                            "expected '--fusion on' or '--fusion off', found '{other}'"
-                        ),
-                    })
-                }
-            };
+            config = config.with_fusion(parse_on_off(self.name(), "--fusion", fusion)?);
         }
         if let Some(threshold) = find_flag_value(args, "--threshold") {
             config = config.with_parallel_threshold(parse_usize(self.name(), threshold)?);
         }
+        if let Some(plan) = find_flag_value(args, "--plan") {
+            config = config.with_plan(parse_on_off(self.name(), "--plan", plan)?);
+        }
+        if let Some(block_bits) = find_flag_value(args, "--block-bits") {
+            config = config.with_block_bits(parse_usize(self.name(), block_bits)?);
+        }
+        if let Some(pair_fusion) = find_flag_value(args, "--pair-fusion") {
+            config =
+                config.with_pair_fusion(parse_on_off(self.name(), "--pair-fusion", pair_fusion)?);
+        }
         store.set_exec_config(config);
         store.log(format!(
-            "[exec] threads={} fusion={} parallel-threshold={}",
+            "[exec] threads={} fusion={} parallel-threshold={} plan={} block-bits={} pair-fusion={}",
             config.threads,
             if config.fusion { "on" } else { "off" },
-            config.parallel_threshold
+            config.parallel_threshold,
+            if config.plan { "on" } else { "off" },
+            if config.block_bits == 0 {
+                "auto".to_owned()
+            } else {
+                config.block_bits.to_string()
+            },
+            if config.pair_fusion { "on" } else { "off" }
         ));
         Ok(())
+    }
+}
+
+/// Parses an `on`/`off` flag value into a bool, with a command-scoped error.
+fn parse_on_off(command: &'static str, flag: &str, value: &str) -> Result<bool, RevkitError> {
+    match value {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(RevkitError::InvalidArguments {
+            command,
+            message: format!("expected '{flag} on' or '{flag} off', found '{other}'"),
+        }),
     }
 }
 

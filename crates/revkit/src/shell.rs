@@ -128,18 +128,32 @@ mod tests {
                  revgen --hwb 3; tbs; rptm; simulate",
             )
             .unwrap();
-        assert!(output
-            .iter()
-            .any(|l| l.contains("[exec] threads=2 fusion=off parallel-threshold=4096")));
+        assert!(output.iter().any(|l| l.contains(
+            "[exec] threads=2 fusion=off parallel-threshold=4096 \
+             plan=on block-bits=auto pair-fusion=on"
+        )));
         assert!(output
             .iter()
             .any(|l| l.contains("[simulate]") && l.contains("matches")));
         let config = shell.store().exec_config();
         assert_eq!(config.threads, 2);
         assert!(!config.fusion);
+        // The plan knobs reconfigure the interpreter path.
+        let output = shell
+            .run_script("exec --plan off --block-bits 8 --pair-fusion off")
+            .unwrap();
+        assert!(output
+            .iter()
+            .any(|l| l.contains("plan=off block-bits=8 pair-fusion=off")));
+        let config = shell.store().exec_config();
+        assert!(!config.plan);
+        assert_eq!(config.block_bits, 8);
+        assert!(!config.pair_fusion);
         // Invalid arguments are rejected.
         assert!(shell.run_command("exec --threads 0").is_err());
         assert!(shell.run_command("exec --fusion maybe").is_err());
+        assert!(shell.run_command("exec --plan maybe").is_err());
+        assert!(shell.run_command("exec --pair-fusion maybe").is_err());
         // Without arguments the command just reports the current settings.
         let report = shell.run_script("exec").unwrap();
         assert!(report.iter().any(|l| l.contains("threads=2")));
