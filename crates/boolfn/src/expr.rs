@@ -181,10 +181,16 @@ enum Token {
     RParen,
 }
 
+/// Maximum nesting depth (parentheses and `!` chains) the parser accepts.
+/// Recursive descent otherwise overflows its stack on hostile inputs like
+/// `"((((…a…))))"` at depth ~10^5; deeper input yields a typed error.
+const MAX_EXPR_DEPTH: usize = 512;
+
 struct Parser<'a> {
     input: &'a str,
     tokens: Vec<(usize, Token)>,
     position: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -193,7 +199,23 @@ impl<'a> Parser<'a> {
             input,
             tokens: Vec::new(),
             position: 0,
+            depth: 0,
         }
+    }
+
+    fn enter(&mut self) -> Result<(), BoolfnError> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.error(
+                self.next_position(),
+                format!("expression nests deeper than {MAX_EXPR_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn error(&self, position: usize, message: impl Into<String>) -> BoolfnError {
@@ -358,7 +380,10 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Some(Token::Not) => {
                 self.advance();
-                Ok(self.parse_unary()?.not())
+                self.enter()?;
+                let inner = self.parse_unary();
+                self.leave();
+                Ok(inner?.not())
             }
             _ => self.parse_atom(),
         }
@@ -370,7 +395,10 @@ impl<'a> Parser<'a> {
             Some(Token::Var(index)) => Ok(Expr::Var(index)),
             Some(Token::Const(value)) => Ok(Expr::Const(value)),
             Some(Token::LParen) => {
-                let inner = self.parse_or()?;
+                self.enter()?;
+                let inner = self.parse_or();
+                self.leave();
+                let inner = inner?;
                 match self.advance() {
                     Some(Token::RParen) => Ok(inner),
                     _ => Err(self.error(self.next_position(), "expected ')'")),
@@ -437,6 +465,25 @@ mod tests {
         assert!(Expr::parse("(a & b").is_err());
         assert!(Expr::parse("a b").is_err());
         assert!(Expr::parse("foo & b").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_with_a_typed_error() {
+        // Regression: these used to abort the whole process with a stack
+        // overflow instead of returning an error.
+        let deep_parens = format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000));
+        assert!(matches!(
+            Expr::parse(&deep_parens),
+            Err(BoolfnError::ParseExprError { .. })
+        ));
+        let deep_nots = format!("{}a", "!".repeat(100_000));
+        assert!(matches!(
+            Expr::parse(&deep_nots),
+            Err(BoolfnError::ParseExprError { .. })
+        ));
+        // Moderate nesting still parses.
+        let moderate = format!("{}a{}", "(".repeat(100), ")".repeat(100));
+        assert_eq!(Expr::parse(&moderate).unwrap(), Expr::Var(0));
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub enum OracleSpec {
         /// The Boolean function whose phase oracle is compiled.
         function: TruthTable,
     },
+    /// A circuit imported from OpenQASM 2.0 source through the `qasmin`
+    /// pass — the front door for workloads not born from our spec types.
+    Qasm {
+        /// The OpenQASM source text.
+        source: String,
+    },
 }
 
 impl OracleSpec {
@@ -57,12 +63,21 @@ impl OracleSpec {
         Self::PhaseFunction { function }
     }
 
+    /// An OpenQASM-import spec.
+    pub fn qasm(source: impl Into<String>) -> Self {
+        Self::Qasm {
+            source: source.into(),
+        }
+    }
+
     /// Number of specification variables (the oracle's data qubits; the
-    /// compiled circuit may add ancillas).
+    /// compiled circuit may add ancillas). For a QASM spec this is unknown
+    /// before parsing and reported as 0.
     pub fn num_vars(&self) -> usize {
         match self {
             Self::Permutation { permutation, .. } => permutation.num_vars(),
             Self::PhaseFunction { function } => function.num_vars(),
+            Self::Qasm { .. } => 0,
         }
     }
 
@@ -82,6 +97,7 @@ impl OracleSpec {
                 ]
             }
             Self::PhaseFunction { .. } => vec!["po".to_owned()],
+            Self::Qasm { .. } => vec!["qasmin".to_owned()],
         }
     }
 
@@ -98,6 +114,7 @@ impl OracleSpec {
                 spec::write_permutation(&mut hasher, permutation)
             }
             Self::PhaseFunction { function } => spec::write_function(&mut hasher, function),
+            Self::Qasm { source } => spec::write_qasm_source(&mut hasher, source),
         }
         spec::write_passes(&mut hasher, &self.pass_list());
         hasher.finish()
@@ -116,6 +133,7 @@ impl OracleSpec {
                 synthesis,
             } => compile_permutation_oracle(permutation, *synthesis),
             Self::PhaseFunction { function } => compile_phase_oracle(function),
+            Self::Qasm { source } => Ok(qdaflow_quantum::qasm::from_qasm(source)?),
         }
     }
 }
@@ -304,6 +322,34 @@ mod tests {
                 "{basis}"
             );
         }
+    }
+
+    #[test]
+    fn qasm_specs_compile_and_key_like_qasmin_pipelines() {
+        let source = "qreg d[1];\nqreg e[1];\nh d;\nrz(3.141592653589793/4) d[0];\ncx d[0],e[0];";
+        let spec = OracleSpec::qasm(source);
+        assert_eq!(spec.pass_list(), vec!["qasmin".to_owned()]);
+        assert_eq!(spec.num_vars(), 0);
+        // The key agrees with the pipeline-layer digest over Ir::QasmSource.
+        let ir = qdaflow_pipeline::Ir::QasmSource(source.to_owned());
+        assert_eq!(
+            spec.cache_key(),
+            qdaflow_pipeline::spec::spec_key(Some(&ir), &spec.pass_list())
+        );
+        let cache = OracleCache::new();
+        let program = cache.get_or_compile(&spec).unwrap();
+        assert_eq!(program.circuit().num_qubits(), 2);
+        assert_eq!(program.circuit().num_gates(), 3);
+        assert!(Arc::ptr_eq(
+            &cache.get_or_compile(&OracleSpec::qasm(source)).unwrap(),
+            &program
+        ));
+        // Parse failures are typed errors, nothing is cached.
+        let entries = cache.stats().entries;
+        assert!(cache
+            .get_or_compile(&OracleSpec::qasm("qreg q[1];\nbad"))
+            .is_err());
+        assert_eq!(cache.stats().entries, entries);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! stack composes with `?`.
 
 use crate::ir::{Stage, StageSet};
+use crate::script::ScriptError;
 use qdaflow_boolfn::BoolfnError;
 use qdaflow_mapping::MappingError;
 use qdaflow_quantum::QuantumError;
@@ -61,6 +62,8 @@ pub enum FlowError {
         /// Description of the problem.
         message: String,
     },
+    /// A lexing failure in a pipeline script or shell command line.
+    Script(ScriptError),
     /// An error from the Boolean function substrate.
     Boolfn(BoolfnError),
     /// An error from the reversible circuit layer.
@@ -109,6 +112,7 @@ impl fmt::Display for FlowError {
             Self::InvalidPassArguments { pass, message } => {
                 write!(f, "invalid arguments for pass '{pass}': {message}")
             }
+            Self::Script(inner) => write!(f, "{inner}"),
             Self::Boolfn(inner) => write!(f, "{inner}"),
             Self::Reversible(inner) => write!(f, "{inner}"),
             Self::Quantum(inner) => write!(f, "{inner}"),
@@ -121,12 +125,19 @@ impl fmt::Display for FlowError {
 impl Error for FlowError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            Self::Script(inner) => Some(inner),
             Self::Boolfn(inner) => Some(inner),
             Self::Reversible(inner) => Some(inner),
             Self::Quantum(inner) => Some(inner),
             Self::Mapping(inner) => Some(inner),
             _ => None,
         }
+    }
+}
+
+impl From<ScriptError> for FlowError {
+    fn from(inner: ScriptError) -> Self {
+        Self::Script(inner)
     }
 }
 

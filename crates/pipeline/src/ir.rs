@@ -18,6 +18,8 @@ use std::fmt;
 /// compilation flow.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Ir {
+    /// Unparsed OpenQASM 2.0 source text (imported by the `qasmin` pass).
+    QasmSource(String),
     /// A reversible specification: a permutation of `B^n`.
     Permutation(Permutation),
     /// An irreversible specification: a single-output Boolean function.
@@ -32,10 +34,24 @@ impl Ir {
     /// The stage this value belongs to.
     pub fn stage(&self) -> Stage {
         match self {
+            Self::QasmSource(_) => Stage::QasmSource,
             Self::Permutation(_) => Stage::Permutation,
             Self::Function(_) => Stage::Function,
             Self::Reversible(_) => Stage::Reversible,
             Self::Quantum(_) => Stage::Quantum,
+        }
+    }
+
+    /// Unwraps OpenQASM source text, or reports a stage mismatch blamed on
+    /// `pass`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::StageMismatch`] for any other stage.
+    pub fn into_qasm_source(self, pass: &str) -> Result<String, FlowError> {
+        match self {
+            Self::QasmSource(source) => Ok(source),
+            other => Err(mismatch(pass, StageSet::QASM_SOURCE, &other)),
         }
     }
 
@@ -126,6 +142,8 @@ impl From<QuantumCircuit> for Ir {
 /// The stage (representation kind) of an [`Ir`] value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
+    /// Unparsed OpenQASM 2.0 source text.
+    QasmSource,
     /// Permutation specification.
     Permutation,
     /// Single-output Boolean function specification.
@@ -137,7 +155,8 @@ pub enum Stage {
 }
 
 impl Stage {
-    const ALL: [Self; 4] = [
+    const ALL: [Self; 5] = [
+        Self::QasmSource,
         Self::Permutation,
         Self::Function,
         Self::Reversible,
@@ -146,6 +165,7 @@ impl Stage {
 
     fn bit(self) -> u8 {
         match self {
+            Self::QasmSource => 16,
             Self::Permutation => 1,
             Self::Function => 2,
             Self::Reversible => 4,
@@ -157,6 +177,7 @@ impl Stage {
 impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
+            Self::QasmSource => "openqasm source",
             Self::Permutation => "permutation",
             Self::Function => "boolean function",
             Self::Reversible => "reversible circuit",
@@ -181,10 +202,12 @@ impl StageSet {
     pub const REVERSIBLE: Self = Self(4);
     /// Only [`Stage::Quantum`].
     pub const QUANTUM: Self = Self(8);
+    /// Only [`Stage::QasmSource`].
+    pub const QASM_SOURCE: Self = Self(16);
     /// Both specification stages (permutation or Boolean function).
     pub const SPEC: Self = Self(1 | 2);
     /// Every stage.
-    pub const ANY: Self = Self(15);
+    pub const ANY: Self = Self(31);
 
     /// Whether `stage` is in the set.
     pub fn contains(self, stage: Stage) -> bool {
@@ -257,7 +280,9 @@ mod tests {
             StageSet::PERMUTATION.union(StageSet::FUNCTION),
             StageSet::SPEC
         );
-        assert_eq!(StageSet::ANY.stages().count(), 4);
+        assert_eq!(StageSet::ANY.stages().count(), 5);
+        assert!(StageSet::ANY.contains(Stage::QasmSource));
+        assert!(!StageSet::SPEC.contains(Stage::QasmSource));
     }
 
     #[test]

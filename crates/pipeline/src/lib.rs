@@ -51,4 +51,5 @@ pub use error::FlowError;
 pub use ir::{Ir, Stage, StageSet};
 pub use pass::Pass;
 pub use pipeline::{Artifacts, PassRecord, Pipeline, PipelineBuilder, PipelineReport};
+pub use script::ScriptError;
 pub use spec::{CanonicalHasher, SpecKey};

@@ -13,6 +13,7 @@
 //! | `tpar`    | quantum → quantum                        | [`optimize::optimize_clifford_t`]          |
 //! | `ps`      | any → same (records statistics)          | [`ResourceCounts::of`]                     |
 //! | `po`      | function → quantum                       | [`phase_oracle::phase_oracle`]             |
+//! | `qasmin`  | openqasm source → quantum                | [`qasm::from_qasm`]                        |
 //!
 //! `po` (direct phase-oracle compilation, the `PhaseOracle` primitive of the
 //! paper's ProjectQ flow) has no shell counterpart in equation (5) but lets
@@ -24,6 +25,7 @@ use crate::FlowError;
 use qdaflow_boolfn::{hwb, Expr, Permutation, TruthTable};
 use qdaflow_mapping::phase_oracle::{self, PhaseOracleOptions};
 use qdaflow_mapping::{map, optimize};
+use qdaflow_quantum::qasm;
 use qdaflow_quantum::resource::ResourceCounts;
 use qdaflow_reversible::optimize as revopt;
 use qdaflow_reversible::synthesis::{self, EsopSynthesisOptions, SynthesisMethod};
@@ -519,7 +521,36 @@ impl Pass for Ps {
                     counts.cnot_count
                 )
             }
+            Ir::QasmSource(source) => format!(
+                "openqasm source: {} bytes, {} lines",
+                source.len(),
+                source.lines().count()
+            ),
         })
+    }
+}
+
+/// `qasmin` — OpenQASM 2.0 import (openqasm source → quantum), the front
+/// door for circuits not generated by our own spec types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Qasmin;
+
+impl Pass for Qasmin {
+    fn name(&self) -> &'static str {
+        "qasmin"
+    }
+
+    fn accepts(&self) -> StageSet {
+        StageSet::QASM_SOURCE
+    }
+
+    fn output(&self, _input: StageSet) -> StageSet {
+        StageSet::QUANTUM
+    }
+
+    fn apply(&self, input: Ir) -> Result<Ir, FlowError> {
+        let source = input.into_qasm_source(self.name())?;
+        Ok(Ir::Quantum(qasm::from_qasm(&source)?))
     }
 }
 
@@ -616,6 +647,10 @@ pub fn pass_from_tokens(name: &str, args: &[String]) -> Result<Box<dyn Pass>, Fl
             no_arguments("po", args)?;
             Ok(Box::new(PhaseOracle::decomposed()))
         }
+        "qasmin" => {
+            no_arguments("qasmin", args)?;
+            Ok(Box::new(Qasmin))
+        }
         other => Err(FlowError::UnknownPass {
             name: other.to_owned(),
         }),
@@ -678,7 +713,7 @@ mod tests {
     #[test]
     fn registry_resolves_all_named_passes() {
         for name in [
-            "revgen", "tbs", "dbs", "esopbs", "revsimp", "rptm", "tpar", "ps", "po",
+            "revgen", "tbs", "dbs", "esopbs", "revsimp", "rptm", "tpar", "ps", "po", "qasmin",
         ] {
             let pass = pass_from_tokens(name, &[]).unwrap();
             assert_eq!(pass.name(), name);
@@ -710,8 +745,28 @@ mod tests {
             Ir::Function(TruthTable::zero(2).unwrap()),
             Ir::Reversible(qdaflow_reversible::ReversibleCircuit::new(2)),
             Ir::Quantum(qdaflow_quantum::QuantumCircuit::new(2)),
+            Ir::QasmSource("qreg q[1];\nh q[0];".to_owned()),
         ] {
             assert!(Ps.summarize(&ir).is_some());
         }
+    }
+
+    #[test]
+    fn qasmin_imports_source_and_rejects_other_stages() {
+        let out = Qasmin
+            .apply(Ir::QasmSource("qreg q[2];\nh q;\ncx q[0],q[1];".to_owned()))
+            .unwrap();
+        match out {
+            Ir::Quantum(circuit) => assert_eq!(circuit.num_gates(), 3),
+            other => panic!("expected a quantum circuit, got {other:?}"),
+        }
+        assert!(matches!(
+            Qasmin.apply(Ir::Permutation(Permutation::identity(2))),
+            Err(FlowError::StageMismatch { .. })
+        ));
+        assert!(matches!(
+            Qasmin.apply(Ir::QasmSource("qreg q[1];\nbad".to_owned())),
+            Err(FlowError::Quantum(_))
+        ));
     }
 }

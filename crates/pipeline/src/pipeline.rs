@@ -59,13 +59,14 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::UnknownPass`] for unregistered pass names,
-    /// [`FlowError::InvalidPassArguments`] for malformed arguments, and the
-    /// build-time validation errors of [`PipelineBuilder::build`].
+    /// Returns [`FlowError::Script`] for lexing failures (an unterminated
+    /// double quote), [`FlowError::UnknownPass`] for unregistered pass
+    /// names, [`FlowError::InvalidPassArguments`] for malformed arguments,
+    /// and the build-time validation errors of [`PipelineBuilder::build`].
     pub fn parse(script: &str) -> Result<Self, FlowError> {
         let mut builder = Self::builder();
-        for statement in split_statements(script) {
-            let tokens = tokenize(&statement);
+        for statement in split_statements(script)? {
+            let tokens = tokenize(&statement)?;
             let Some((name, args)) = tokens.split_first() else {
                 continue;
             };
@@ -277,6 +278,8 @@ impl PipelineBuilder {
 /// what a shell would have left in its stores after running the script.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Artifacts {
+    /// Latest OpenQASM source text (a `qasmin` input).
+    pub qasm_source: Option<String>,
     /// Latest permutation specification.
     pub permutation: Option<Permutation>,
     /// Latest single-output Boolean function specification.
@@ -290,6 +293,7 @@ pub struct Artifacts {
 impl Artifacts {
     fn absorb(&mut self, ir: &Ir) {
         match ir {
+            Ir::QasmSource(s) => self.qasm_source = Some(s.clone()),
             Ir::Permutation(p) => self.permutation = Some(p.clone()),
             Ir::Function(f) => self.function = Some(f.clone()),
             Ir::Reversible(c) => self.reversible = Some(c.clone()),
@@ -482,6 +486,35 @@ mod tests {
             Pipeline::parse("  # only a comment"),
             Err(FlowError::EmptyPipeline)
         ));
+        // An unterminated quote is a typed lexing error, not a silent
+        // mis-split.
+        assert!(matches!(
+            Pipeline::parse("revgen --expr \"(a & b; tbs"),
+            Err(FlowError::Script(_))
+        ));
+    }
+
+    #[test]
+    fn qasm_source_flows_through_qasmin() {
+        let pipeline = Pipeline::parse("qasmin; tpar; ps").unwrap();
+        assert_eq!(pipeline.input_stages(), StageSet::QASM_SOURCE);
+        let report = pipeline
+            .run(Ir::QasmSource(
+                "qreg q[2];\nh q;\ncz q[0],q[1];\nt q[0];".to_owned(),
+            ))
+            .unwrap();
+        assert!(report.final_quantum().unwrap().is_clifford_t());
+        assert!(report
+            .artifacts
+            .qasm_source
+            .as_deref()
+            .unwrap()
+            .starts_with("qreg q[2];"));
+        // Parse errors surface as typed quantum errors from the pass.
+        let err = pipeline
+            .run(Ir::QasmSource("qreg q[1];\nnope q[0];".to_owned()))
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Quantum(_)));
     }
 
     #[test]

@@ -5,6 +5,34 @@
 //! newlines, arguments separated by whitespace, with double quotes grouping
 //! an argument that contains spaces or separators (as needed for
 //! `revgen --expr "(a & b) ^ c"`).
+//!
+//! Both helpers report unterminated quotes as a typed [`ScriptError`]
+//! instead of silently swallowing every separator after the dangling quote.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while lexing a script or command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// A double quote was opened but never closed.
+    UnterminatedQuote {
+        /// Byte offset of the opening quote within the input.
+        position: usize,
+    },
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnterminatedQuote { position } => {
+                write!(f, "unterminated double quote opened at byte {position}")
+            }
+        }
+    }
+}
+
+impl Error for ScriptError {}
 
 /// Splits a script into statements at `;` and newlines, honouring double
 /// quotes (a separator inside a quoted argument does not end the statement).
@@ -16,33 +44,44 @@
 /// use qdaflow_pipeline::script::split_statements;
 ///
 /// assert_eq!(
-///     split_statements("revgen --hwb 4; tbs;; ps -c"),
+///     split_statements("revgen --hwb 4; tbs;; ps -c").unwrap(),
 ///     vec!["revgen --hwb 4", "tbs", "ps -c"]
 /// );
 /// // A quoted ';' does not split.
 /// assert_eq!(
-///     split_statements("flow \"revgen --hwb 4; tbs\""),
+///     split_statements("flow \"revgen --hwb 4; tbs\"").unwrap(),
 ///     vec!["flow \"revgen --hwb 4; tbs\""]
 /// );
 /// ```
-pub fn split_statements(script: &str) -> Vec<String> {
+///
+/// # Errors
+///
+/// Returns [`ScriptError::UnterminatedQuote`] if a double quote is left
+/// open at the end of the script.
+pub fn split_statements(script: &str) -> Result<Vec<String>, ScriptError> {
     let mut statements = Vec::new();
     let mut current = String::new();
-    let mut in_quotes = false;
-    for character in script.chars() {
+    let mut quote_start: Option<usize> = None;
+    for (position, character) in script.char_indices() {
         match character {
             '"' => {
-                in_quotes = !in_quotes;
+                quote_start = match quote_start {
+                    Some(_) => None,
+                    None => Some(position),
+                };
                 current.push('"');
             }
-            ';' | '\n' if !in_quotes => {
+            ';' | '\n' if quote_start.is_none() => {
                 push_statement(&mut statements, &mut current);
             }
             c => current.push(c),
         }
     }
+    if let Some(position) = quote_start {
+        return Err(ScriptError::UnterminatedQuote { position });
+    }
     push_statement(&mut statements, &mut current);
-    statements
+    Ok(statements)
 }
 
 fn push_statement(statements: &mut Vec<String>, current: &mut String) {
@@ -59,22 +98,30 @@ fn push_statement(statements: &mut Vec<String>, current: &mut String) {
 /// use qdaflow_pipeline::script::tokenize;
 ///
 /// assert_eq!(
-///     tokenize("revgen --expr \"(a & b) ^ c\""),
+///     tokenize("revgen --expr \"(a & b) ^ c\"").unwrap(),
 ///     vec!["revgen", "--expr", "(a & b) ^ c"]
 /// );
 /// ```
-pub fn tokenize(line: &str) -> Vec<String> {
+///
+/// # Errors
+///
+/// Returns [`ScriptError::UnterminatedQuote`] if a double quote is left
+/// open at the end of the line.
+pub fn tokenize(line: &str) -> Result<Vec<String>, ScriptError> {
     let mut tokens = Vec::new();
     let mut current = String::new();
-    let mut in_quotes = false;
+    let mut quote_start: Option<usize> = None;
     let mut quoted = false;
-    for character in line.chars() {
+    for (position, character) in line.char_indices() {
         match character {
             '"' => {
-                in_quotes = !in_quotes;
+                quote_start = match quote_start {
+                    Some(_) => None,
+                    None => Some(position),
+                };
                 quoted = true;
             }
-            c if c.is_whitespace() && !in_quotes => {
+            c if c.is_whitespace() && quote_start.is_none() => {
                 if !current.is_empty() || quoted {
                     tokens.push(std::mem::take(&mut current));
                 }
@@ -83,10 +130,13 @@ pub fn tokenize(line: &str) -> Vec<String> {
             c => current.push(c),
         }
     }
+    if let Some(position) = quote_start {
+        return Err(ScriptError::UnterminatedQuote { position });
+    }
     if !current.is_empty() || quoted {
         tokens.push(current);
     }
-    tokens
+    Ok(tokens)
 }
 
 #[cfg(test)]
@@ -96,17 +146,17 @@ mod tests {
     #[test]
     fn statements_split_on_semicolons_and_newlines() {
         assert_eq!(
-            split_statements("a; b\nc;;\n# comment\n d "),
+            split_statements("a; b\nc;;\n# comment\n d ").unwrap(),
             vec!["a", "b", "c", "d"]
         );
-        assert!(split_statements("").is_empty());
-        assert!(split_statements(" ; ;\n").is_empty());
+        assert!(split_statements("").unwrap().is_empty());
+        assert!(split_statements(" ; ;\n").unwrap().is_empty());
     }
 
     #[test]
     fn quoted_separators_do_not_split() {
         assert_eq!(
-            split_statements("flow \"revgen --hwb 4; tbs; ps\"; ps -c"),
+            split_statements("flow \"revgen --hwb 4; tbs; ps\"; ps -c").unwrap(),
             vec!["flow \"revgen --hwb 4; tbs; ps\"", "ps -c"]
         );
     }
@@ -114,12 +164,29 @@ mod tests {
     #[test]
     fn tokenizer_honours_quotes() {
         assert_eq!(
-            tokenize("revgen --perm \"0 2 1 3\""),
+            tokenize("revgen --perm \"0 2 1 3\"").unwrap(),
             vec!["revgen", "--perm", "0 2 1 3"]
         );
-        assert_eq!(tokenize("  ps   -c "), vec!["ps", "-c"]);
-        assert!(tokenize("").is_empty());
+        assert_eq!(tokenize("  ps   -c ").unwrap(), vec!["ps", "-c"]);
+        assert!(tokenize("").unwrap().is_empty());
         // An explicitly quoted empty argument survives.
-        assert_eq!(tokenize("x \"\""), vec!["x", ""]);
+        assert_eq!(tokenize("x \"\"").unwrap(), vec!["x", ""]);
+    }
+
+    #[test]
+    fn unterminated_quotes_are_typed_errors() {
+        // Regression: an unclosed quote used to silently swallow every
+        // following separator instead of being reported.
+        assert_eq!(
+            split_statements("flow \"revgen; tbs"),
+            Err(ScriptError::UnterminatedQuote { position: 5 })
+        );
+        assert_eq!(
+            tokenize("revgen --expr \"(a & b"),
+            Err(ScriptError::UnterminatedQuote { position: 14 })
+        );
+        // A re-opened-and-closed quote is fine.
+        assert!(split_statements("a \"b\" c \"d\"").is_ok());
+        assert!(tokenize("a \"b\" \"c\"").is_ok());
     }
 }

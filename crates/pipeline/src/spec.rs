@@ -111,6 +111,15 @@ pub fn write_function(hasher: &mut CanonicalHasher, function: &TruthTable) {
     hasher.write_str(&function.to_hex());
 }
 
+/// Absorbs the canonical encoding of an OpenQASM source specification
+/// (variant tag, length-prefixed source text). Shared by
+/// [`write_ir`] and the engine's `OracleSpec::Qasm` cache key so that a
+/// `qasmin` pipeline and a batch job over the same source agree.
+pub fn write_qasm_source(hasher: &mut CanonicalHasher, source: &str) {
+    hasher.write_byte(5);
+    hasher.write_str(source);
+}
+
 /// Absorbs the canonical encoding of an [`Ir`] value: a variant tag followed
 /// by the permutation map, the truth-table bits, or the circuit's textual
 /// rendering (length-prefixed).
@@ -128,6 +137,7 @@ pub fn write_ir(hasher: &mut CanonicalHasher, ir: &Ir) {
             hasher.write_usize(circuit.num_qubits());
             hasher.write_str(&circuit.to_string());
         }
+        Ir::QasmSource(source) => write_qasm_source(hasher, source),
     }
 }
 
@@ -200,6 +210,20 @@ mod tests {
             spec_key(None, &passes(&["a", "bc"]))
         );
         assert_ne!(spec_key(None, &passes(&[])), spec_key(None, &passes(&[""])));
+        // QASM source specs are tagged distinctly from every other variant.
+        let qasm = Ir::QasmSource("qreg q[1];\nh q[0];".to_owned());
+        let chain = passes(&["qasmin"]);
+        assert_ne!(
+            spec_key(Some(&qasm), &chain),
+            spec_key(Some(&Permutation::identity(2).into()), &chain)
+        );
+        assert_eq!(
+            spec_key(Some(&qasm), &chain),
+            spec_key(
+                Some(&Ir::QasmSource("qreg q[1];\nh q[0];".to_owned())),
+                &chain
+            )
+        );
     }
 
     #[test]

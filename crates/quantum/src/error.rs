@@ -41,8 +41,12 @@ pub enum QuantumError {
     },
     /// Failure while parsing an OpenQASM program.
     ParseQasmError {
-        /// Line number (1-based) at which parsing failed.
+        /// Line number (1-based) at which parsing failed (0 when the failure
+        /// has no location, e.g. an empty program).
         line: usize,
+        /// Column number (1-based) at which parsing failed (0 when the
+        /// failure has no location).
+        column: usize,
         /// Human readable description of the failure.
         message: String,
     },
@@ -81,8 +85,15 @@ impl fmt::Display for QuantumError {
             Self::InvalidParameter { name, value } => {
                 write!(f, "parameter {name} has invalid value {value}")
             }
-            Self::ParseQasmError { line, message } => {
-                write!(f, "qasm parse error at line {line}: {message}")
+            Self::ParseQasmError {
+                line,
+                column,
+                message,
+            } => {
+                write!(
+                    f,
+                    "qasm parse error at line {line}, column {column}: {message}"
+                )
             }
             Self::UnsupportedGate { gate, operation } => {
                 write!(f, "gate '{gate}' is not supported by {operation}")

@@ -15,7 +15,7 @@
 //! | `ps`      | print statistics (`-c` selects the circuit stores)            |
 //! | `simulate`| check the quantum circuit against the reversible circuit       |
 //! | `exec`    | configure the execution layer (threads, fusion, plan kernel)   |
-//! | `qasm`    | print the quantum circuit as OpenQASM                          |
+//! | `qasm`    | print the quantum circuit as OpenQASM, or `qasm load <file>`   |
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 //! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
 //! | `batch`   | compile + sample many oracle jobs through the cached batch engine |
@@ -506,6 +506,11 @@ impl Flow {
                         return Ok(c.clone().into());
                     }
                 }
+                Stage::QasmSource => {
+                    if let Some(s) = store.qasm_source() {
+                        return Ok(Ir::QasmSource(s.to_owned()));
+                    }
+                }
             }
         }
         Err(RevkitError::MissingStoreEntry {
@@ -563,6 +568,9 @@ impl Command for Flow {
         if let Some(c) = artifacts.quantum {
             store.set_quantum(c);
         }
+        if let Some(s) = artifacts.qasm_source {
+            store.set_qasm_source(s);
+        }
         Ok(())
     }
 }
@@ -570,7 +578,8 @@ impl Command for Flow {
 /// `batch` — run many oracle jobs through the cached batch execution engine.
 ///
 /// Each `--spec "<spec>"` names one job; the spec grammar is
-/// `hwb N` | `random N [SEED]` | `perm 0 2 3 5 7 1 4 6` | `expr (a & b) ^ c`.
+/// `hwb N` | `random N [SEED]` | `perm 0 2 3 5 7 1 4 6` | `expr (a & b) ^ c`
+/// | `qasm:<file>` (an OpenQASM 2.0 file imported through `qasmin`).
 /// All jobs share `--shots` (default 1024), `--synth tbs|dbs` (permutation
 /// synthesis, default tbs) and a base `--seed` (default 1; job `i` samples
 /// under `seed + i`). Jobs with identical specs are deduplicated through the
@@ -589,7 +598,20 @@ impl Batch {
 
     /// Parses one `--spec` value into an [`OracleSpec`].
     fn parse_spec(text: &str, synthesis: SynthesisChoice) -> Result<OracleSpec, RevkitError> {
-        let tokens = tokenize(text);
+        // `qasm:<file>` takes the rest of the value verbatim as a path, so
+        // it is peeled off before tokenization.
+        if let Some(path) = text.strip_prefix("qasm:") {
+            let path = path.trim();
+            if path.is_empty() {
+                return Err(Self::invalid(
+                    "'qasm:' expects a file path, e.g. --spec \"qasm:oracle.qasm\"".to_owned(),
+                ));
+            }
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| Self::invalid(format!("cannot read '{path}': {e}")))?;
+            return Ok(OracleSpec::qasm(source));
+        }
+        let tokens = tokenize(text)?;
         let Some((kind, rest)) = tokens.split_first() else {
             return Err(Self::invalid("empty --spec value".to_owned()));
         };
@@ -643,7 +665,7 @@ impl Batch {
                 Ok(OracleSpec::phase_function(table))
             }
             other => Err(Self::invalid(format!(
-                "unknown spec kind '{other}' (expected hwb | random | perm | expr)"
+                "unknown spec kind '{other}' (expected hwb | random | perm | expr | qasm:<file>)"
             ))),
         }
     }
@@ -655,7 +677,7 @@ impl Command for Batch {
     }
 
     fn description(&self) -> &'static str {
-        "run oracle jobs through the cached batch engine: batch [--shots N] [--seed S] [--synth tbs|dbs] --spec \"hwb 4\" [--spec \"perm 0 2 1 3\" ...]"
+        "run oracle jobs through the cached batch engine: batch [--shots N] [--seed S] [--synth tbs|dbs] --spec \"hwb 4\" [--spec \"qasm:oracle.qasm\" ...]"
     }
 
     fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
@@ -847,7 +869,13 @@ fn parse_on_off(command: &'static str, flag: &str, value: &str) -> Result<bool, 
     }
 }
 
-/// `qasm` — print the quantum circuit as OpenQASM 2.0.
+/// `qasm` — print the quantum circuit as OpenQASM 2.0, or import one.
+///
+/// Without arguments the command prints the current quantum circuit through
+/// the checked exporter. `qasm load <file>` reads an OpenQASM 2.0 file,
+/// imports it through [`qasm::from_qasm`] and stores both the resulting
+/// circuit and the raw source (so `flow "qasmin; …"` pipelines can seed
+/// from it).
 pub struct Qasm;
 
 impl Command for Qasm {
@@ -856,24 +884,49 @@ impl Command for Qasm {
     }
 
     fn description(&self) -> &'static str {
-        "print the current quantum circuit as OpenQASM 2.0"
+        "print the current quantum circuit as OpenQASM 2.0, or import one with 'qasm load <file>'"
     }
 
-    fn execute(&self, _args: &[String], store: &mut Store) -> Result<(), RevkitError> {
-        let quantum = store
-            .quantum()
-            .ok_or(RevkitError::MissingStoreEntry {
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        match args {
+            [] => {
+                let quantum = store
+                    .quantum()
+                    .ok_or(RevkitError::MissingStoreEntry {
+                        command: self.name(),
+                        expected: "quantum circuit",
+                    })?
+                    .clone();
+                // The checked exporter turns silent semantic loss (mcx/mcz
+                // degraded to comments that a re-import drops) into a typed
+                // error; circuits that reach this command through `rptm` are
+                // already Clifford+T.
+                for line in qasm::to_qasm_checked(&quantum)?.lines() {
+                    store.log(line.to_owned());
+                }
+                Ok(())
+            }
+            [load, path] if load == "load" => {
+                let source =
+                    std::fs::read_to_string(path).map_err(|e| RevkitError::InvalidArguments {
+                        command: self.name(),
+                        message: format!("cannot read '{path}': {e}"),
+                    })?;
+                let circuit = qasm::from_qasm(&source)?;
+                store.log(format!(
+                    "[qasm] loaded '{path}': {} qubits, {} gates",
+                    circuit.num_qubits(),
+                    circuit.num_gates()
+                ));
+                store.set_quantum(circuit);
+                store.set_qasm_source(source);
+                Ok(())
+            }
+            _ => Err(RevkitError::InvalidArguments {
                 command: self.name(),
-                expected: "quantum circuit",
-            })?
-            .clone();
-        // The checked exporter turns silent semantic loss (mcx/mcz degraded
-        // to comments that a re-import drops) into a typed error; circuits
-        // that reach this command through `rptm` are already Clifford+T.
-        for line in qasm::to_qasm_checked(&quantum)?.lines() {
-            store.log(line.to_owned());
+                message: "expected no arguments (print) or 'load <file>' (import)".to_owned(),
+            }),
         }
-        Ok(())
     }
 }
 
@@ -1023,6 +1076,70 @@ mod tests {
             .last()
             .unwrap()
             .contains("on the sparse backend"));
+    }
+
+    const GOLDEN_QASM: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/goldens/hidden_shift_f4.qasm"
+    );
+
+    #[test]
+    fn qasm_load_imports_a_file_into_the_store() {
+        let mut store = Store::new();
+        run(&Qasm, &["load", GOLDEN_QASM], &mut store).unwrap();
+        let circuit = store.quantum().unwrap();
+        assert_eq!(circuit.num_qubits(), 4);
+        assert!(store.qasm_source().unwrap().contains("OPENQASM 2.0;"));
+        assert!(store.log_lines().last().unwrap().contains("4 qubits"));
+        // The loaded source seeds `flow` pipelines that start with qasmin.
+        run(&Flow, &["qasmin; ps"], &mut store).unwrap();
+        assert!(store
+            .log_lines()
+            .iter()
+            .any(|l| l.contains("[flow] qasmin")));
+        // Bad paths and malformed argument lists are typed errors.
+        assert!(matches!(
+            run(&Qasm, &["load", "/no/such/file.qasm"], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
+        assert!(matches!(
+            run(&Qasm, &["frobnicate"], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_accepts_qasm_file_specs() {
+        let mut store = Store::new();
+        let spec = format!("qasm:{GOLDEN_QASM}");
+        run(
+            &Batch,
+            &["--shots", "64", "--spec", &spec, "--spec", &spec],
+            &mut store,
+        )
+        .unwrap();
+        let log = store.log_lines().join("\n");
+        // The hidden-shift instance is deterministic: every shot lands on 5.
+        assert!(log.contains("most likely 5 (p=1.00)"), "{log}");
+        assert!(
+            log.contains("2 jobs (1 distinct), 1 compiled, 0 cache hits"),
+            "{log}"
+        );
+        // A later batch over the same file is a pure cache hit.
+        run(&Batch, &["--shots", "16", "--spec", &spec], &mut store).unwrap();
+        assert!(store
+            .log_lines()
+            .last()
+            .unwrap()
+            .contains("1 jobs (1 distinct), 0 compiled, 1 cache hits"));
+        assert!(matches!(
+            run(&Batch, &["--spec", "qasm:"], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
+        assert!(matches!(
+            run(&Batch, &["--spec", "qasm: /no/such/file.qasm"], &mut store),
+            Err(RevkitError::InvalidArguments { .. })
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use qdaflow_boolfn::BoolfnError;
 use qdaflow_engine::EngineError;
 use qdaflow_mapping::MappingError;
-use qdaflow_pipeline::FlowError;
+use qdaflow_pipeline::{FlowError, ScriptError};
 use qdaflow_quantum::QuantumError;
 use qdaflow_reversible::ReversibleError;
 use std::error::Error;
@@ -40,6 +40,9 @@ pub enum RevkitError {
     Quantum(QuantumError),
     /// An error from the mapping layer.
     Mapping(MappingError),
+    /// A lexing error in the shell script itself (e.g. an unterminated
+    /// double quote).
+    Script(ScriptError),
     /// A structural engine error (e.g. from the batch execution subsystem)
     /// degraded to its rendered message.
     Engine {
@@ -62,6 +65,7 @@ impl fmt::Display for RevkitError {
             Self::Reversible(inner) => write!(f, "{inner}"),
             Self::Quantum(inner) => write!(f, "{inner}"),
             Self::Mapping(inner) => write!(f, "{inner}"),
+            Self::Script(inner) => write!(f, "{inner}"),
             Self::Engine { message } => f.write_str(message),
         }
     }
@@ -74,6 +78,7 @@ impl Error for RevkitError {
             Self::Reversible(inner) => Some(inner),
             Self::Quantum(inner) => Some(inner),
             Self::Mapping(inner) => Some(inner),
+            Self::Script(inner) => Some(inner),
             _ => None,
         }
     }
@@ -103,6 +108,12 @@ impl From<MappingError> for RevkitError {
     }
 }
 
+impl From<ScriptError> for RevkitError {
+    fn from(inner: ScriptError) -> Self {
+        Self::Script(inner)
+    }
+}
+
 impl From<EngineError> for RevkitError {
     fn from(inner: EngineError) -> Self {
         match inner {
@@ -124,6 +135,7 @@ impl From<FlowError> for RevkitError {
             FlowError::Reversible(e) => Self::Reversible(e),
             FlowError::Quantum(e) => Self::Quantum(e),
             FlowError::Mapping(e) => Self::Mapping(e),
+            FlowError::Script(e) => Self::Script(e),
             other => Self::InvalidArguments {
                 command: "flow",
                 message: other.to_string(),
@@ -139,6 +151,7 @@ impl From<RevkitError> for FlowError {
             RevkitError::Reversible(e) => Self::Reversible(e),
             RevkitError::Quantum(e) => Self::Quantum(e),
             RevkitError::Mapping(e) => Self::Mapping(e),
+            RevkitError::Script(e) => Self::Script(e),
             other => Self::Shell {
                 message: other.to_string(),
             },
@@ -185,6 +198,15 @@ mod tests {
         assert!(matches!(err, FlowError::Shell { .. }));
         let err: FlowError = RevkitError::Boolfn(BoolfnError::NotBent).into();
         assert!(matches!(err, FlowError::Boolfn(_)));
+        // Script lexing errors survive both bridges structurally.
+        let script = ScriptError::UnterminatedQuote { position: 7 };
+        let err: RevkitError = FlowError::Script(script.clone()).into();
+        assert!(matches!(err, RevkitError::Script(_)));
+        let err: FlowError = RevkitError::Script(script).into();
+        assert!(matches!(
+            err,
+            FlowError::Script(ScriptError::UnterminatedQuote { position: 7 })
+        ));
     }
 
     #[test]

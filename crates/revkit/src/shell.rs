@@ -52,10 +52,11 @@ impl Shell {
     ///
     /// # Errors
     ///
-    /// Returns [`RevkitError::UnknownCommand`] for unregistered commands and
-    /// propagates command execution errors.
+    /// Returns [`RevkitError::UnknownCommand`] for unregistered commands,
+    /// [`RevkitError::Script`] for malformed lines (e.g. an unterminated
+    /// quote), and propagates command execution errors.
     pub fn run_command(&mut self, line: &str) -> Result<(), RevkitError> {
-        let tokens = tokenize(line);
+        let tokens = tokenize(line)?;
         let Some((name, args)) = tokens.split_first() else {
             return Ok(());
         };
@@ -77,7 +78,7 @@ impl Shell {
     /// Stops at and returns the first command error.
     pub fn run_script(&mut self, script: &str) -> Result<Vec<String>, RevkitError> {
         let before = self.store.log_lines().len();
-        for line in split_statements(script) {
+        for line in split_statements(script)? {
             self.run_command(&line)?;
         }
         Ok(self.store.log_lines()[before..].to_vec())
@@ -97,11 +98,24 @@ mod tests {
     #[test]
     fn tokenizer_handles_quotes() {
         assert_eq!(
-            tokenize("revgen --expr \"(a & b) ^ c\""),
+            tokenize("revgen --expr \"(a & b) ^ c\"").unwrap(),
             vec!["revgen", "--expr", "(a & b) ^ c"]
         );
-        assert_eq!(tokenize("  ps   -c "), vec!["ps", "-c"]);
-        assert!(tokenize("").is_empty());
+        assert_eq!(tokenize("  ps   -c ").unwrap(), vec!["ps", "-c"]);
+        assert!(tokenize("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unterminated_quotes_are_shell_errors() {
+        let mut shell = Shell::new();
+        assert!(matches!(
+            shell.run_command("revgen --expr \"a & b"),
+            Err(RevkitError::Script(_))
+        ));
+        assert!(matches!(
+            shell.run_script("ps; revgen --expr \"a & b"),
+            Err(RevkitError::Script(_))
+        ));
     }
 
     #[test]

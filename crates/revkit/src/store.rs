@@ -20,6 +20,7 @@ pub struct Store {
     function: Option<TruthTable>,
     reversible: Option<ReversibleCircuit>,
     quantum: Option<QuantumCircuit>,
+    qasm_source: Option<String>,
     exec_config: ExecConfig,
     backend_choice: BackendChoice,
     batch: Arc<BatchEngine>,
@@ -70,6 +71,17 @@ impl Store {
     /// Replaces the current quantum circuit.
     pub fn set_quantum(&mut self, circuit: QuantumCircuit) {
         self.quantum = Some(circuit);
+    }
+
+    /// The most recently loaded OpenQASM source (`qasm load <file>`), if any.
+    /// Pipelines starting with `qasmin` seed from it.
+    pub fn qasm_source(&self) -> Option<&str> {
+        self.qasm_source.as_deref()
+    }
+
+    /// Replaces the current OpenQASM source.
+    pub fn set_qasm_source(&mut self, source: String) {
+        self.qasm_source = Some(source);
     }
 
     /// The execution configuration used by simulating commands.
@@ -129,6 +141,8 @@ mod tests {
         store.set_function(TruthTable::zero(2).unwrap());
         store.set_reversible(ReversibleCircuit::new(2));
         store.set_quantum(QuantumCircuit::new(2));
+        store.set_qasm_source("qreg q[1];".to_owned());
+        assert_eq!(store.qasm_source(), Some("qreg q[1];"));
         assert!(store.permutation().is_some());
         assert!(store.function().is_some());
         assert!(store.reversible().is_some());

@@ -1,0 +1,196 @@
+//! Fuzz-style no-panic harness over the flow's three text surfaces: the
+//! OpenQASM importer, the pipeline script parser, and the shell script
+//! lexer. Every input — however malformed — must come back as `Ok` or a
+//! typed error; a panic anywhere fails the test.
+//!
+//! Three generator families feed each surface:
+//!
+//! * **char soup** — arbitrary strings over the QASM character set,
+//! * **token soup** — random sequences of real QASM/shell vocabulary,
+//! * **mutated seed** — the hidden-shift golden file with random
+//!   single-character corruptions (the family that actually found the
+//!   parser bugs fixed in this change: dropped gates after a second
+//!   `qreg`, register-name-blind indices, unbounded expression nesting,
+//!   silently accepted unterminated quotes).
+//!
+//! The deterministic regressions for those four bugs live at the bottom so
+//! they stay pinned even at low `PROPTEST_CASES`.
+
+use proptest::prelude::*;
+use qdaflow::pipeline::script::{split_statements, tokenize};
+use qdaflow::pipeline::{Pipeline, ScriptError};
+use qdaflow::prelude::*;
+use qdaflow::quantum::qasm;
+
+/// Every character class the QASM and shell grammars react to, plus a few
+/// they must survive (quotes, braces, control characters, non-ASCII).
+const CHARSET: &[char] = &[
+    'a', 'b', 'q', 'c', 'd', 'e', 'h', 'x', 'z', 'p', 'i', 'g', 'r', 't', 'O', 'P', 'E', 'N', 'Q',
+    'A', 'S', 'M', '0', '1', '2', '3', '4', '9', '.', ';', ',', '(', ')', '[', ']', '{', '}', '+',
+    '-', '*', '/', '=', '>', '_', '"', '#', '&', '^', '!', '|', ' ', '\t', '\n', '\\', 'π', '€',
+];
+
+/// Real tokens from all three grammars, so the soup reaches deep parser
+/// states (headers, gate bodies, measure arrows, shell flags).
+const VOCAB: &[&str] = &[
+    "OPENQASM",
+    "2.0;",
+    "include",
+    "\"qelib1.inc\";",
+    "qreg",
+    "creg",
+    "gate",
+    "opaque",
+    "measure",
+    "barrier",
+    "reset",
+    "if",
+    "q[0]",
+    "q[1]",
+    "d[0]",
+    "q",
+    "c",
+    "d",
+    "->",
+    "h",
+    "cx",
+    "ccx",
+    "swap",
+    "rz",
+    "cu1",
+    "u3",
+    "pi",
+    "(pi/4)",
+    "(-pi/2)",
+    "(3*pi)",
+    "(1/0)",
+    "[2];",
+    "[0];",
+    ";",
+    ",",
+    "{",
+    "}",
+    "//",
+    "\n",
+    "revgen",
+    "--hwb",
+    "--expr",
+    "\"(a & b) ^ c\"",
+    "tbs",
+    "tpar",
+    "ps",
+    "qasmin",
+    "flow",
+    "\"",
+    "4",
+];
+
+/// The hidden-shift golden: a valid program whose corruptions explore the
+/// importer's error paths from states random soup rarely reaches.
+const SEED: &str = include_str!("goldens/hidden_shift_f4.qasm");
+
+fn char_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..400).prop_map(|bytes| {
+        bytes
+            .iter()
+            .map(|b| CHARSET[*b as usize % CHARSET.len()])
+            .collect()
+    })
+}
+
+fn token_soup() -> impl Strategy<Value = String> {
+    (prop::collection::vec(any::<u16>(), 0..120), any::<bool>()).prop_map(|(ids, newlines)| {
+        let words: Vec<&str> = ids
+            .iter()
+            .map(|i| VOCAB[*i as usize % VOCAB.len()])
+            .collect();
+        words.join(if newlines { "\n" } else { " " })
+    })
+}
+
+fn mutated_seed() -> impl Strategy<Value = String> {
+    prop::collection::vec((any::<u16>(), any::<u8>()), 1..32).prop_map(|mutations| {
+        let mut chars: Vec<char> = SEED.chars().collect();
+        for (position, byte) in mutations {
+            let index = position as usize % chars.len();
+            chars[index] = CHARSET[byte as usize % CHARSET.len()];
+        }
+        chars.into_iter().collect()
+    })
+}
+
+fn any_input() -> impl Strategy<Value = String> {
+    prop_oneof![char_soup(), token_soup(), mutated_seed()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn qasm_importer_never_panics(input in any_input()) {
+        // Ok or a located error — and a successful parse must have built a
+        // simulable circuit, so exercise that too.
+        if let Ok(circuit) = qasm::from_qasm(&input) {
+            prop_assert!(circuit.gates().len() <= 1 << 20);
+        }
+    }
+
+    #[test]
+    fn pipeline_parse_never_panics(input in any_input()) {
+        let _ = Pipeline::parse(&input);
+    }
+
+    #[test]
+    fn script_lexing_never_panics(input in any_input()) {
+        if let Ok(statements) = split_statements(&input) {
+            for statement in statements {
+                // Statements that split cleanly must tokenize cleanly: the
+                // two lexers agree on what a closed quote is.
+                prop_assert!(tokenize(&statement).is_ok());
+            }
+        }
+        let _ = tokenize(&input);
+    }
+}
+
+#[test]
+fn regression_second_qreg_no_longer_drops_gates() {
+    let circuit = qasm::from_qasm("qreg a[1];\nh a[0];\nqreg b[1];\ncx a[0],b[0];").unwrap();
+    assert_eq!(circuit.num_qubits(), 2);
+    assert_eq!(circuit.gates().len(), 2);
+}
+
+#[test]
+fn regression_qubit_indices_resolve_their_register_name() {
+    let circuit = qasm::from_qasm("qreg a[2];\nqreg b[2];\nx b[1];").unwrap();
+    assert_eq!(circuit.gates(), &[QuantumGate::X(3)]);
+}
+
+#[test]
+fn regression_deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+    let depth = 100_000;
+    let expr = format!("{}a{}", "(".repeat(depth), ")".repeat(depth));
+    assert!(Expr::parse(&expr).is_err());
+    assert!(Expr::parse(&format!("{}a", "!".repeat(depth))).is_err());
+    let source = format!(
+        "qreg q[1];\nrz({}pi{}) q[0];",
+        "(".repeat(depth),
+        ")".repeat(depth)
+    );
+    assert!(qasm::from_qasm(&source).is_err());
+}
+
+#[test]
+fn regression_unterminated_quotes_are_typed_errors() {
+    assert!(matches!(
+        split_statements("flow \"revgen --hwb 4; tbs"),
+        Err(ScriptError::UnterminatedQuote { position: 5 })
+    ));
+    assert!(tokenize("revgen --expr \"a & b").is_err());
+    assert!(matches!(
+        Pipeline::parse("ps \"oops"),
+        Err(FlowError::Script(ScriptError::UnterminatedQuote { .. }))
+    ));
+    let mut shell = Shell::new();
+    assert!(shell.run_script("ps; revgen --expr \"a & b").is_err());
+}

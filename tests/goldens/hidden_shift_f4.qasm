@@ -1,0 +1,33 @@
+// Hidden-shift instance for the Maiorana-McFarland bent function
+// f(x) = x0*x1 ^ x2*x3 (its own dual) with shift s = 0b0101.
+// Roetteler's algorithm lands on |s> = |5> with probability 1.
+//
+// This file is deliberately NOT in the shape our exporter produces:
+// it uses two named registers, user gate definitions, whole-register
+// broadcast, and pi-expression angles.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+qreg d[2];
+qreg e[2];
+
+// cu1(pi) is exactly a controlled-Z under our phase convention.
+gate zz a, b { cu1(pi) a, b; }
+
+// Shifted oracle (-1)^{f(x ^ s)}: the shift flips x0 and x2, so each
+// product term x0*x1 picks up a linear correction z on the partner.
+gate oracle_shifted p, q, r, t { zz p, q; z q; zz r, t; z t; }
+
+// Dual oracle (-1)^{f(x)} — f is self-dual.
+gate oracle_dual p, q, r, t { zz p, q; zz r, t; }
+
+h d;
+h e;
+oracle_shifted d[0], d[1], e[0], e[1];
+h d;
+h e;
+oracle_dual d[0], d[1], e[0], e[1];
+h d;
+h e;
+// A pi-expression rotation on a qubit that ends in |1>: global phase only.
+rz(pi/4) d[0];
