@@ -21,6 +21,7 @@
 //! | Reversible logic  | [`reversible`] | Toffoli networks, TBS/DBS/ESOP synthesis, simplification |
 //! | Quantum circuits  | [`quantum`] | Clifford+T IR, statevector & noisy simulators, QASM |
 //! | Sparse simulation | [`sparse`] | hash-map statevector: key-remapping permutation gates, pruned split-merge |
+//! | Stabilizer simulation | [`stabilizer`] | CHP tableau: Clifford circuits at hundreds of qubits, affine-support sampling |
 //! | Mapping           | [`mapping`] | Toffoli→Clifford+T, phase oracles, T-count optimization |
 //! | Pass manager      | [`pipeline`] | typed IR stages, composable passes, `Pipeline::parse` of equation (5) |
 //! | Shell             | [`revkit`] | `revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c` |
@@ -63,3 +64,4 @@ pub use qdaflow_quantum as quantum;
 pub use qdaflow_reversible as reversible;
 pub use qdaflow_revkit as revkit;
 pub use qdaflow_sparse as sparse;
+pub use qdaflow_stabilizer as stabilizer;

@@ -21,6 +21,7 @@ pub use qdaflow_quantum::{
 pub use qdaflow_reversible::{MctGate, ReversibleCircuit};
 pub use qdaflow_revkit::Shell;
 pub use qdaflow_sparse::{SparseBackend, SparseStatevector};
+pub use qdaflow_stabilizer::{StabilizerBackend, StabilizerTableau};
 
 pub use crate::classical::ClassicalSolver;
 pub use crate::flow::{
@@ -42,7 +43,10 @@ mod tests {
         let _ = DenseReference::new(1);
         let _ = SparseStatevector::new(32);
         let _ = SparseBackend::seeded(1);
+        let _ = StabilizerTableau::new(4).unwrap();
+        let _ = StabilizerBackend::seeded(1);
         let _ = BackendChoice::Sparse;
+        let _ = BackendChoice::Auto;
         let _ = BatchEngine::new();
         let _ = OracleSpec::permutation(Permutation::identity(2), SynthesisChoice::default());
         let _ = Pipeline::parse("revgen --hwb 3; tbs; ps").unwrap();

@@ -2,35 +2,44 @@
 //! reproducible sampling for many jobs at once.
 //!
 //! A [`BatchJob`] is one workload — an [`OracleSpec`] plus a shot count, a
-//! sampling seed and a simulation [`BackendChoice`] (dense or sparse).
-//! [`BatchEngine::run_batch`] executes a whole slice of jobs:
+//! sampling seed and a simulation [`BackendChoice`] (dense, sparse,
+//! stabilizer, or automatic). [`BatchEngine::run_batch`] executes a whole
+//! slice of jobs:
 //!
-//! 1. every job is keyed by the canonical hash of its spec *and* backend
-//!    choice ([`BatchJob::cache_key`]) and **deduplicated** through the
+//! 1. jobs under [`BackendChoice::Auto`] are **resolved** first
+//!    ([`BatchEngine::resolve_backends`]): the spec is compiled through the
+//!    cache, censused ([`qdaflow_quantum::GateCensus`]) and routed by
+//!    [`resolve_backend`] — so every key and log entry downstream names a
+//!    concrete backend, never `auto`;
+//! 2. every job is keyed by the canonical hash of its spec *and* resolved
+//!    backend ([`BatchJob::cache_key`]) and **deduplicated** through the
 //!    engine's [`OracleCache`], so `N` jobs over `k` distinct oracles cost
 //!    `k` compilations (or fewer, when the cache is warm from a previous
 //!    batch);
-//! 2. the distinct programs are compiled and simulated **in parallel** over
-//!    `std::thread::scope` workers (one statevector — dense or sparse per
-//!    the job's backend — per distinct program, shared by every job that
-//!    uses it);
-//! 3. each job samples its shots with the **shot-sharded** sampler
+//! 3. the distinct programs are compiled and simulated **in parallel** over
+//!    `std::thread::scope` workers (one simulated state — dense, sparse, or
+//!    a stabilizer support sampler per the job's backend — per distinct
+//!    program, shared by every job that uses it);
+//! 4. each job samples its shots with the **shot-sharded** sampler
 //!    ([`Statevector::sample_counts_sharded`] /
-//!    [`SparseStatevector::sample_counts_sharded`]) under its own seed.
+//!    [`SparseStatevector::sample_counts_sharded`] /
+//!    [`StabilizerSampler::sample_counts_sharded`]) under its own seed.
 //!
 //! Results come back in job order and are fully reproducible: a job's
 //! histogram depends only on `(spec, backend, shots, seed,
 //! shot_shard_size)` — never on the thread count, the batch composition, or
-//! the cache state.
+//! the cache state. Auto resolution is reproducible too: it is a pure
+//! function of the compiled circuit.
 
 use crate::cache::{CompiledProgram, OracleCache, OracleSpec};
-use crate::engine::BackendChoice;
+use crate::engine::{resolve_backend, BackendChoice};
 use crate::EngineError;
 use qdaflow_pipeline::spec::{CanonicalHasher, SpecKey};
 use qdaflow_quantum::backend::ExecutionResult;
 use qdaflow_quantum::fusion::ExecConfig;
-use qdaflow_quantum::Statevector;
+use qdaflow_quantum::{GateCensus, QuantumError, Statevector};
 use qdaflow_sparse::SparseStatevector;
+use qdaflow_stabilizer::{StabilizerSampler, StabilizerTableau};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread;
@@ -71,25 +80,30 @@ impl BatchJob {
     ///
     /// Dense jobs use the spec's canonical key unchanged (so the batch path
     /// shares cache entries with [`OracleCache::get_or_compile`] and keys
-    /// stay stable across releases); sparse jobs extend the digest with a
-    /// backend tag, so the cache distinguishes which execution engine a
-    /// program was compiled for. Compilation itself is backend-independent,
-    /// so a mixed dense+sparse workload over the same spec deliberately
-    /// compiles (and caches) it once *per backend* — the cache records the
-    /// execution-ready artifact per engine, trading one redundant
-    /// compilation for unambiguous per-backend provenance.
+    /// stay stable across releases); every other backend extends the digest
+    /// with a backend tag, so the cache distinguishes which execution engine
+    /// a program was compiled for. Compilation itself is
+    /// backend-independent, so a mixed-backend workload over the same spec
+    /// deliberately compiles (and caches) it once *per backend* — the cache
+    /// records the execution-ready artifact per engine, trading one
+    /// redundant compilation for unambiguous per-backend provenance.
+    /// [`BackendChoice::Auto`] jobs are resolved to a concrete backend
+    /// before keying on the batch path ([`BatchEngine::resolve_backends`]),
+    /// so cache entries stay backend-exact; the defensive `backend:auto` tag
+    /// only appears if an unresolved job is keyed directly.
     pub fn cache_key(&self) -> SpecKey {
         let base = self.spec.cache_key();
-        match self.backend {
-            BackendChoice::Dense => base,
-            BackendChoice::Sparse => {
-                let mut hasher = CanonicalHasher::new();
-                hasher.write_u64((base.0 >> 64) as u64);
-                hasher.write_u64(base.0 as u64);
-                hasher.write_str("backend:sparse");
-                hasher.finish()
-            }
-        }
+        let tag = match self.backend {
+            BackendChoice::Dense => return base,
+            BackendChoice::Sparse => "backend:sparse",
+            BackendChoice::Stabilizer => "backend:stabilizer",
+            BackendChoice::Auto => "backend:auto",
+        };
+        let mut hasher = CanonicalHasher::new();
+        hasher.write_u64((base.0 >> 64) as u64);
+        hasher.write_u64(base.0 as u64);
+        hasher.write_str(tag);
+        hasher.finish()
     }
 }
 
@@ -99,11 +113,16 @@ impl BatchJob {
 enum SimulatedState {
     Dense(Statevector),
     Sparse(SparseStatevector),
+    /// The stabilizer path stores the enumerated support sampler rather
+    /// than a tableau, so support-extraction errors surface at simulate
+    /// time (in the fallible batch path) and per-job sampling stays
+    /// infallible like the other backends.
+    Stabilizer(StabilizerSampler),
 }
 
 impl SimulatedState {
     /// Samples a job's shots with the shot-sharded sampler and builds its
-    /// [`ExecutionResult`]; both engines use the same `(seed, shard)` RNG
+    /// [`ExecutionResult`]; all engines use the same `(seed, shard)` RNG
     /// scheme, so equal-seed jobs agree across backends.
     fn sample_job(
         &self,
@@ -120,6 +139,10 @@ impl SimulatedState {
             Self::Sparse(state) => {
                 let counts =
                     qdaflow_sparse::widen_counts(state.sample_counts_sharded(seed, shots, config));
+                ExecutionResult::from_counts(program.circuit(), shots, counts)
+            }
+            Self::Stabilizer(sampler) => {
+                let counts = sampler.sample_counts_sharded(seed, shots, config);
                 ExecutionResult::from_counts(program.circuit(), shots, counts)
             }
         }
@@ -181,10 +204,33 @@ impl BatchEngine {
         self.run_batch_with(jobs, &self.config)
     }
 
+    /// Resolves every job's backend to a concrete choice: jobs already on a
+    /// concrete backend pass through unchanged, [`BackendChoice::Auto`] jobs
+    /// are compiled through the cache (under the raw spec key, shared with
+    /// dense callers), censused, and routed by [`resolve_backend`]. The
+    /// returned vector is in job order and never contains `Auto` — the shell
+    /// logs it per job, and [`BatchEngine::run_batch_with`] keys the cache
+    /// with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compilation error among the `Auto` jobs.
+    pub fn resolve_backends(&self, jobs: &[BatchJob]) -> Result<Vec<BackendChoice>, EngineError> {
+        jobs.iter()
+            .map(|job| match job.backend {
+                BackendChoice::Auto => {
+                    let program = self.cache.get_or_compile(&job.spec)?;
+                    Ok(resolve_backend(&GateCensus::of(program.circuit())))
+                }
+                concrete => Ok(concrete),
+            })
+            .collect()
+    }
+
     /// Executes a batch of jobs under an explicit execution configuration:
-    /// deduplicated compilation through the cache, parallel compilation +
-    /// simulation of the distinct programs, and shot-sharded sampling per
-    /// job. Results are returned in job order.
+    /// automatic-backend resolution, deduplicated compilation through the
+    /// cache, parallel compilation + simulation of the distinct programs,
+    /// and shot-sharded sampling per job. Results are returned in job order.
     ///
     /// # Errors
     ///
@@ -195,6 +241,35 @@ impl BatchEngine {
         jobs: &[BatchJob],
         config: &ExecConfig,
     ) -> Result<Vec<ExecutionResult>, EngineError> {
+        // Resolve Auto jobs to concrete backends first, so cache keys and
+        // simulated states are always backend-exact. The materialized copy
+        // is only made when the batch actually contains an Auto job. The
+        // program resolution just compiled under the raw spec key is aliased
+        // into the backend-tagged slot, so resolution and execution share
+        // one compilation per distinct spec.
+        let materialized: Option<Vec<BatchJob>> =
+            if jobs.iter().any(|job| job.backend == BackendChoice::Auto) {
+                let resolved = self.resolve_backends(jobs)?;
+                Some(
+                    jobs.iter()
+                        .zip(resolved)
+                        .map(|(job, backend)| {
+                            let was_auto = job.backend == BackendChoice::Auto;
+                            let resolved_job = job.clone().with_backend(backend);
+                            let tagged = resolved_job.cache_key();
+                            if was_auto && tagged != job.spec.cache_key() {
+                                if let Some(program) = self.cache.peek(job.spec.cache_key()) {
+                                    self.cache.alias_keyed(tagged, &program);
+                                }
+                            }
+                            resolved_job
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+        let jobs = materialized.as_deref().unwrap_or(jobs);
         // Deduplicate jobs by canonical (spec, backend) key, keeping
         // first-appearance order so error reporting and work distribution
         // are deterministic.
@@ -233,6 +308,12 @@ impl BatchEngine {
                        backend: BackendChoice|
          -> Result<(Arc<CompiledProgram>, SimulatedState), EngineError> {
             let program = self.cache.get_or_compile_keyed(key, spec)?;
+            // run_batch_with resolves Auto before keying; this guard only
+            // fires when compile_and_simulate is reached some other way.
+            let backend = match backend {
+                BackendChoice::Auto => resolve_backend(&GateCensus::of(program.circuit())),
+                concrete => concrete,
+            };
             let state = match backend {
                 BackendChoice::Dense => {
                     SimulatedState::Dense(Statevector::run(program.circuit(), &simulate_config)?)
@@ -240,6 +321,12 @@ impl BatchEngine {
                 BackendChoice::Sparse => {
                     SimulatedState::Sparse(SparseStatevector::from_circuit(program.circuit())?)
                 }
+                BackendChoice::Stabilizer => {
+                    let tableau = StabilizerTableau::from_circuit(program.circuit())
+                        .map_err(QuantumError::from)?;
+                    SimulatedState::Stabilizer(tableau.sampler().map_err(QuantumError::from)?)
+                }
+                BackendChoice::Auto => unreachable!("auto resolution produced Auto"),
             };
             Ok((program, state))
         };
@@ -288,6 +375,41 @@ mod tests {
     use super::*;
     use crate::oracle::SynthesisChoice;
     use qdaflow_boolfn::{Permutation, TruthTable};
+
+    /// The Fig. 4 hidden-shift program at `n` qubits as pure-Clifford QASM:
+    /// the bent function f(x) = Σ x_{2i}·x_{2i+1} is a layer of CZ pairs
+    /// (and is self-dual, so the same layer serves as U_f and U_f̃), the
+    /// shifted oracle is X_s·U_f·X_s, and the ideal output is exactly |s⟩.
+    fn clifford_hidden_shift_qasm(n: usize, shift: usize) -> String {
+        use std::fmt::Write as _;
+        let mut source = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+        writeln!(source, "qreg q[{n}];").unwrap();
+        let h_layer = |source: &mut String| {
+            for q in 0..n {
+                writeln!(source, "h q[{q}];").unwrap();
+            }
+        };
+        let shift_layer = |source: &mut String| {
+            for q in 0..n.min(usize::BITS as usize) {
+                if (shift >> q) & 1 == 1 {
+                    writeln!(source, "x q[{q}];").unwrap();
+                }
+            }
+        };
+        let oracle = |source: &mut String| {
+            for i in 0..n / 2 {
+                writeln!(source, "cz q[{}],q[{}];", 2 * i, 2 * i + 1).unwrap();
+            }
+        };
+        h_layer(&mut source);
+        shift_layer(&mut source);
+        oracle(&mut source);
+        shift_layer(&mut source);
+        h_layer(&mut source);
+        oracle(&mut source);
+        h_layer(&mut source);
+        source
+    }
 
     fn perm_job(images: Vec<usize>, shots: usize, seed: u64) -> BatchJob {
         BatchJob::new(
@@ -421,6 +543,113 @@ mod tests {
         let results = engine.run_batch(&jobs).unwrap();
         assert_eq!(results[0], results[1], "permutation oracle");
         assert_eq!(results[2], results[3], "phase oracle");
+    }
+
+    #[test]
+    fn stabilizer_jobs_match_dense_jobs_shot_for_shot() {
+        // A permutation oracle synthesized into Clifford+T is not Clifford,
+        // but a pure phase-function oracle over Mcz(≤2)/Z gates can be; use
+        // a parity-ish function whose compiled circuit is all-Clifford. The
+        // linear function x0^x1 compiles to Z gates only.
+        let config = ExecConfig::baseline().with_shot_shard_size(128);
+        let engine = BatchEngine::with_config(config);
+        let job = BatchJob::new(
+            OracleSpec::phase_function(
+                TruthTable::from_bits(2, [false, true, true, false]).unwrap(),
+            ),
+            2000,
+            11,
+        );
+        let jobs = vec![job.clone(), job.with_backend(BackendChoice::Stabilizer)];
+        let results = engine.run_batch(&jobs).unwrap();
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn stabilizer_jobs_run_clifford_circuits_beyond_every_amplitude_ceiling() {
+        // A 100-qubit Clifford program through the batch engine: both
+        // amplitude engines are representationally incapable of this.
+        let source = clifford_hidden_shift_qasm(100, 0b1001011);
+        let job =
+            BatchJob::new(OracleSpec::qasm(source), 512, 5).with_backend(BackendChoice::Stabilizer);
+        let engine = BatchEngine::new();
+        let started = std::time::Instant::now();
+        let results = engine.run_batch(&[job]).unwrap();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(1),
+            "100q Clifford batch took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(results[0].most_likely(), Some((0b1001011, 1.0)));
+    }
+
+    #[test]
+    fn auto_jobs_resolve_to_the_backend_the_census_predicts() {
+        // The acceptance triple: an H-heavy+T circuit (dense), a
+        // permutation oracle whose Toffolis map to T gates (sparse), and a
+        // pure-Clifford circuit (stabilizer).
+        let dense_spec = OracleSpec::qasm(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\nh q[1];\nh q[2];\nt q[0];\n",
+        );
+        let sparse_spec = OracleSpec::permutation(
+            Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap(),
+            SynthesisChoice::default(),
+        );
+        let clifford_spec = OracleSpec::qasm(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncz q[1],q[2];\n",
+        );
+        let jobs = vec![
+            BatchJob::new(dense_spec, 100, 1).with_backend(BackendChoice::Auto),
+            BatchJob::new(sparse_spec, 100, 2).with_backend(BackendChoice::Auto),
+            BatchJob::new(clifford_spec, 100, 3).with_backend(BackendChoice::Auto),
+        ];
+        let engine = BatchEngine::new();
+        let resolved = engine.resolve_backends(&jobs).unwrap();
+        assert_eq!(
+            resolved,
+            vec![
+                BackendChoice::Dense,
+                BackendChoice::Sparse,
+                BackendChoice::Stabilizer,
+            ]
+        );
+        // The run goes through the same resolution, and the cache ends up
+        // keyed by the *resolved* backend: the dense job under the raw spec
+        // key, the others under their backend-tagged keys — no auto tag
+        // anywhere.
+        let results = engine.run_batch(&jobs).unwrap();
+        assert_eq!(results.len(), 3);
+        for (job, backend) in jobs.iter().zip(&resolved) {
+            let resolved_key = job.clone().with_backend(*backend).cache_key();
+            assert!(
+                engine.cache().peek(resolved_key).is_some(),
+                "missing cache entry for resolved backend {backend}"
+            );
+        }
+        assert!(engine.cache().peek(jobs[2].cache_key()).is_none());
+        // Resolution compiled each spec once under its raw key; execution
+        // reuses those programs through tagged-slot aliases instead of
+        // compiling again.
+        assert_eq!(engine.cache().stats().misses, 3);
+    }
+
+    #[test]
+    fn auto_batches_match_their_resolved_concrete_batches() {
+        let job = BatchJob::new(
+            OracleSpec::qasm(
+                "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+            ),
+            1500,
+            21,
+        );
+        let engine = BatchEngine::new();
+        let auto = engine
+            .run_batch(&[job.clone().with_backend(BackendChoice::Auto)])
+            .unwrap();
+        let concrete = engine
+            .run_batch(&[job.with_backend(BackendChoice::Stabilizer)])
+            .unwrap();
+        assert_eq!(auto, concrete);
     }
 
     #[test]

@@ -232,6 +232,32 @@ impl OracleCache {
         Ok(self.lock().entry(key).or_insert(program).clone())
     }
 
+    /// Re-inserts an already-compiled program under a second cache key,
+    /// returning the entry now stored there (the existing program if the
+    /// slot was already occupied). The batch engine uses this to share one
+    /// compilation between the raw spec slot (where automatic-backend
+    /// resolution compiles) and the backend-tagged slot (where execution
+    /// looks up) — an alias is bookkeeping, not a compilation, so the
+    /// hit/miss counters are untouched.
+    pub(crate) fn alias_keyed(
+        &self,
+        key: SpecKey,
+        program: &Arc<CompiledProgram>,
+    ) -> Arc<CompiledProgram> {
+        let mut entries = self.lock();
+        if let Some(existing) = entries.get(&key) {
+            return existing.clone();
+        }
+        let aliased = Arc::new(CompiledProgram {
+            key,
+            circuit: program.circuit.clone(),
+            resources: program.resources.clone(),
+            compile_time: program.compile_time,
+        });
+        entries.insert(key, aliased.clone());
+        aliased
+    }
+
     /// Looks a program up without compiling (does not touch the hit/miss
     /// counters).
     pub fn peek(&self, key: SpecKey) -> Option<Arc<CompiledProgram>> {

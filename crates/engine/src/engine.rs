@@ -9,30 +9,43 @@ use qdaflow_quantum::backend::{
 };
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::noise::NoiseModel;
-use qdaflow_quantum::{QuantumCircuit, QuantumGate};
+use qdaflow_quantum::{GateCensus, QuantumCircuit, QuantumGate, MAX_SIMULATOR_QUBITS};
 use qdaflow_sparse::SparseBackend;
+use qdaflow_stabilizer::{StabilizerBackend, MAX_STABILIZER_QUBITS};
 use std::fmt;
 
 /// Which exact-simulation engine executes circuits: the dense statevector
-/// (a `Vec` of all `2^n` amplitudes) or the sparse statevector (a hash map
-/// of the nonzero amplitudes only).
+/// (a `Vec` of all `2^n` amplitudes), the sparse statevector (a hash map of
+/// the nonzero amplitudes only), the stabilizer tableau (Pauli generators,
+/// Clifford circuits only), or automatic per-circuit dispatch between them.
 ///
 /// The choice threads through the whole stack: [`MainEngine`] construction
 /// ([`MainEngine::with_simulator_choice`]), per-job batch execution
-/// ([`BatchJob::with_backend`](crate::BatchJob::with_backend), where it is
-/// keyed into the oracle-cache digest), and the shell's `backend` command.
-/// Dense is the default and the right choice for states with dense support
-/// (e.g. Hadamard layers over the full register); sparse lifts the qubit
-/// ceiling for the paper's permutation-dominated oracle workloads.
+/// ([`BatchJob::with_backend`](crate::BatchJob::with_backend), where the
+/// *resolved* choice is keyed into the oracle-cache digest), and the shell's
+/// `backend` command. Dense is the default and the right choice for states
+/// with dense support (e.g. Hadamard layers over the full register); sparse
+/// lifts the qubit ceiling for the paper's permutation-dominated oracle
+/// workloads; stabilizer lifts it much further for pure-Clifford circuits;
+/// [`BackendChoice::Auto`] censuses each circuit ([`GateCensus`]) and routes
+/// it through [`resolve_backend`] so none of this needs picking by hand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BackendChoice {
     /// The dense [`StatevectorBackend`]: all `2^n` amplitudes, capped at
-    /// [`MAX_SIMULATOR_QUBITS`](qdaflow_quantum::MAX_SIMULATOR_QUBITS).
+    /// [`MAX_SIMULATOR_QUBITS`].
     #[default]
     Dense,
     /// The [`SparseBackend`]: nonzero amplitudes only, capped at
     /// [`MAX_SPARSE_QUBITS`](qdaflow_sparse::MAX_SPARSE_QUBITS).
     Sparse,
+    /// The [`StabilizerBackend`]: Aaronson–Gottesman tableau, Clifford
+    /// gates only, capped at [`MAX_STABILIZER_QUBITS`].
+    Stabilizer,
+    /// Automatic per-circuit dispatch: each compiled circuit is censused
+    /// and routed to the cheapest backend that can run it (the heuristics
+    /// of [`resolve_backend`]). Never reaches an executor itself — it
+    /// always resolves to one of the concrete choices first.
+    Auto,
 }
 
 impl BackendChoice {
@@ -42,16 +55,77 @@ impl BackendChoice {
         match self {
             Self::Dense => "dense",
             Self::Sparse => "sparse",
+            Self::Stabilizer => "stabilizer",
+            Self::Auto => "auto",
         }
     }
 
-    /// Parses a backend name (`"dense"` or `"sparse"`).
+    /// Parses a backend name (`"dense"`, `"sparse"`, `"stabilizer"` or
+    /// `"auto"`).
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "dense" => Some(Self::Dense),
             "sparse" => Some(Self::Sparse),
+            "stabilizer" => Some(Self::Stabilizer),
+            "auto" => Some(Self::Auto),
             _ => None,
         }
+    }
+
+    /// Parses a backend name into a typed result: unknown names return
+    /// [`EngineError::UnknownBackend`], whose message lists the valid
+    /// choices — the shell's `backend` command surfaces this directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownBackend`] for anything
+    /// [`BackendChoice::from_name`] rejects.
+    pub fn parse(name: &str) -> Result<Self, EngineError> {
+        Self::from_name(name).ok_or_else(|| EngineError::UnknownBackend {
+            name: name.to_string(),
+        })
+    }
+
+    /// Resolves this choice against a circuit census: [`BackendChoice::Auto`]
+    /// becomes the [`resolve_backend`] recommendation, concrete choices pass
+    /// through unchanged. The result is never `Auto`.
+    pub fn resolve(self, census: &GateCensus) -> Self {
+        match self {
+            Self::Auto => resolve_backend(census),
+            concrete => concrete,
+        }
+    }
+}
+
+/// Routes a censused circuit to the cheapest backend that can run it —
+/// the heuristic behind [`BackendChoice::Auto`]:
+///
+/// 1. **All-Clifford circuits go to the stabilizer tableau** (when they fit
+///    [`MAX_STABILIZER_QUBITS`]): polynomial cost at any width. Its sampling
+///    caps can still reject a final state with huge support, but that
+///    surfaces as a typed error, whereas an amplitude engine would exhaust
+///    memory on the same circuit long before failing cleanly.
+/// 2. **Hadamard-heavy circuits go dense** (when they fit
+///    [`MAX_SIMULATOR_QUBITS`]): at ≥ 25% `H` gates the sparse support is
+///    presumed to spread across the basis, which is exactly the regime where
+///    walking a hash-map support loses to the flat amplitude array.
+/// 3. **Everything else goes sparse**: permutation-dominated oracle
+///    workloads keep single-basis-state support, and circuits beyond the
+///    dense qubit ceiling have nowhere else to go.
+///
+/// The census's [`support_bound_log2`](GateCensus::support_bound_log2) is
+/// deliberately *not* a routing input: the bound saturates as soon as a
+/// circuit has as many `H` gates as qubits, even when the layers cancel
+/// (hidden-shift circuits do exactly this), so it would misroute the
+/// paper's core workloads. The fractions below are structural, not
+/// simulated, so resolution costs one linear sweep per circuit.
+pub fn resolve_backend(census: &GateCensus) -> BackendChoice {
+    if census.is_all_clifford() && census.num_qubits <= MAX_STABILIZER_QUBITS {
+        BackendChoice::Stabilizer
+    } else if census.num_qubits <= MAX_SIMULATOR_QUBITS && census.hadamard_fraction() >= 0.25 {
+        BackendChoice::Dense
+    } else {
+        BackendChoice::Sparse
     }
 }
 
@@ -80,6 +154,15 @@ pub struct ComputeSection {
     end: Option<usize>,
 }
 
+/// State of an engine running under [`BackendChoice::Auto`]: the last
+/// resolution (so the backend is only rebuilt when the recommendation
+/// changes) and the execution configuration to reapply on rebuild.
+#[derive(Debug, Clone, Copy)]
+struct AutoDispatch {
+    resolved: Option<BackendChoice>,
+    config: ExecConfig,
+}
+
 /// The ProjectQ-style main engine: it records the gates emitted by the
 /// program (including compiled oracles) and finally hands the circuit to a
 /// [`Backend`] on [`MainEngine::flush`].
@@ -87,6 +170,7 @@ pub struct MainEngine {
     backend: Box<dyn Backend>,
     gates: Vec<QuantumGate>,
     num_qubits: usize,
+    auto: Option<AutoDispatch>,
 }
 
 impl MainEngine {
@@ -96,6 +180,7 @@ impl MainEngine {
             backend,
             gates: Vec::new(),
             num_qubits: 0,
+            auto: None,
         }
     }
 
@@ -117,12 +202,32 @@ impl MainEngine {
         Self::new(Box::new(SparseBackend::default()))
     }
 
+    /// Creates an engine targeting the stabilizer tableau simulator —
+    /// Clifford circuits only, at up to [`MAX_STABILIZER_QUBITS`] qubits
+    /// (see [`qdaflow_stabilizer`]). Non-Clifford gates surface as a typed
+    /// [`EngineError::Quantum`] on [`MainEngine::flush`].
+    pub fn with_stabilizer_simulator() -> Self {
+        Self::new(Box::new(StabilizerBackend::default()))
+    }
+
     /// Creates an engine targeting the exact simulator selected by
-    /// `choice`.
+    /// `choice`. [`BackendChoice::Auto`] starts on the dense simulator and
+    /// re-censuses the recorded circuit on every [`MainEngine::flush`],
+    /// swapping the backend whenever [`resolve_backend`] changes its
+    /// recommendation (see [`MainEngine::resolved_backend`]).
     pub fn with_simulator_choice(choice: BackendChoice) -> Self {
         match choice {
             BackendChoice::Dense => Self::with_simulator(),
             BackendChoice::Sparse => Self::with_sparse_simulator(),
+            BackendChoice::Stabilizer => Self::with_stabilizer_simulator(),
+            BackendChoice::Auto => {
+                let mut engine = Self::with_simulator();
+                engine.auto = Some(AutoDispatch {
+                    resolved: None,
+                    config: ExecConfig::default(),
+                });
+                engine
+            }
         }
     }
 
@@ -137,8 +242,43 @@ impl MainEngine {
 
     /// Reconfigures how the backend executes circuits. Backends that do not
     /// simulate ignore the setting; the backend owns the configuration.
+    /// Under [`BackendChoice::Auto`] the configuration is remembered and
+    /// reapplied whenever dispatch swaps the backend.
     pub fn set_exec_config(&mut self, config: ExecConfig) {
+        if let Some(auto) = &mut self.auto {
+            auto.config = config;
+        }
         self.backend.set_exec_config(config);
+    }
+
+    /// The concrete backend the last [`MainEngine::flush`] under
+    /// [`BackendChoice::Auto`] resolved to — `None` before the first flush
+    /// or when the engine was not constructed with `Auto`.
+    pub fn resolved_backend(&self) -> Option<BackendChoice> {
+        self.auto.and_then(|auto| auto.resolved)
+    }
+
+    /// Re-censuses the recorded circuit and swaps the backend if the
+    /// [`resolve_backend`] recommendation changed. No-op outside `Auto`.
+    fn dispatch_auto(&mut self, circuit: &QuantumCircuit) {
+        let Some(auto) = self.auto else { return };
+        let resolved = resolve_backend(&GateCensus::of(circuit));
+        if auto.resolved == Some(resolved) {
+            return;
+        }
+        let mut backend: Box<dyn Backend> = match resolved {
+            BackendChoice::Dense => Box::new(StatevectorBackend::default()),
+            BackendChoice::Sparse => Box::new(SparseBackend::default()),
+            BackendChoice::Stabilizer => Box::new(StabilizerBackend::default()),
+            // resolve_backend only returns concrete choices.
+            BackendChoice::Auto => unreachable!("auto resolution produced Auto"),
+        };
+        backend.set_exec_config(auto.config);
+        self.backend = backend;
+        self.auto = Some(AutoDispatch {
+            resolved: Some(resolved),
+            config: auto.config,
+        });
     }
 
     /// Creates an engine targeting the noisy hardware model (the stand-in for
@@ -468,6 +608,7 @@ impl MainEngine {
     /// Propagates backend execution errors.
     pub fn flush(&mut self, shots: usize) -> Result<ExecutionResult, EngineError> {
         let circuit = self.circuit();
+        self.dispatch_auto(&circuit);
         Ok(self.backend.run(&circuit, shots)?)
     }
 
@@ -551,12 +692,126 @@ mod tests {
             BackendChoice::from_name("sparse"),
             Some(BackendChoice::Sparse)
         );
+        assert_eq!(
+            BackendChoice::from_name("stabilizer"),
+            Some(BackendChoice::Stabilizer)
+        );
+        assert_eq!(BackendChoice::from_name("auto"), Some(BackendChoice::Auto));
         assert_eq!(BackendChoice::from_name("frobnicate"), None);
         assert_eq!(BackendChoice::Sparse.to_string(), "sparse");
+        assert_eq!(BackendChoice::Stabilizer.to_string(), "stabilizer");
         let dense = MainEngine::with_simulator_choice(BackendChoice::Dense);
         assert_eq!(dense.backend_name(), "statevector-simulator");
         let sparse = MainEngine::with_simulator_choice(BackendChoice::Sparse);
         assert_eq!(sparse.backend_name(), "sparse-statevector-simulator");
+        let stabilizer = MainEngine::with_simulator_choice(BackendChoice::Stabilizer);
+        assert_eq!(stabilizer.backend_name(), "stabilizer-tableau-simulator");
+    }
+
+    #[test]
+    fn parse_returns_a_typed_error_listing_the_valid_choices() {
+        assert_eq!(BackendChoice::parse("auto"), Ok(BackendChoice::Auto));
+        let error = BackendChoice::parse("frobnicate").unwrap_err();
+        assert_eq!(
+            error,
+            EngineError::UnknownBackend {
+                name: "frobnicate".to_string()
+            }
+        );
+        let message = error.to_string();
+        for name in ["dense", "sparse", "stabilizer", "auto"] {
+            assert!(message.contains(name), "{message}");
+        }
+    }
+
+    #[test]
+    fn resolver_routes_by_census_shape() {
+        // All-Clifford → stabilizer, regardless of width.
+        let mut clifford = QuantumCircuit::new(100);
+        for q in 0..100 {
+            clifford.push(QuantumGate::H(q)).unwrap();
+        }
+        assert_eq!(
+            resolve_backend(&GateCensus::of(&clifford)),
+            BackendChoice::Stabilizer
+        );
+        // Hadamard-heavy with non-Clifford content, small register → dense.
+        let mut dense = QuantumCircuit::new(4);
+        for q in 0..4 {
+            dense.push(QuantumGate::H(q)).unwrap();
+        }
+        dense.push(QuantumGate::T(0)).unwrap();
+        assert_eq!(
+            resolve_backend(&GateCensus::of(&dense)),
+            BackendChoice::Dense
+        );
+        // Permutation-dominated (Toffoli) → sparse; same for anything past
+        // the dense ceiling.
+        let mut perm = QuantumCircuit::new(3);
+        perm.push(QuantumGate::X(0)).unwrap();
+        perm.push(QuantumGate::Ccx {
+            control_a: 0,
+            control_b: 1,
+            target: 2,
+        })
+        .unwrap();
+        assert_eq!(
+            resolve_backend(&GateCensus::of(&perm)),
+            BackendChoice::Sparse
+        );
+        let mut wide = QuantumCircuit::new(40);
+        for q in 0..40 {
+            wide.push(QuantumGate::H(q)).unwrap();
+        }
+        wide.push(QuantumGate::T(0)).unwrap();
+        assert_eq!(
+            resolve_backend(&GateCensus::of(&wide)),
+            BackendChoice::Sparse
+        );
+        // Concrete choices pass through resolve unchanged.
+        let census = GateCensus::of(&perm);
+        assert_eq!(BackendChoice::Dense.resolve(&census), BackendChoice::Dense);
+        assert_eq!(BackendChoice::Auto.resolve(&census), BackendChoice::Sparse);
+    }
+
+    #[test]
+    fn auto_engine_redispatches_per_flush() {
+        let mut engine = MainEngine::with_simulator_choice(BackendChoice::Auto);
+        assert_eq!(engine.resolved_backend(), None);
+        let qubits = engine.allocate_qureg(2);
+        engine.h(qubits[0]).unwrap();
+        engine.cnot(qubits[0], qubits[1]).unwrap();
+        let clifford = engine.flush(256).unwrap();
+        assert_eq!(engine.resolved_backend(), Some(BackendChoice::Stabilizer));
+        assert_eq!(engine.backend_name(), "stabilizer-tableau-simulator");
+        assert_eq!(clifford.counts.values().sum::<usize>(), 256);
+        // A T gate makes the same program non-Clifford and H-heavy → dense.
+        engine
+            .apply_gate(QuantumGate::T(qubits[0].index()))
+            .unwrap();
+        engine.flush(64).unwrap();
+        assert_eq!(engine.resolved_backend(), Some(BackendChoice::Dense));
+        assert_eq!(engine.backend_name(), "statevector-simulator");
+    }
+
+    #[test]
+    fn stabilizer_engine_runs_clifford_programs_at_scale() {
+        let mut engine = MainEngine::with_stabilizer_simulator();
+        let qubits = engine.allocate_qureg(128);
+        engine.x(qubits[60]).unwrap();
+        engine.cnot(qubits[60], qubits[3]).unwrap();
+        let result = engine.flush(64).unwrap();
+        assert_eq!(result.most_likely(), Some(((1usize << 60) | 8, 1.0)));
+        // Non-Clifford content is a typed error, not a panic.
+        engine
+            .apply_gate(QuantumGate::T(qubits[0].index()))
+            .unwrap();
+        assert!(matches!(
+            engine.flush(16),
+            Err(EngineError::Quantum(
+                qdaflow_quantum::QuantumError::UnsupportedGate { gate: "t", .. }
+            ))
+        ));
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub enum EngineError {
         /// Rendered pipeline error message.
         message: String,
     },
+    /// An unrecognized backend name was passed to
+    /// [`BackendChoice::parse`](crate::BackendChoice::parse) (e.g. through
+    /// the shell's `backend` command).
+    UnknownBackend {
+        /// The rejected name.
+        name: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -62,6 +69,10 @@ impl fmt::Display for EngineError {
             Self::Quantum(inner) => write!(f, "{inner}"),
             Self::Mapping(inner) => write!(f, "{inner}"),
             Self::Flow { message } => f.write_str(message),
+            Self::UnknownBackend { name } => write!(
+                f,
+                "unknown backend '{name}': expected one of dense, sparse, stabilizer, auto"
+            ),
         }
     }
 }

@@ -44,6 +44,6 @@ pub mod oracle;
 
 pub use batch::{BatchEngine, BatchJob};
 pub use cache::{CacheStats, CompiledProgram, OracleCache, OracleSpec};
-pub use engine::{BackendChoice, ComputeSection, MainEngine, Qubit};
+pub use engine::{resolve_backend, BackendChoice, ComputeSection, MainEngine, Qubit};
 pub use error::EngineError;
 pub use oracle::SynthesisChoice;

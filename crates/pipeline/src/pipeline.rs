@@ -7,7 +7,7 @@ use crate::script::{split_statements, tokenize};
 use crate::FlowError;
 use qdaflow_boolfn::{Permutation, TruthTable};
 use qdaflow_quantum::resource::ResourceCounts;
-use qdaflow_quantum::QuantumCircuit;
+use qdaflow_quantum::{GateCensus, QuantumCircuit};
 use qdaflow_reversible::ReversibleCircuit;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -313,6 +313,11 @@ pub struct PassRecord {
     pub reversible_gates: Option<usize>,
     /// Resource counts of the output quantum circuit, if the output is one.
     pub resources: Option<ResourceCounts>,
+    /// Gate census of the output quantum circuit, if the output is one —
+    /// the Clifford/permutation/T/Hadamard populations the automatic
+    /// backend dispatcher routes by, surfaced here so its decisions are
+    /// inspectable per pass (the shell's `flow` report prints this line).
+    pub census: Option<GateCensus>,
     /// A pass-provided summary line (`ps` uses this).
     pub note: Option<String>,
     /// Wall-clock time the pass took.
@@ -321,16 +326,21 @@ pub struct PassRecord {
 
 impl PassRecord {
     fn of(pass: &dyn Pass, output: &Ir, duration: Duration) -> Self {
-        let (reversible_gates, resources) = match output {
-            Ir::Reversible(circuit) => (Some(circuit.num_gates()), None),
-            Ir::Quantum(circuit) => (None, Some(ResourceCounts::of(circuit))),
-            _ => (None, None),
+        let (reversible_gates, resources, census) = match output {
+            Ir::Reversible(circuit) => (Some(circuit.num_gates()), None, None),
+            Ir::Quantum(circuit) => (
+                None,
+                Some(ResourceCounts::of(circuit)),
+                Some(GateCensus::of(circuit)),
+            ),
+            _ => (None, None, None),
         };
         Self {
             pass: pass.describe(),
             stage: output.stage(),
             reversible_gates,
             resources,
+            census,
             note: pass.summarize(output),
             duration,
         }
@@ -412,6 +422,9 @@ impl fmt::Display for PipelineReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for record in &self.passes {
             writeln!(f, "{}", record.summary())?;
+            if let Some(census) = &record.census {
+                writeln!(f, "  census: {census}")?;
+            }
             if let Some(note) = &record.note {
                 writeln!(f, "  {note}")?;
             }
@@ -441,8 +454,13 @@ mod tests {
         assert!(optimized.t_count <= mapped.t_count);
         // The ps pass recorded a statistics note.
         assert!(report.record_of("ps").unwrap().note.is_some());
+        // Quantum-stage passes record a gate census; reversible ones don't.
+        let mapped = report.record_of("rptm").unwrap().census.unwrap();
+        assert_eq!(mapped.total, mapped.clifford + mapped.t);
+        assert!(report.record_of("tbs").unwrap().census.is_none());
         let rendered = report.to_string();
         assert!(rendered.contains("tbs"));
+        assert!(rendered.contains("census:"));
         assert!(rendered.contains("total:"));
     }
 

@@ -1,0 +1,226 @@
+//! Gate census: the cheap structural classification pass behind automatic
+//! backend dispatch.
+//!
+//! A [`GateCensus`] is one linear sweep over a circuit's gate list, counting
+//! the populations that predict simulation cost on each backend:
+//!
+//! - **Clifford gates** — a fully Clifford circuit belongs on the stabilizer
+//!   tableau, which is polynomial in the qubit count.
+//! - **Permutation gates** (X, CX, SWAP, CCX, MCX) — classical reversible
+//!   logic keeps a sparse statevector's support at a single basis state.
+//! - **Hadamard gates** — the only gate in the flow's library that grows
+//!   sparse support (each `H` at most doubles it) or the stabilizer
+//!   support rank (each `H` raises it by at most one).
+//! - **T gates** — the non-Clifford budget, already the flow's central cost
+//!   metric ([`QuantumCircuit::t_count`]).
+//!
+//! The census is deliberately *syntactic*: it never simulates, so it costs
+//! `O(gates)` and can run on every compiled program in a batch. The engine
+//! crate's `resolve_backend` turns these numbers into a `BackendChoice`, and
+//! the pipeline report prints them per pass so dispatch decisions stay
+//! inspectable from the shell.
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::QuantumGate;
+use std::fmt;
+
+/// Structural gate statistics of a circuit, produced by one linear sweep.
+///
+/// See the [module docs](self) for what each population predicts. All
+/// fractions are over [`GateCensus::total`]; for an empty gate list the
+/// Clifford fraction is defined as `1.0` (vacuously Clifford — the identity
+/// circuit runs on any backend) and every other fraction as `0.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateCensus {
+    /// Number of qubits of the censused circuit.
+    pub num_qubits: usize,
+    /// Total number of gates.
+    pub total: usize,
+    /// Gates inside the Clifford group (per [`QuantumGate::is_clifford`]).
+    pub clifford: usize,
+    /// Classical permutation gates: X, CX, SWAP, CCX, MCX.
+    pub permutation: usize,
+    /// Diagonal gates (per [`QuantumGate::is_diagonal`]).
+    pub diagonal: usize,
+    /// Hadamard gates — the support-growing population.
+    pub hadamard: usize,
+    /// T-count (T, T†, and odd-eighth-turn Rz, per [`QuantumGate::t_count`]).
+    pub t: usize,
+}
+
+impl GateCensus {
+    /// Censuses a circuit.
+    pub fn of(circuit: &QuantumCircuit) -> Self {
+        Self::of_gates(circuit.num_qubits(), circuit.gates())
+    }
+
+    /// Censuses a raw gate list over `num_qubits` qubits.
+    pub fn of_gates(num_qubits: usize, gates: &[QuantumGate]) -> Self {
+        let mut census = Self {
+            num_qubits,
+            total: gates.len(),
+            clifford: 0,
+            permutation: 0,
+            diagonal: 0,
+            hadamard: 0,
+            t: 0,
+        };
+        for gate in gates {
+            if gate.is_clifford() {
+                census.clifford += 1;
+            }
+            if matches!(
+                gate,
+                QuantumGate::X(_)
+                    | QuantumGate::Cx { .. }
+                    | QuantumGate::Swap { .. }
+                    | QuantumGate::Ccx { .. }
+                    | QuantumGate::Mcx { .. }
+            ) {
+                census.permutation += 1;
+            }
+            if gate.is_diagonal() {
+                census.diagonal += 1;
+            }
+            if matches!(gate, QuantumGate::H(_)) {
+                census.hadamard += 1;
+            }
+            census.t += gate.t_count();
+        }
+        census
+    }
+
+    /// Whether every gate is Clifford (vacuously true for an empty list) —
+    /// the exact acceptance predicate of the stabilizer tableau backend.
+    pub fn is_all_clifford(&self) -> bool {
+        self.clifford == self.total
+    }
+
+    /// Fraction of Clifford gates (`1.0` for an empty gate list).
+    pub fn clifford_fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.clifford as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of permutation gates (`0.0` for an empty gate list).
+    pub fn permutation_fraction(&self) -> f64 {
+        self.fraction(self.permutation)
+    }
+
+    /// Fraction of Hadamard gates (`0.0` for an empty gate list).
+    pub fn hadamard_fraction(&self) -> f64 {
+        self.fraction(self.hadamard)
+    }
+
+    /// T-count over total gates (`0.0` for an empty gate list).
+    pub fn t_fraction(&self) -> f64 {
+        self.fraction(self.t)
+    }
+
+    /// Upper bound on the log₂ of the final sparse support size (equally:
+    /// on the stabilizer support rank). Only `H` grows either quantity — a
+    /// Hadamard at most doubles a sparse support and raises the stabilizer
+    /// X-block rank by at most one, while every permutation or diagonal
+    /// gate preserves both — so `min(num_qubits, hadamard)` bounds the
+    /// support a backend must materialize at sampling time. The bound is
+    /// loose (H layers frequently cancel, as in hidden-shift circuits), so
+    /// the dispatcher treats it as advisory, not as a routing rule.
+    pub fn support_bound_log2(&self) -> usize {
+        self.num_qubits.min(self.hadamard)
+    }
+
+    fn fraction(&self, count: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            count as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for GateCensus {
+    /// One-line human-readable summary, used by the pipeline report and the
+    /// shell `flow` output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates on {} qubits: clifford {:.0}%, permutation {:.0}%, t {:.0}%, h {:.0}%",
+            self.total,
+            self.num_qubits,
+            100.0 * self.clifford_fraction(),
+            100.0 * self.permutation_fraction(),
+            100.0 * self.t_fraction(),
+            100.0 * self.hadamard_fraction(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit(num_qubits: usize, gates: Vec<QuantumGate>) -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(num_qubits);
+        for gate in gates {
+            circuit.push(gate).unwrap();
+        }
+        circuit
+    }
+
+    #[test]
+    fn empty_circuit_is_vacuously_clifford() {
+        let census = GateCensus::of(&circuit(4, vec![]));
+        assert!(census.is_all_clifford());
+        assert_eq!(census.clifford_fraction(), 1.0);
+        assert_eq!(census.permutation_fraction(), 0.0);
+        assert_eq!(census.t_fraction(), 0.0);
+        assert_eq!(census.support_bound_log2(), 0);
+    }
+
+    #[test]
+    fn populations_are_counted_per_gate() {
+        let census = GateCensus::of(&circuit(
+            3,
+            vec![
+                QuantumGate::H(0),
+                QuantumGate::T(0),
+                QuantumGate::Cx {
+                    control: 0,
+                    target: 1,
+                },
+                QuantumGate::Ccx {
+                    control_a: 0,
+                    control_b: 1,
+                    target: 2,
+                },
+            ],
+        ));
+        assert_eq!(census.total, 4);
+        assert_eq!(census.clifford, 2); // H, CX
+        assert_eq!(census.permutation, 2); // CX, CCX
+        assert_eq!(census.hadamard, 1);
+        assert!(census.t >= 1); // the explicit T, plus CCX's decomposition cost
+        assert!(!census.is_all_clifford());
+        assert_eq!(census.support_bound_log2(), 1);
+    }
+
+    #[test]
+    fn support_bound_saturates_at_the_register_width() {
+        let gates = (0..5).flat_map(|q| [QuantumGate::H(q), QuantumGate::H(q)]);
+        let census = GateCensus::of(&circuit(5, gates.collect()));
+        assert_eq!(census.hadamard, 10);
+        assert_eq!(census.support_bound_log2(), 5);
+    }
+
+    #[test]
+    fn display_is_a_single_line() {
+        let census = GateCensus::of(&circuit(2, vec![QuantumGate::H(0), QuantumGate::T(1)]));
+        let line = census.to_string();
+        assert!(line.contains("2 gates on 2 qubits"), "{line}");
+        assert!(line.contains("clifford 50%"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+}

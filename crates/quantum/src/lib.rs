@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod census;
 pub mod circuit;
 pub mod complex;
 pub mod drawer;
@@ -45,6 +46,7 @@ pub mod sampling;
 pub mod statevector;
 
 pub use backend::{Backend, ExecutionResult};
+pub use census::GateCensus;
 pub use circuit::QuantumCircuit;
 pub use complex::Complex;
 pub use error::QuantumError;

@@ -19,7 +19,7 @@
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 //! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
 //! | `batch`   | compile + sample many oracle jobs through the cached batch engine |
-//! | `backend` | select the simulation backend for batch jobs (`dense`/`sparse`) |
+//! | `backend` | select the simulation backend for batch jobs (`dense`/`sparse`/`stabilizer`/`auto`) |
 
 use crate::{RevkitError, Store};
 use qdaflow_engine::{BackendChoice, BatchJob, OracleSpec, SynthesisChoice};
@@ -546,6 +546,9 @@ impl Command for Flow {
         };
         for record in &report.passes {
             store.log(format!("[flow] {}", record.summary()));
+            if let Some(census) = &record.census {
+                store.log(format!("[flow]   census: {census}"));
+            }
             if let Some(note) = &record.note {
                 store.log(format!("[flow]   {note}"));
             }
@@ -726,6 +729,16 @@ impl Command for Batch {
             })
             .collect::<Result<_, RevkitError>>()?;
         let before = store.batch_engine().cache().stats();
+        // Under `backend auto`, resolve per-job backends up front so the log
+        // names the concrete engine each job ran on (the run below performs
+        // the same resolution — it is a pure function of the compiled
+        // circuit, and the compilation is shared through the cache).
+        let resolved: Option<Vec<BackendChoice>> = if store.backend_choice() == BackendChoice::Auto
+        {
+            Some(store.batch_engine().resolve_backends(&jobs)?)
+        } else {
+            None
+        };
         let results = store
             .batch_engine()
             .run_batch_with(&jobs, &store.exec_config())?;
@@ -736,17 +749,31 @@ impl Command for Batch {
                 .map_or("no shots".to_owned(), |(outcome, p)| {
                     format!("most likely {outcome} (p={p:.2})")
                 });
+            let backend = resolved
+                .as_ref()
+                .map_or(String::new(), |r| format!(", auto -> {}", r[index]));
             store.log(format!(
-                "[batch] job {index}: {text} -> {} qubits, T-count {}, {} shots, {outcome}",
+                "[batch] job {index}: {text} -> {} qubits, T-count {}, {} shots, {outcome}{backend}",
                 result.num_qubits, result.resources.t_count, result.shots
             ));
         }
         let compiled = after.misses - before.misses;
         let hits = after.hits - before.hits;
+        // Distinct work items are counted by resolved cache key — the
+        // hit/miss deltas also include the automatic-resolution lookups, so
+        // they cannot stand in for the distinct count under `backend auto`.
+        let distinct = jobs
+            .iter()
+            .enumerate()
+            .map(|(index, job)| match &resolved {
+                Some(backends) => job.clone().with_backend(backends[index]).cache_key(),
+                None => job.cache_key(),
+            })
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         store.log(format!(
-            "[batch] {} jobs ({} distinct), {compiled} compiled, {hits} cache hits ({} programs cached) on the {} backend",
+            "[batch] {} jobs ({distinct} distinct), {compiled} compiled, {hits} cache hits ({} programs cached) on the {} backend",
             jobs.len(),
-            compiled + hits,
             after.entries,
             store.backend_choice()
         ));
@@ -760,10 +787,17 @@ impl Command for Batch {
 /// `backend sparse` routes subsequent batch jobs through the sparse
 /// statevector engine (nonzero amplitudes only — the right choice for the
 /// flow's permutation-dominated oracles and for registers beyond the dense
-/// ceiling); `backend dense` restores the default dense engine. Without an
-/// argument the command reports the current choice. The choice is keyed into
-/// the batch engine's compiled-oracle cache digests, so dense and sparse
-/// runs of the same oracle are cached independently.
+/// ceiling); `backend stabilizer` through the stabilizer tableau (Clifford
+/// circuits only, at hundreds of qubits); `backend auto` censuses each
+/// compiled job and routes it automatically (the recommended default for
+/// mixed workloads — the batch log shows each job's resolved backend);
+/// `backend dense` restores the default dense engine. Without an argument
+/// the command reports the current choice. The (resolved) choice is keyed
+/// into the batch engine's compiled-oracle cache digests, so runs of the
+/// same oracle on different engines are cached independently. Unknown names
+/// are rejected with the engine's typed
+/// [`EngineError::UnknownBackend`](qdaflow_engine::EngineError), whose
+/// message lists the valid choices.
 pub struct BackendCmd;
 
 impl Command for BackendCmd {
@@ -772,25 +806,21 @@ impl Command for BackendCmd {
     }
 
     fn description(&self) -> &'static str {
-        "select the simulation backend for batch jobs (backend dense|sparse); no argument prints the current choice"
+        "select the simulation backend for batch jobs (backend dense|sparse|stabilizer|auto); no argument prints the current choice"
     }
 
     fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
         match args {
             [] => {}
             [name] => {
-                let choice = BackendChoice::from_name(name).ok_or_else(|| {
-                    RevkitError::InvalidArguments {
-                        command: self.name(),
-                        message: format!("expected 'dense' or 'sparse', found '{name}'"),
-                    }
-                })?;
+                let choice = BackendChoice::parse(name)?;
                 store.set_backend_choice(choice);
             }
             _ => {
                 return Err(RevkitError::InvalidArguments {
                     command: self.name(),
-                    message: "expected at most one argument (dense|sparse)".to_owned(),
+                    message: "expected at most one argument (dense|sparse|stabilizer|auto)"
+                        .to_owned(),
                 })
             }
         }
@@ -1061,10 +1091,21 @@ mod tests {
         run(&BackendCmd, &["sparse"], &mut store).unwrap();
         assert_eq!(store.backend_choice(), BackendChoice::Sparse);
         assert!(store.log_lines()[1].contains("[backend] sparse"));
-        assert!(matches!(
-            run(&BackendCmd, &["maybe"], &mut store),
-            Err(RevkitError::InvalidArguments { .. })
-        ));
+        run(&BackendCmd, &["stabilizer"], &mut store).unwrap();
+        assert_eq!(store.backend_choice(), BackendChoice::Stabilizer);
+        run(&BackendCmd, &["auto"], &mut store).unwrap();
+        assert_eq!(store.backend_choice(), BackendChoice::Auto);
+        run(&BackendCmd, &["sparse"], &mut store).unwrap();
+        // Unknown names surface the engine's typed error (not a silent
+        // fall-through), listing the valid choices.
+        let error = run(&BackendCmd, &["maybe"], &mut store).unwrap_err();
+        assert!(matches!(error, RevkitError::Engine { .. }));
+        let message = error.to_string();
+        assert!(message.contains("unknown backend 'maybe'"), "{message}");
+        for name in ["dense", "sparse", "stabilizer", "auto"] {
+            assert!(message.contains(name), "{message}");
+        }
+        assert_eq!(store.backend_choice(), BackendChoice::Sparse);
         assert!(matches!(
             run(&BackendCmd, &["dense", "sparse"], &mut store),
             Err(RevkitError::InvalidArguments { .. })
@@ -1076,6 +1117,29 @@ mod tests {
             .last()
             .unwrap()
             .contains("on the sparse backend"));
+    }
+
+    #[test]
+    fn batch_under_auto_logs_each_jobs_resolved_backend() {
+        let mut store = Store::new();
+        run(&BackendCmd, &["auto"], &mut store).unwrap();
+        // A permutation oracle (Clifford+T, permutation-dominated) resolves
+        // to sparse; a linear-phase expression compiles to Clifford gates
+        // only and resolves to stabilizer.
+        run(
+            &Batch,
+            &["--shots", "64", "--spec", "hwb 3", "--spec", "expr x0 ^ x1"],
+            &mut store,
+        )
+        .unwrap();
+        let log = store.log_lines().join("\n");
+        assert!(log.contains("job 0: hwb 3"), "{log}");
+        assert!(log.contains("auto -> sparse"), "{log}");
+        assert!(log.contains("auto -> stabilizer"), "{log}");
+        // The distinct count follows the resolved cache keys, not the
+        // hit/miss deltas inflated by the resolution lookups.
+        assert!(log.contains("2 jobs (2 distinct)"), "{log}");
+        assert!(log.contains("on the auto backend"), "{log}");
     }
 
     const GOLDEN_QASM: &str = concat!(

@@ -1,0 +1,210 @@
+//! The stabilizer tableau as an execution [`Backend`].
+
+use crate::{StabilizerSampler, StabilizerTableau};
+use qdaflow_quantum::backend::{Backend, ExecutionResult};
+use qdaflow_quantum::fusion::ExecConfig;
+use qdaflow_quantum::{QuantumCircuit, QuantumError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stabilizer tableau simulation backend: exact measurement statistics for
+/// Clifford circuits sampled from the enumerated affine support of a
+/// [`StabilizerTableau`].
+///
+/// The backend mirrors the dense
+/// [`StatevectorBackend`](qdaflow_quantum::backend::StatevectorBackend) and
+/// the sparse `SparseBackend` — same seeding scheme, same one-draw-per-shot
+/// RNG consumption, same shot-sharded batch path — so it can be swapped into
+/// any flow (engine, batch subsystem, shell) without changing sampled
+/// histograms on the shared domain. Its qubit ceiling is
+/// [`MAX_STABILIZER_QUBITS`](crate::MAX_STABILIZER_QUBITS), but it only
+/// accepts Clifford gates: non-Clifford content surfaces as the typed
+/// [`QuantumError::UnsupportedGate`], and final states with support rank
+/// beyond [`MAX_SAMPLING_RANK`](crate::MAX_SAMPLING_RANK) as
+/// [`QuantumError::TooManyQubits`] — never a panic, so the automatic
+/// dispatcher can fall back cleanly.
+#[derive(Debug, Clone)]
+pub struct StabilizerBackend {
+    rng: StdRng,
+    config: ExecConfig,
+}
+
+impl StabilizerBackend {
+    /// Creates a backend with a fixed random seed (sampling is the only
+    /// source of randomness) and the default execution configuration.
+    pub fn seeded(seed: u64) -> Self {
+        Self::with_config(seed, ExecConfig::default())
+    }
+
+    /// Creates a backend with an explicit execution configuration. Tableau
+    /// evolution itself is sequential (word-packed column updates); the
+    /// configuration governs the sampling layer (`threads`,
+    /// `shot_shard_size`).
+    pub fn with_config(seed: u64, config: ExecConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// The execution configuration in use.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.config
+    }
+
+    /// Runs the circuit and returns the final tableau instead of sampled
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::UnsupportedGate`] at the first non-Clifford
+    /// gate and [`QuantumError::TooManyQubits`] beyond
+    /// [`MAX_STABILIZER_QUBITS`](crate::MAX_STABILIZER_QUBITS).
+    pub fn tableau(&self, circuit: &QuantumCircuit) -> Result<StabilizerTableau, QuantumError> {
+        Ok(StabilizerTableau::from_circuit(circuit)?)
+    }
+
+    /// Runs the circuit and extracts its support sampler — what the batch
+    /// engine caches per compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`StabilizerBackend::tableau`] returns, plus
+    /// [`QuantumError::TooManyQubits`] when the final support exceeds the
+    /// sampling caps.
+    pub fn sampler(&self, circuit: &QuantumCircuit) -> Result<StabilizerSampler, QuantumError> {
+        Ok(StabilizerTableau::from_circuit(circuit)?.sampler()?)
+    }
+
+    /// Runs the circuit and samples `shots` measurements with the
+    /// shot-sharded parallel sampler under an explicit `seed`, independent
+    /// of the backend's own RNG stream — the execution path the batch engine
+    /// uses. Reproducible at any thread count, exactly like
+    /// [`StatevectorBackend::run_sharded`](qdaflow_quantum::backend::StatevectorBackend::run_sharded).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StabilizerBackend::sampler`].
+    pub fn run_sharded(
+        &self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+        seed: u64,
+    ) -> Result<ExecutionResult, QuantumError> {
+        let sampler = self.sampler(circuit)?;
+        let counts = sampler.sample_counts_sharded(seed, shots, &self.config);
+        Ok(ExecutionResult::from_counts(circuit, shots, counts))
+    }
+}
+
+impl Default for StabilizerBackend {
+    fn default() -> Self {
+        Self::seeded(0xC0FFEE)
+    }
+}
+
+impl Backend for StabilizerBackend {
+    fn name(&self) -> &str {
+        "stabilizer-tableau-simulator"
+    }
+
+    fn run(
+        &mut self,
+        circuit: &QuantumCircuit,
+        shots: usize,
+    ) -> Result<ExecutionResult, QuantumError> {
+        let sampler = self.sampler(circuit)?;
+        let counts = sampler.sample_counts(&mut self.rng, shots);
+        Ok(ExecutionResult::from_counts(circuit, shots, counts))
+    }
+
+    fn set_exec_config(&mut self, config: ExecConfig) {
+        self.config = config;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdaflow_quantum::backend::StatevectorBackend;
+    use qdaflow_quantum::QuantumGate;
+
+    fn bell() -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 1,
+            })
+            .unwrap();
+        circuit
+    }
+
+    #[test]
+    fn stabilizer_backend_matches_the_dense_backend_with_equal_seeds() {
+        let mut stabilizer = StabilizerBackend::seeded(11);
+        let mut dense = StatevectorBackend::seeded(11);
+        let a = stabilizer.run(&bell(), 2048).unwrap();
+        let b = dense.run(&bell(), 2048).unwrap();
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.resources, b.resources);
+        assert_eq!(stabilizer.name(), "stabilizer-tableau-simulator");
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant_and_matches_dense() {
+        let circuit = bell();
+        let config = ExecConfig::sequential().with_shot_shard_size(256);
+        let sequential = StabilizerBackend::with_config(0, config)
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        let threaded = StabilizerBackend::with_config(1, config.with_threads(8))
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        assert_eq!(sequential, threaded);
+        let dense = StatevectorBackend::with_config(0, config)
+            .run_sharded(&circuit, 4096, 77)
+            .unwrap();
+        assert_eq!(sequential.counts, dense.counts);
+    }
+
+    #[test]
+    fn runs_clifford_circuits_far_beyond_the_amplitude_ceilings() {
+        // 256 qubits: no amplitude engine can represent this register.
+        let mut circuit = QuantumCircuit::new(256);
+        circuit.push(QuantumGate::X(9)).unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 9,
+                target: 0,
+            })
+            .unwrap();
+        let result = StabilizerBackend::seeded(1).run(&circuit, 16).unwrap();
+        assert_eq!(result.most_likely(), Some(((1usize << 9) | 1, 1.0)));
+        assert_eq!(result.shots, 16);
+    }
+
+    #[test]
+    fn non_clifford_gates_are_a_typed_error_not_a_panic() {
+        let mut circuit = QuantumCircuit::new(3);
+        circuit
+            .push(QuantumGate::Ccx {
+                control_a: 0,
+                control_b: 1,
+                target: 2,
+            })
+            .unwrap();
+        assert!(matches!(
+            StabilizerBackend::seeded(1).run(&circuit, 16),
+            Err(QuantumError::UnsupportedGate { gate: "ccx", .. })
+        ));
+    }
+
+    #[test]
+    fn reproducibility_with_fixed_seed() {
+        let mut a = StabilizerBackend::seeded(99);
+        let mut b = StabilizerBackend::seeded(99);
+        assert_eq!(a.run(&bell(), 100).unwrap(), b.run(&bell(), 100).unwrap());
+    }
+}

@@ -1,0 +1,163 @@
+//! Differential property tests for the stabilizer tableau engine against the
+//! dense simulator on their shared (≤ 10 qubit, Clifford-only) domain.
+//!
+//! Random Clifford circuits covering **every Clifford gate of the IR** (H, X,
+//! Y, Z, S, S†, quarter-turn Rz, CX, CZ, SWAP, one- and two-qubit MCZ) are
+//! run on both engines; each case checks
+//!
+//! * sampled histograms *identical* to the dense engine's at 1, 2, 4 and 8
+//!   sampling threads — a stabilizer state is uniform over an affine support,
+//!   so the exact `1/|S|` step heights of the tableau sampler coincide with
+//!   the dense prefix sums and equal seeds must map every draw to the same
+//!   outcome,
+//! * the sequential `Backend::run` paths agree shot for shot under equal
+//!   seeds,
+//! * non-Clifford content surfaces as typed errors (`NonClifford` at the
+//!   tableau layer, `UnsupportedGate` at the backend layer) — never a panic.
+
+use proptest::prelude::*;
+use qdaflow_quantum::backend::{Backend, StatevectorBackend};
+use qdaflow_quantum::fusion::ExecConfig;
+use qdaflow_quantum::{QuantumCircuit, QuantumGate, Statevector};
+use qdaflow_stabilizer::{StabilizerBackend, StabilizerError, StabilizerTableau};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random Clifford circuit over 2..=10 qubits from a seed, drawing
+/// every Clifford gate kind of the IR.
+fn random_clifford_circuit(seed: u64) -> QuantumCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_qubits = rng.gen_range(2..11usize);
+    let num_gates = rng.gen_range(1..41usize);
+    let mut circuit = QuantumCircuit::new(num_qubits);
+    // A distinct-qubit pair starting from a random offset.
+    let pick_pair = |rng: &mut StdRng| -> (usize, usize) {
+        let start = rng.gen_range(0..num_qubits);
+        (start, (start + 1) % num_qubits)
+    };
+    for _ in 0..num_gates {
+        let gate = match rng.gen_range(0..11u32) {
+            0 => QuantumGate::H(rng.gen_range(0..num_qubits)),
+            1 => QuantumGate::X(rng.gen_range(0..num_qubits)),
+            2 => QuantumGate::Y(rng.gen_range(0..num_qubits)),
+            3 => QuantumGate::Z(rng.gen_range(0..num_qubits)),
+            4 => QuantumGate::S(rng.gen_range(0..num_qubits)),
+            5 => QuantumGate::Sdg(rng.gen_range(0..num_qubits)),
+            6 => QuantumGate::Rz {
+                qubit: rng.gen_range(0..num_qubits),
+                angle: f64::from(rng.gen_range(0..8u32)) * std::f64::consts::FRAC_PI_2,
+            },
+            7 => {
+                let (control, target) = pick_pair(&mut rng);
+                QuantumGate::Cx { control, target }
+            }
+            8 => {
+                let (a, b) = pick_pair(&mut rng);
+                QuantumGate::Cz { a, b }
+            }
+            9 => {
+                let (a, b) = pick_pair(&mut rng);
+                QuantumGate::Swap { a, b }
+            }
+            _ => {
+                let qubits = if rng.gen_range(0..2u32) == 0 {
+                    vec![rng.gen_range(0..num_qubits)]
+                } else {
+                    let (a, b) = pick_pair(&mut rng);
+                    vec![a, b]
+                };
+                QuantumGate::Mcz { qubits }
+            }
+        };
+        circuit.push(gate).unwrap();
+    }
+    circuit
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Suite 1: sharded histograms are identical to the dense engine's at
+    /// 1, 2, 4 and 8 sampling threads. Stabilizer states are uniform over
+    /// their support, so the tableau sampler's exact step heights agree
+    /// with the dense prefix sums and equal seeds must agree.
+    #[test]
+    fn stabilizer_histograms_match_dense_at_every_thread_count(seed in any::<u64>()) {
+        let circuit = random_clifford_circuit(seed);
+        let shots = 500 + (seed % 1500) as usize;
+        let sample_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let base = ExecConfig::baseline().with_shot_shard_size(128);
+        let sampler = StabilizerTableau::from_circuit(&circuit).unwrap().sampler().unwrap();
+        let dense = Statevector::run(&circuit, &base).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let config = base.with_threads(threads);
+            let stab_counts = sampler.sample_counts_sharded(sample_seed, shots, &config);
+            let dense_histogram = dense.sample_counts_sharded(sample_seed, shots, &config);
+            prop_assert_eq!(
+                stab_counts.values().sum::<usize>(), shots, "threads={}", threads
+            );
+            for (outcome, &count) in dense_histogram.iter().enumerate() {
+                prop_assert_eq!(
+                    stab_counts.get(&outcome).copied().unwrap_or(0),
+                    count,
+                    "threads={} outcome={}",
+                    threads, outcome
+                );
+            }
+        }
+    }
+
+    /// Suite 2: the sequential `Backend::run` paths (one RNG draw per shot)
+    /// agree shot for shot under equal seeds.
+    #[test]
+    fn stabilizer_backend_matches_dense_backend_shot_for_shot(seed in any::<u64>()) {
+        let circuit = random_clifford_circuit(seed);
+        let shots = 100 + (seed % 400) as usize;
+        let config = ExecConfig::baseline();
+        let stab = StabilizerBackend::with_config(seed, config).run(&circuit, shots).unwrap();
+        let dense = StatevectorBackend::with_config(seed, config).run(&circuit, shots).unwrap();
+        prop_assert_eq!(&stab.counts, &dense.counts);
+        prop_assert_eq!(&stab.resources, &dense.resources);
+        prop_assert_eq!(stab.num_qubits, dense.num_qubits);
+    }
+
+    /// Suite 3: a non-Clifford gate injected anywhere into an otherwise
+    /// Clifford circuit is a typed error — with the offending mnemonic —
+    /// at both the tableau and the backend layer, never a panic.
+    #[test]
+    fn non_clifford_content_is_a_typed_error(seed in any::<u64>()) {
+        let clifford = random_clifford_circuit(seed);
+        let num_qubits = clifford.num_qubits();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let (gate, mnemonic) = match rng.gen_range(0..3u32) {
+            0 => (QuantumGate::T(rng.gen_range(0..num_qubits)), "t"),
+            1 => (QuantumGate::Tdg(rng.gen_range(0..num_qubits)), "tdg"),
+            _ => (
+                QuantumGate::Rz {
+                    qubit: rng.gen_range(0..num_qubits),
+                    angle: 0.7,
+                },
+                "rz",
+            ),
+        };
+        let mut circuit = QuantumCircuit::new(num_qubits);
+        let cut = rng.gen_range(0..clifford.gates().len() + 1);
+        for (i, existing) in clifford.gates().iter().enumerate() {
+            if i == cut {
+                circuit.push(gate.clone()).unwrap();
+            }
+            circuit.push(existing.clone()).unwrap();
+        }
+        if cut == clifford.gates().len() {
+            circuit.push(gate).unwrap();
+        }
+        prop_assert!(matches!(
+            StabilizerTableau::from_circuit(&circuit),
+            Err(StabilizerError::NonClifford { gate }) if gate == mnemonic
+        ));
+        prop_assert!(matches!(
+            StabilizerBackend::seeded(seed).run(&circuit, 8),
+            Err(qdaflow_quantum::QuantumError::UnsupportedGate { gate, .. }) if gate == mnemonic
+        ));
+    }
+}
