@@ -5,8 +5,8 @@ pub use qdaflow_boolfn::{
     Expr, Permutation, TruthTable,
 };
 pub use qdaflow_engine::{
-    BackendChoice, BatchEngine, BatchJob, MainEngine, OracleCache, OracleSpec, Qubit,
-    SynthesisChoice,
+    BackendChoice, BatchEngine, BatchJob, DiskCache, JobId, JobService, JobServiceConfig,
+    JobStatus, Journal, MainEngine, OracleCache, OracleSpec, Qubit, SynthesisChoice,
 };
 pub use qdaflow_mapping::map::MappingOptions;
 pub use qdaflow_pipeline::{FlowError, Ir, Pass, Pipeline, PipelineReport, Stage, StageSet};
@@ -49,6 +49,8 @@ mod tests {
         let _ = BackendChoice::Auto;
         let _ = BatchEngine::new();
         let _ = OracleSpec::permutation(Permutation::identity(2), SynthesisChoice::default());
+        let _ = JobServiceConfig::default();
+        let _ = JobStatus::Queued;
         let _ = Pipeline::parse("revgen --hwb 3; tbs; ps").unwrap();
         let _ = equation5_pipeline(Default::default());
     }

@@ -41,8 +41,31 @@ use qdaflow_quantum::{GateCensus, QuantumError, Statevector};
 use qdaflow_sparse::SparseStatevector;
 use qdaflow_stabilizer::{StabilizerSampler, StabilizerTableau};
 use std::collections::{HashMap, HashSet};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
+
+/// Renders a caught panic payload into the text carried by
+/// [`EngineError::JobPanicked`].
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Runs `body` with panics converted into [`EngineError::JobPanicked`] —
+/// the per-job fault boundary of the batch engine and the job service.
+pub(crate) fn catch_job_panic<T>(
+    body: impl FnOnce() -> Result<T, EngineError>,
+) -> Result<T, EngineError> {
+    panic::catch_unwind(AssertUnwindSafe(body)).unwrap_or_else(|payload| {
+        Err(EngineError::JobPanicked {
+            message: panic_message(payload),
+        })
+    })
+}
 
 /// One batch workload: compile `spec`, execute it on the chosen simulation
 /// backend, and sample `shots` measurements under `seed`.
@@ -103,6 +126,25 @@ impl BatchJob {
         hasher.write_u64((base.0 >> 64) as u64);
         hasher.write_u64(base.0 as u64);
         hasher.write_str(tag);
+        hasher.finish()
+    }
+
+    /// The canonical identity digest of the whole job: the compilation
+    /// cache key extended with the shot count, the sampling seed and the
+    /// backend name. Two jobs with equal digests produce identical results
+    /// under the same `shot_shard_size`, which is what makes the digest
+    /// safe as the checkpoint key of the
+    /// [`Journal`](crate::store::Journal): a resumed service replays a
+    /// journaled result only onto an identical job.
+    pub fn digest(&self) -> SpecKey {
+        let key = self.cache_key();
+        let mut hasher = CanonicalHasher::new();
+        hasher.write_str("job");
+        hasher.write_u64((key.0 >> 64) as u64);
+        hasher.write_u64(key.0 as u64);
+        hasher.write_u64(self.shots as u64);
+        hasher.write_u64(self.seed);
+        hasher.write_str(self.backend.as_str());
         hasher.finish()
     }
 }
@@ -177,6 +219,12 @@ impl BatchEngine {
         }
     }
 
+    /// Creates an engine over an existing cache (e.g. a disk-backed one
+    /// built with [`OracleCache::with_disk`]).
+    pub fn with_cache(cache: OracleCache, config: ExecConfig) -> Self {
+        Self { cache, config }
+    }
+
     /// The execution configuration in use.
     pub fn exec_config(&self) -> ExecConfig {
         self.config
@@ -241,6 +289,9 @@ impl BatchEngine {
         jobs: &[BatchJob],
         config: &ExecConfig,
     ) -> Result<Vec<ExecutionResult>, EngineError> {
+        if let Some(index) = jobs.iter().position(|job| job.shots == 0) {
+            return Err(EngineError::ZeroShots { index });
+        }
         // Resolve Auto jobs to concrete backends first, so cache keys and
         // simulated states are always backend-exact. The materialized copy
         // is only made when the batch actually contains an Auto job. The
@@ -281,24 +332,128 @@ impl BatchEngine {
                 distinct.push((key, &job.spec, job.backend));
             }
         }
-        let executed = self.compile_and_simulate(&distinct, config)?;
+        let executed = self.compile_and_simulate(&distinct, config);
+        // All-or-nothing contract: surface the first failure in
+        // distinct-spec order (deterministic), no partial results.
+        for (key, _, _) in &distinct {
+            if let Err(error) = &executed[key] {
+                return Err(error.clone());
+            }
+        }
         let mut results = Vec::with_capacity(jobs.len());
         for (job, key) in jobs.iter().zip(&keys) {
-            let (program, state) = &executed[key];
+            let (program, state) = executed[key].as_ref().expect("checked above");
             results.push(state.sample_job(program, job.shots, job.seed, config));
         }
         Ok(results)
     }
 
+    /// Executes a batch with **per-job fault isolation**: every job gets
+    /// its own `Result`, in job order. A job whose compilation or
+    /// simulation fails — including one that *panics* (converted to
+    /// [`EngineError::JobPanicked`] at the worker boundary) — fails alone;
+    /// its siblings complete normally. Duplicate jobs over a failed spec
+    /// share the (cloned) error, exactly as they would have shared the
+    /// compiled program. This is the execution path of the
+    /// [`JobService`](crate::JobService); [`BatchEngine::run_batch`] keeps
+    /// the historical all-or-nothing contract on top of the same machinery.
+    pub fn try_run_batch(&self, jobs: &[BatchJob]) -> Vec<Result<ExecutionResult, EngineError>> {
+        self.try_run_batch_with(jobs, &self.config)
+    }
+
+    /// [`BatchEngine::try_run_batch`] under an explicit execution
+    /// configuration.
+    pub fn try_run_batch_with(
+        &self,
+        jobs: &[BatchJob],
+        config: &ExecConfig,
+    ) -> Vec<Result<ExecutionResult, EngineError>> {
+        // Per-job backend resolution, each under its own panic boundary: a
+        // spec whose *resolution* compile panics fails only its own job.
+        let mut slots: Vec<Option<Result<ExecutionResult, EngineError>>> =
+            jobs.iter().map(|_| None).collect();
+        let mut resolved: Vec<Option<BatchJob>> = Vec::with_capacity(jobs.len());
+        for (index, job) in jobs.iter().enumerate() {
+            if job.shots == 0 {
+                slots[index] = Some(Err(EngineError::ZeroShots { index }));
+                resolved.push(None);
+                continue;
+            }
+            let outcome = catch_job_panic(|| {
+                Ok(match job.backend {
+                    BackendChoice::Auto => {
+                        let program = self.cache.get_or_compile(&job.spec)?;
+                        let backend = resolve_backend(&GateCensus::of(program.circuit()));
+                        let materialized = job.clone().with_backend(backend);
+                        self.cache.alias_keyed(materialized.cache_key(), &program);
+                        materialized
+                    }
+                    _ => job.clone(),
+                })
+            });
+            match outcome {
+                Ok(materialized) => resolved.push(Some(materialized)),
+                Err(error) => {
+                    slots[index] = Some(Err(error));
+                    resolved.push(None);
+                }
+            }
+        }
+        let mut seen = HashSet::new();
+        let mut distinct: Vec<(SpecKey, &OracleSpec, BackendChoice)> = Vec::new();
+        for job in resolved.iter().flatten() {
+            let key = job.cache_key();
+            if seen.insert(key) {
+                distinct.push((key, &job.spec, job.backend));
+            }
+        }
+        let executed = self.compile_and_simulate(&distinct, config);
+        for (index, job) in resolved.iter().enumerate() {
+            let Some(job) = job else { continue };
+            slots[index] = Some(match &executed[&job.cache_key()] {
+                Ok((program, state)) => {
+                    catch_job_panic(|| Ok(state.sample_job(program, job.shots, job.seed, config)))
+                }
+                Err(error) => Err(error.clone()),
+            });
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job received an outcome"))
+            .collect()
+    }
+
+    /// Executes one job (the [`JobService`](crate::JobService) worker
+    /// path): resolution, cached compilation, simulation and sampling, with
+    /// panics converted to [`EngineError::JobPanicked`].
+    ///
+    /// # Errors
+    ///
+    /// Any compilation, simulation or validation failure of the job,
+    /// including [`EngineError::ZeroShots`] and panics.
+    pub fn run_job(
+        &self,
+        job: &BatchJob,
+        config: &ExecConfig,
+    ) -> Result<ExecutionResult, EngineError> {
+        self.try_run_batch_with(std::slice::from_ref(job), config)
+            .pop()
+            .expect("one job in, one outcome out")
+    }
+
     /// Compiles (through the cache) and simulates every distinct spec on its
     /// selected backend, in parallel over up to `config.threads` scoped
-    /// workers.
+    /// workers. **Fault-isolated**: every spec gets its own `Result`, and a
+    /// worker that panics mid-job (the `catch_unwind` boundary wraps each
+    /// job individually) poisons only that job's slot with
+    /// [`EngineError::JobPanicked`] — siblings on the same and other
+    /// workers run to completion.
     #[allow(clippy::type_complexity)]
     fn compile_and_simulate(
         &self,
         distinct: &[(SpecKey, &OracleSpec, BackendChoice)],
         config: &ExecConfig,
-    ) -> Result<HashMap<SpecKey, (Arc<CompiledProgram>, SimulatedState)>, EngineError> {
+    ) -> HashMap<SpecKey, Result<(Arc<CompiledProgram>, SimulatedState), EngineError>> {
         let workers = config.threads.max(1).min(distinct.len().max(1));
         // Avoid thread oversubscription: the per-simulation thread budget is
         // the config's, divided by the batch workers running concurrently.
@@ -307,28 +462,34 @@ impl BatchEngine {
                        spec: &OracleSpec,
                        backend: BackendChoice|
          -> Result<(Arc<CompiledProgram>, SimulatedState), EngineError> {
-            let program = self.cache.get_or_compile_keyed(key, spec)?;
-            // run_batch_with resolves Auto before keying; this guard only
-            // fires when compile_and_simulate is reached some other way.
-            let backend = match backend {
-                BackendChoice::Auto => resolve_backend(&GateCensus::of(program.circuit())),
-                concrete => concrete,
-            };
-            let state = match backend {
-                BackendChoice::Dense => {
-                    SimulatedState::Dense(Statevector::run(program.circuit(), &simulate_config)?)
-                }
-                BackendChoice::Sparse => {
-                    SimulatedState::Sparse(SparseStatevector::from_circuit(program.circuit())?)
-                }
-                BackendChoice::Stabilizer => {
-                    let tableau = StabilizerTableau::from_circuit(program.circuit())
-                        .map_err(QuantumError::from)?;
-                    SimulatedState::Stabilizer(tableau.sampler().map_err(QuantumError::from)?)
-                }
-                BackendChoice::Auto => unreachable!("auto resolution produced Auto"),
-            };
-            Ok((program, state))
+            catch_job_panic(|| {
+                let program = self.cache.get_or_compile_keyed(key, spec)?;
+                // run_batch_with resolves Auto before keying; this guard only
+                // fires when compile_and_simulate is reached some other way.
+                let backend = match backend {
+                    BackendChoice::Auto => resolve_backend(&GateCensus::of(program.circuit())),
+                    concrete => concrete,
+                };
+                let state = match backend {
+                    BackendChoice::Dense => SimulatedState::Dense(Statevector::run(
+                        program.circuit(),
+                        &simulate_config,
+                    )?),
+                    BackendChoice::Sparse => {
+                        SimulatedState::Sparse(SparseStatevector::from_circuit(program.circuit())?)
+                    }
+                    BackendChoice::Stabilizer => {
+                        let tableau = StabilizerTableau::from_circuit(program.circuit())
+                            .map_err(QuantumError::from)?;
+                        SimulatedState::Stabilizer(tableau.sampler().map_err(QuantumError::from)?)
+                    }
+                    // resolve_backend only returns concrete choices; if this
+                    // invariant ever breaks it is a typed error, not a
+                    // process abort.
+                    BackendChoice::Auto => return Err(EngineError::AutoUnresolved),
+                };
+                Ok((program, state))
+            })
         };
         let mut outcomes: Vec<Option<Result<_, EngineError>>> = if workers <= 1 {
             distinct
@@ -354,19 +515,32 @@ impl BatchEngine {
                     }));
                 }
                 for handle in handles {
-                    for (index, outcome) in handle.join().expect("batch worker panicked") {
-                        slots[index] = Some(outcome);
+                    // Individual jobs are panic-isolated inside `run_one`,
+                    // so a worker can only fail to join on a double panic
+                    // (e.g. a panicking Drop of a panic payload). Even
+                    // then: the worker's jobs become typed per-job errors —
+                    // never a crash of the whole batch.
+                    if let Ok(local) = handle.join() {
+                        for (index, outcome) in local {
+                            slots[index] = Some(outcome);
+                        }
                     }
                 }
             });
             slots
         };
-        let mut executed = HashMap::with_capacity(distinct.len());
-        for ((key, _, _), outcome) in distinct.iter().zip(outcomes.iter_mut()) {
-            let outcome = outcome.take().expect("every distinct spec was executed");
-            executed.insert(*key, outcome?);
-        }
-        Ok(executed)
+        distinct
+            .iter()
+            .zip(outcomes.iter_mut())
+            .map(|(&(key, _, _), outcome)| {
+                let outcome = outcome.take().unwrap_or_else(|| {
+                    Err(EngineError::JobPanicked {
+                        message: "batch worker terminated before reporting its jobs".to_owned(),
+                    })
+                });
+                (key, outcome)
+            })
+            .collect()
     }
 }
 
@@ -666,5 +840,117 @@ mod tests {
                 .unwrap();
             assert_eq!(sequential, threaded, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_while_siblings_complete() {
+        // Regression for the old worker join: a panic inside one job's
+        // compilation used to abort the whole batch (and, through the
+        // worker `.join().expect(...)`, the calling thread). Now the panic
+        // is caught at the job boundary: the poisoned job carries a typed
+        // `JobPanicked` and every sibling still returns its real result.
+        let engine = BatchEngine::new();
+        let jobs = vec![
+            perm_job(vec![0, 2, 3, 5, 7, 1, 4, 6], 200, 1),
+            BatchJob::new(OracleSpec::fault_injection(true, 3), 100, 2),
+            perm_job(vec![1, 0, 3, 2], 300, 3),
+        ];
+        let outcomes = engine.try_run_batch(&jobs);
+        assert_eq!(outcomes.len(), 3);
+        assert!(
+            matches!(&outcomes[1], Err(EngineError::JobPanicked { message })
+            if message.contains("injected compilation panic (tag 3)"))
+        );
+        let expected = engine
+            .run_batch(&[jobs[0].clone(), jobs[2].clone()])
+            .unwrap();
+        assert_eq!(outcomes[0].as_ref().unwrap(), &expected[0]);
+        assert_eq!(outcomes[2].as_ref().unwrap(), &expected[1]);
+        // The all-or-nothing API reports the same typed error — never a
+        // propagated panic.
+        assert!(matches!(
+            engine.run_batch(&jobs),
+            Err(EngineError::JobPanicked { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_job_failures_are_typed_and_isolated() {
+        let engine = BatchEngine::new();
+        let jobs = vec![
+            BatchJob::new(OracleSpec::fault_injection(false, 9), 50, 1),
+            perm_job(vec![1, 0, 3, 2], 50, 2),
+        ];
+        let outcomes = engine.try_run_batch(&jobs);
+        assert!(matches!(&outcomes[0], Err(EngineError::Flow { message })
+            if message.contains("tag 9")));
+        assert!(outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn resolve_backends_never_yields_auto() {
+        // Pins the invariant the old `unreachable!` assumed: automatic
+        // resolution always lands on a concrete backend, for every census
+        // shape we can produce (H-heavy, T-heavy, pure Clifford, empty).
+        let specs = vec![
+            OracleSpec::qasm(
+                "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\nh q[1];\nt q[0];\n",
+            ),
+            OracleSpec::permutation(
+                Permutation::new(vec![0, 2, 3, 5, 7, 1, 4, 6]).unwrap(),
+                SynthesisChoice::default(),
+            ),
+            OracleSpec::qasm(
+                "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+            ),
+            OracleSpec::qasm("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"),
+        ];
+        let jobs: Vec<BatchJob> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| BatchJob::new(spec, 10, i as u64).with_backend(BackendChoice::Auto))
+            .collect();
+        let engine = BatchEngine::new();
+        let resolved = engine.resolve_backends(&jobs).unwrap();
+        assert_eq!(resolved.len(), jobs.len());
+        for backend in resolved {
+            assert_ne!(backend, BackendChoice::Auto);
+        }
+    }
+
+    #[test]
+    fn zero_shot_jobs_are_rejected_with_their_index() {
+        let engine = BatchEngine::new();
+        let jobs = vec![
+            perm_job(vec![1, 0, 3, 2], 10, 1),
+            perm_job(vec![1, 0, 3, 2], 0, 2),
+        ];
+        assert!(matches!(
+            engine.run_batch(&jobs),
+            Err(EngineError::ZeroShots { index: 1 })
+        ));
+        // Validation happens before any compilation.
+        assert_eq!(engine.cache().stats().entries, 0);
+        // The isolating API rejects per job, leaving valid siblings alone.
+        let outcomes = engine.try_run_batch(&jobs);
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(
+            outcomes[1],
+            Err(EngineError::ZeroShots { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn job_digests_separate_execution_parameters_from_cache_keys() {
+        let base = perm_job(vec![1, 0, 3, 2], 100, 1);
+        let other_seed = perm_job(vec![1, 0, 3, 2], 100, 2);
+        let other_shots = perm_job(vec![1, 0, 3, 2], 200, 1);
+        // Same compilation, so one cache key…
+        assert_eq!(base.cache_key(), other_seed.cache_key());
+        // …but distinct checkpoints: a journal must not answer a 200-shot
+        // job with a 100-shot result.
+        assert_ne!(base.digest(), other_seed.digest());
+        assert_ne!(base.digest(), other_shots.digest());
+        assert_eq!(base.digest(), base.clone().digest());
     }
 }

@@ -14,6 +14,7 @@
 //! lock, and a race on the same key keeps the first inserted program.
 
 use crate::oracle::{compile_permutation_oracle, compile_phase_oracle, SynthesisChoice};
+use crate::store::disk::{DiskCache, DiskCacheStats};
 use crate::EngineError;
 use qdaflow_boolfn::{Permutation, TruthTable};
 use qdaflow_pipeline::spec::{self, CanonicalHasher, SpecKey};
@@ -47,6 +48,21 @@ pub enum OracleSpec {
         /// The OpenQASM source text.
         source: String,
     },
+    /// A fault-injection oracle whose compilation deliberately fails: it
+    /// panics (`panic: true`) or returns a typed error (`panic: false`).
+    /// This is the crash-safety smoke test of the job service — submit one
+    /// to a deployment to verify that retry, dead-lettering and per-job
+    /// panic isolation are wired correctly without crafting a genuinely
+    /// broken workload. Keyed like any other spec (`tag` distinguishes
+    /// independent injections), and never cached: compilation never
+    /// succeeds.
+    FaultInjection {
+        /// Panic during compilation when `true`; fail with a typed,
+        /// deterministic [`EngineError`] when `false`.
+        panic: bool,
+        /// Distinguishes independent injections in cache keys and journals.
+        tag: u64,
+    },
 }
 
 impl OracleSpec {
@@ -70,6 +86,11 @@ impl OracleSpec {
         }
     }
 
+    /// A fault-injection spec (see [`OracleSpec::FaultInjection`]).
+    pub fn fault_injection(panic: bool, tag: u64) -> Self {
+        Self::FaultInjection { panic, tag }
+    }
+
     /// Number of specification variables (the oracle's data qubits; the
     /// compiled circuit may add ancillas). For a QASM spec this is unknown
     /// before parsing and reported as 0.
@@ -77,7 +98,7 @@ impl OracleSpec {
         match self {
             Self::Permutation { permutation, .. } => permutation.num_vars(),
             Self::PhaseFunction { function } => function.num_vars(),
-            Self::Qasm { .. } => 0,
+            Self::Qasm { .. } | Self::FaultInjection { .. } => 0,
         }
     }
 
@@ -98,6 +119,7 @@ impl OracleSpec {
             }
             Self::PhaseFunction { .. } => vec!["po".to_owned()],
             Self::Qasm { .. } => vec!["qasmin".to_owned()],
+            Self::FaultInjection { .. } => vec!["fault".to_owned()],
         }
     }
 
@@ -115,6 +137,11 @@ impl OracleSpec {
             }
             Self::PhaseFunction { function } => spec::write_function(&mut hasher, function),
             Self::Qasm { source } => spec::write_qasm_source(&mut hasher, source),
+            Self::FaultInjection { panic, tag } => {
+                hasher.write_str("fault-injection");
+                hasher.write_u64(u64::from(*panic));
+                hasher.write_u64(*tag);
+            }
         }
         spec::write_passes(&mut hasher, &self.pass_list());
         hasher.finish()
@@ -134,6 +161,14 @@ impl OracleSpec {
             } => compile_permutation_oracle(permutation, *synthesis),
             Self::PhaseFunction { function } => compile_phase_oracle(function),
             Self::Qasm { source } => Ok(qdaflow_quantum::qasm::from_qasm(source)?),
+            Self::FaultInjection { panic, tag } => {
+                if *panic {
+                    panic!("injected compilation panic (tag {tag})");
+                }
+                Err(EngineError::Flow {
+                    message: format!("injected deterministic compilation failure (tag {tag})"),
+                })
+            }
         }
     }
 }
@@ -149,6 +184,21 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
+    /// Rebuilds a program from its persisted parts (the disk-cache load
+    /// path); resource counts are recomputed — they are cheap and derived.
+    pub(crate) fn from_parts(
+        key: SpecKey,
+        circuit: QuantumCircuit,
+        compile_time: Duration,
+    ) -> Self {
+        Self {
+            key,
+            resources: ResourceCounts::of(&circuit),
+            circuit,
+            compile_time,
+        }
+    }
+
     /// The cache key the program is stored under.
     pub fn key(&self) -> SpecKey {
         self.key
@@ -173,26 +223,55 @@ impl CompiledProgram {
 /// Hit/miss/occupancy statistics of an [`OracleCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Number of `get_or_compile` calls answered from the cache.
+    /// Number of `get_or_compile` calls answered from the in-memory table.
     pub hits: u64,
     /// Number of `get_or_compile` calls that compiled.
     pub misses: u64,
-    /// Number of programs currently cached.
+    /// Number of `get_or_compile` calls answered from the disk layer
+    /// (always `0` for a cache without one).
+    pub disk_hits: u64,
+    /// Number of programs currently cached in memory.
     pub entries: usize,
 }
 
-/// A thread-safe memo table of [`CompiledProgram`]s keyed by [`SpecKey`].
+/// A thread-safe memo table of [`CompiledProgram`]s keyed by [`SpecKey`],
+/// optionally layered over a persistent [`DiskCache`]
+/// ([`OracleCache::with_disk`]): memory miss → disk load → compile, with
+/// every fresh compilation written back to disk so it survives restarts
+/// and is shared across processes.
 #[derive(Debug, Default)]
 pub struct OracleCache {
     programs: Mutex<HashMap<SpecKey, Arc<CompiledProgram>>>,
+    disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    disk_hits: AtomicU64,
 }
 
 impl OracleCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty in-memory cache layered over `disk`: lookups fall
+    /// through to the disk entry before compiling, and compilations are
+    /// persisted (atomically, best-effort) as they happen.
+    pub fn with_disk(disk: DiskCache) -> Self {
+        Self {
+            disk: Some(disk),
+            ..Self::default()
+        }
+    }
+
+    /// The disk layer, if the cache has one.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// Counters of the disk layer (zeros without one).
+    pub fn disk_stats(&self) -> DiskCacheStats {
+        self.disk.as_ref().map(DiskCache::stats).unwrap_or_default()
     }
 
     /// Returns the compiled program for `spec`, compiling (and caching) it
@@ -220,6 +299,13 @@ impl OracleCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(program);
         }
+        if let Some(disk) = &self.disk {
+            if let Some((circuit, compile_time)) = disk.load(key) {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let program = Arc::new(CompiledProgram::from_parts(key, circuit, compile_time));
+                return Ok(self.lock().entry(key).or_insert(program).clone());
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
         let circuit = spec.compile()?;
@@ -229,6 +315,9 @@ impl OracleCache {
             circuit,
             compile_time: start.elapsed(),
         });
+        if let Some(disk) = &self.disk {
+            disk.store(key, &program.circuit, program.compile_time);
+        }
         Ok(self.lock().entry(key).or_insert(program).clone())
     }
 
@@ -269,15 +358,19 @@ impl OracleCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             entries: self.lock().len(),
         }
     }
 
-    /// Evicts every cached program and resets the counters.
+    /// Evicts every cached in-memory program and resets the counters. Disk
+    /// entries are kept — they belong to every process sharing the
+    /// directory, not to this instance.
     pub fn clear(&self) {
         self.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<SpecKey, Arc<CompiledProgram>>> {
@@ -386,5 +479,106 @@ mod tests {
         cache.get_or_compile(&spec).unwrap();
         assert!(cache.peek(spec.cache_key()).is_some());
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qdaflow-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn disk_backed_caches_warm_restarted_processes() {
+        let dir = scratch_dir("warm");
+        let spec = OracleSpec::permutation(example_permutation(), SynthesisChoice::default());
+        let first = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        let program = first.get_or_compile(&spec).unwrap();
+        assert_eq!(first.stats().misses, 1);
+        assert_eq!(first.disk_stats().writes, 1);
+        // A brand-new cache over the same directory — a restarted process —
+        // loads from disk instead of compiling.
+        let second = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        let warmed = second.get_or_compile(&spec).unwrap();
+        let stats = second.stats();
+        assert_eq!(
+            (stats.misses, stats.disk_hits),
+            (0, 1),
+            "restart must not recompile"
+        );
+        assert_eq!(warmed.circuit(), program.circuit());
+        // And the loaded entry now also sits in memory.
+        second.get_or_compile(&spec).unwrap();
+        assert_eq!(second.stats().hits, 1);
+    }
+
+    #[test]
+    fn truncated_disk_entries_degrade_to_counted_misses() {
+        let dir = scratch_dir("truncated");
+        let spec = OracleSpec::permutation(example_permutation(), SynthesisChoice::default());
+        let writer = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        writer.get_or_compile(&spec).unwrap();
+        let path = dir.join(format!("{:032x}.qdc", spec.cache_key().0));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let reader = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        reader.get_or_compile(&spec).unwrap();
+        let stats = reader.stats();
+        assert_eq!((stats.misses, stats.disk_hits), (1, 0));
+        assert_eq!(reader.disk_stats().corrupt, 1);
+        // The recompile rewrote a valid entry.
+        let healed = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        healed.get_or_compile(&spec).unwrap();
+        assert_eq!(healed.stats().disk_hits, 1);
+    }
+
+    #[test]
+    fn wrong_version_disk_entries_degrade_to_counted_misses() {
+        let dir = scratch_dir("version");
+        let spec = OracleSpec::permutation(example_permutation(), SynthesisChoice::default());
+        let writer = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        writer.get_or_compile(&spec).unwrap();
+        let path = dir.join(format!("{:032x}.qdc", spec.cache_key().0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Bump the little-endian version word just past the 4-byte magic.
+        bytes[4] = bytes[4].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        let reader = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        reader.get_or_compile(&spec).unwrap();
+        assert_eq!(reader.stats().misses, 1);
+        assert_eq!(reader.disk_stats().corrupt, 1);
+    }
+
+    #[test]
+    fn concurrent_instances_race_to_one_valid_entry() {
+        // Two cache instances over the same directory — two processes —
+        // compile the same spec concurrently. Both miss (no coordination is
+        // promised across processes), but the atomic write-rename leaves
+        // exactly one valid entry behind.
+        let dir = scratch_dir("race");
+        let spec = OracleSpec::permutation(example_permutation(), SynthesisChoice::default());
+        let a = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        let b = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        std::thread::scope(|scope| {
+            let ta = scope.spawn(|| a.get_or_compile(&spec).unwrap());
+            let tb = scope.spawn(|| b.get_or_compile(&spec).unwrap());
+            let pa = ta.join().unwrap();
+            let pb = tb.join().unwrap();
+            assert_eq!(pa.circuit(), pb.circuit());
+        });
+        let compiles = a.stats().misses + b.stats().misses;
+        let loads = a.stats().disk_hits + b.stats().disk_hits;
+        assert_eq!(compiles + loads, 2);
+        assert!(compiles >= 1);
+        // Exactly one durable file, no leftover temp files, and it decodes.
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|entry| entry.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec![format!("{:032x}.qdc", spec.cache_key().0)]);
+        let fresh = OracleCache::with_disk(DiskCache::open(&dir).unwrap());
+        fresh.get_or_compile(&spec).unwrap();
+        assert_eq!(fresh.stats().disk_hits, 1);
     }
 }

@@ -260,18 +260,26 @@ impl MainEngine {
 
     /// Re-censuses the recorded circuit and swaps the backend if the
     /// [`resolve_backend`] recommendation changed. No-op outside `Auto`.
-    fn dispatch_auto(&mut self, circuit: &QuantumCircuit) {
-        let Some(auto) = self.auto else { return };
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::AutoUnresolved`] if resolution ever yields
+    /// `Auto` — a routing invariant violation surfaced as a typed error
+    /// instead of the `unreachable!` process abort it used to be.
+    fn dispatch_auto(&mut self, circuit: &QuantumCircuit) -> Result<(), EngineError> {
+        let Some(auto) = self.auto else {
+            return Ok(());
+        };
         let resolved = resolve_backend(&GateCensus::of(circuit));
         if auto.resolved == Some(resolved) {
-            return;
+            return Ok(());
         }
         let mut backend: Box<dyn Backend> = match resolved {
             BackendChoice::Dense => Box::new(StatevectorBackend::default()),
             BackendChoice::Sparse => Box::new(SparseBackend::default()),
             BackendChoice::Stabilizer => Box::new(StabilizerBackend::default()),
             // resolve_backend only returns concrete choices.
-            BackendChoice::Auto => unreachable!("auto resolution produced Auto"),
+            BackendChoice::Auto => return Err(EngineError::AutoUnresolved),
         };
         backend.set_exec_config(auto.config);
         self.backend = backend;
@@ -279,6 +287,7 @@ impl MainEngine {
             resolved: Some(resolved),
             config: auto.config,
         });
+        Ok(())
     }
 
     /// Creates an engine targeting the noisy hardware model (the stand-in for
@@ -608,7 +617,7 @@ impl MainEngine {
     /// Propagates backend execution errors.
     pub fn flush(&mut self, shots: usize) -> Result<ExecutionResult, EngineError> {
         let circuit = self.circuit();
-        self.dispatch_auto(&circuit);
+        self.dispatch_auto(&circuit)?;
         Ok(self.backend.run(&circuit, shots)?)
     }
 

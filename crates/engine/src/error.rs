@@ -50,6 +50,41 @@ pub enum EngineError {
         /// The rejected name.
         name: String,
     },
+    /// A job's compilation or execution panicked. The panic is caught at the
+    /// job boundary ([`BatchEngine`](crate::BatchEngine) workers and
+    /// [`JobService`](crate::JobService) executors run every job under
+    /// `catch_unwind`), so one crashing job can never take down its batch
+    /// siblings or the service's worker threads.
+    JobPanicked {
+        /// The panic payload, rendered to text when it was a string.
+        message: String,
+    },
+    /// A batch job requested zero measurement shots — a validation error at
+    /// both [`BatchEngine::run_batch`](crate::BatchEngine::run_batch) and
+    /// [`JobService::submit`](crate::JobService::submit), rather than an
+    /// untested edge through the CDF sampler.
+    ZeroShots {
+        /// Index of the offending job within its batch (`0` for single-job
+        /// submissions).
+        index: usize,
+    },
+    /// Automatic backend resolution yielded
+    /// [`BackendChoice::Auto`](crate::BackendChoice) — a routing invariant
+    /// violation that previously crashed the process via `unreachable!`.
+    AutoUnresolved,
+    /// A queued job was cancelled via
+    /// [`JobService::cancel`](crate::JobService::cancel) before it ran (or
+    /// between retry attempts).
+    JobCancelled,
+    /// An I/O failure in the persistence layer (journal open/append, disk
+    /// cache directory creation). Best-effort paths (disk-cache entry reads
+    /// and writes) degrade to misses instead of surfacing this.
+    Io {
+        /// What was being done (e.g. `"open journal '/tmp/j'"`).
+        context: String,
+        /// The rendered `std::io::Error`.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -73,6 +108,15 @@ impl fmt::Display for EngineError {
                 f,
                 "unknown backend '{name}': expected one of dense, sparse, stabilizer, auto"
             ),
+            Self::JobPanicked { message } => write!(f, "job panicked: {message}"),
+            Self::ZeroShots { index } => {
+                write!(f, "job {index} requests zero measurement shots")
+            }
+            Self::AutoUnresolved => {
+                write!(f, "automatic backend resolution produced 'auto'")
+            }
+            Self::JobCancelled => write!(f, "job was cancelled before it ran"),
+            Self::Io { context, message } => write!(f, "i/o error: {context}: {message}"),
         }
     }
 }

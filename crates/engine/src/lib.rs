@@ -41,9 +41,13 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod oracle;
+pub mod service;
+pub mod store;
 
 pub use batch::{BatchEngine, BatchJob};
 pub use cache::{CacheStats, CompiledProgram, OracleCache, OracleSpec};
 pub use engine::{resolve_backend, BackendChoice, ComputeSection, MainEngine, Qubit};
 pub use error::EngineError;
 pub use oracle::SynthesisChoice;
+pub use service::{JobId, JobService, JobServiceConfig, JobStatus};
+pub use store::{DiskCache, DiskCacheStats, Journal, JournalEntry};

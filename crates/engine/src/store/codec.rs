@@ -1,0 +1,431 @@
+//! Binary encoding of compiled circuits for the disk-backed oracle cache.
+//!
+//! The format is deliberately dumb: little-endian fixed-width integers, a
+//! one-byte tag per gate, and a trailing FNV-1a checksum over everything
+//! before it. A decoder **never panics** on hostile input — every read is
+//! bounds-checked, every gate is re-validated through
+//! [`QuantumCircuit::push`], and any mismatch (bad magic, unknown version,
+//! truncation, trailing garbage, checksum drift) comes back as a
+//! [`DecodeError`] that the cache layer degrades to a miss.
+
+use qdaflow_quantum::{QuantumCircuit, QuantumGate};
+use std::time::Duration;
+
+/// Leading magic of every disk-cache entry (`"QDFC"`).
+pub const MAGIC: [u8; 4] = *b"QDFC";
+/// Current on-disk format version. Entries with any other version are
+/// treated as misses, so a format change never corrupts a running service —
+/// it just recompiles.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a disk-cache entry failed to decode. All variants degrade to a cache
+/// miss; the distinction only feeds the corruption counters and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the record did.
+    Truncated,
+    /// The leading magic bytes are not [`MAGIC`].
+    BadMagic,
+    /// The version field is not [`FORMAT_VERSION`].
+    WrongVersion(u32),
+    /// The stored key does not match the file the entry was read from.
+    KeyMismatch,
+    /// An unknown gate tag, an out-of-range qubit, or trailing bytes.
+    Malformed,
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch,
+}
+
+/// 64-bit FNV-1a over a byte slice — the integrity checksum of disk
+/// entries (fast, dependency-free, and plenty for corruption detection;
+/// this is not a cryptographic boundary).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        state ^= u64::from(byte);
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+fn put_u16(out: &mut Vec<u8>, value: u16) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Encodes a compiled circuit (plus its cache key and cold compile time)
+/// into one self-validating disk record.
+pub fn encode_entry(key: u128, circuit: &QuantumCircuit, compile_time: Duration) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + circuit.num_gates() * 8);
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    out.extend_from_slice(&key.to_le_bytes());
+    put_u64(
+        &mut out,
+        compile_time.as_nanos().min(u128::from(u64::MAX)) as u64,
+    );
+    put_u32(&mut out, circuit.num_qubits() as u32);
+    put_u32(&mut out, circuit.num_gates() as u32);
+    for gate in circuit.gates() {
+        encode_gate(&mut out, gate);
+    }
+    let checksum = fnv1a64(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+fn encode_gate(out: &mut Vec<u8>, gate: &QuantumGate) {
+    let q32 = |q: usize| q as u32;
+    match gate {
+        QuantumGate::H(q) => {
+            out.push(0);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::X(q) => {
+            out.push(1);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::Y(q) => {
+            out.push(2);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::Z(q) => {
+            out.push(3);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::S(q) => {
+            out.push(4);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::Sdg(q) => {
+            out.push(5);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::T(q) => {
+            out.push(6);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::Tdg(q) => {
+            out.push(7);
+            put_u32(out, q32(*q));
+        }
+        QuantumGate::Rz { qubit, angle } => {
+            out.push(8);
+            put_u32(out, q32(*qubit));
+            put_u64(out, angle.to_bits());
+        }
+        QuantumGate::Cx { control, target } => {
+            out.push(9);
+            put_u32(out, q32(*control));
+            put_u32(out, q32(*target));
+        }
+        QuantumGate::Cz { a, b } => {
+            out.push(10);
+            put_u32(out, q32(*a));
+            put_u32(out, q32(*b));
+        }
+        QuantumGate::Swap { a, b } => {
+            out.push(11);
+            put_u32(out, q32(*a));
+            put_u32(out, q32(*b));
+        }
+        QuantumGate::Ccx {
+            control_a,
+            control_b,
+            target,
+        } => {
+            out.push(12);
+            put_u32(out, q32(*control_a));
+            put_u32(out, q32(*control_b));
+            put_u32(out, q32(*target));
+        }
+        QuantumGate::Mcx { controls, target } => {
+            out.push(13);
+            put_u16(out, controls.len() as u16);
+            for &control in controls {
+                put_u32(out, q32(control));
+            }
+            put_u32(out, q32(*target));
+        }
+        QuantumGate::Mcz { qubits } => {
+            out.push(14);
+            put_u16(out, qubits.len() as u16);
+            for &qubit in qubits {
+                put_u32(out, q32(qubit));
+            }
+        }
+    }
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, position: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .position
+            .checked_add(len)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(DecodeError::Truncated)?;
+        let slice = &self.bytes[self.position..end];
+        self.position = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes one disk record, verifying magic, version, the embedded key
+/// against `expected_key`, the checksum, and every gate.
+pub fn decode_entry(
+    bytes: &[u8],
+    expected_key: u128,
+) -> Result<(QuantumCircuit, Duration), DecodeError> {
+    if bytes.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored_checksum = u64::from_le_bytes(tail.try_into().unwrap());
+    if fnv1a64(payload) != stored_checksum {
+        // Distinguish the common cases for the robustness tests: a record
+        // whose header is intact but whose body was cut short reports as
+        // truncation, everything else as checksum drift.
+        let mut probe = Cursor::new(payload);
+        if probe.take(4).map(|magic| magic != MAGIC).unwrap_or(true) {
+            return Err(DecodeError::BadMagic);
+        }
+        if let Ok(version) = probe.u32() {
+            if version != FORMAT_VERSION {
+                return Err(DecodeError::WrongVersion(version));
+            }
+        }
+        return Err(DecodeError::ChecksumMismatch);
+    }
+    let mut cursor = Cursor::new(payload);
+    if cursor.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = cursor.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::WrongVersion(version));
+    }
+    if cursor.u128()? != expected_key {
+        return Err(DecodeError::KeyMismatch);
+    }
+    let compile_time = Duration::from_nanos(cursor.u64()?);
+    let num_qubits = cursor.u32()? as usize;
+    let num_gates = cursor.u32()? as usize;
+    let mut circuit = QuantumCircuit::new(num_qubits);
+    for _ in 0..num_gates {
+        let gate = decode_gate(&mut cursor)?;
+        circuit.push(gate).map_err(|_| DecodeError::Malformed)?;
+    }
+    if cursor.position != payload.len() {
+        return Err(DecodeError::Malformed);
+    }
+    Ok((circuit, compile_time))
+}
+
+fn decode_gate(cursor: &mut Cursor<'_>) -> Result<QuantumGate, DecodeError> {
+    let q = |value: u32| value as usize;
+    Ok(match cursor.u8()? {
+        0 => QuantumGate::H(q(cursor.u32()?)),
+        1 => QuantumGate::X(q(cursor.u32()?)),
+        2 => QuantumGate::Y(q(cursor.u32()?)),
+        3 => QuantumGate::Z(q(cursor.u32()?)),
+        4 => QuantumGate::S(q(cursor.u32()?)),
+        5 => QuantumGate::Sdg(q(cursor.u32()?)),
+        6 => QuantumGate::T(q(cursor.u32()?)),
+        7 => QuantumGate::Tdg(q(cursor.u32()?)),
+        8 => QuantumGate::Rz {
+            qubit: q(cursor.u32()?),
+            angle: f64::from_bits(cursor.u64()?),
+        },
+        9 => QuantumGate::Cx {
+            control: q(cursor.u32()?),
+            target: q(cursor.u32()?),
+        },
+        10 => QuantumGate::Cz {
+            a: q(cursor.u32()?),
+            b: q(cursor.u32()?),
+        },
+        11 => QuantumGate::Swap {
+            a: q(cursor.u32()?),
+            b: q(cursor.u32()?),
+        },
+        12 => QuantumGate::Ccx {
+            control_a: q(cursor.u32()?),
+            control_b: q(cursor.u32()?),
+            target: q(cursor.u32()?),
+        },
+        13 => {
+            let len = cursor.u16()? as usize;
+            let mut controls = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                controls.push(q(cursor.u32()?));
+            }
+            QuantumGate::Mcx {
+                controls,
+                target: q(cursor.u32()?),
+            }
+        }
+        14 => {
+            let len = cursor.u16()? as usize;
+            let mut qubits = Vec::with_capacity(len.min(1024));
+            for _ in 0..len {
+                qubits.push(q(cursor.u32()?));
+            }
+            QuantumGate::Mcz { qubits }
+        }
+        _ => return Err(DecodeError::Malformed),
+    })
+}
+
+/// Maps a gate mnemonic back to the `&'static str` the in-process
+/// [`ResourceCounts`](qdaflow_quantum::resource::ResourceCounts) histogram
+/// uses — journal records store gate names as text and must re-intern them
+/// on load. Unknown names are `None` (a corrupt record, skipped).
+pub fn intern_gate_name(name: &str) -> Option<&'static str> {
+    const NAMES: [&str; 15] = [
+        "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rz", "cx", "cz", "swap", "ccx", "mcx", "mcz",
+    ];
+    NAMES.iter().find(|&&known| known == name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_circuit() -> QuantumCircuit {
+        let mut circuit = QuantumCircuit::new(5);
+        circuit.push(QuantumGate::H(0)).unwrap();
+        circuit
+            .push(QuantumGate::Rz {
+                qubit: 1,
+                angle: std::f64::consts::FRAC_PI_4,
+            })
+            .unwrap();
+        circuit
+            .push(QuantumGate::Cx {
+                control: 0,
+                target: 2,
+            })
+            .unwrap();
+        circuit
+            .push(QuantumGate::Mcx {
+                controls: vec![0, 1, 2],
+                target: 4,
+            })
+            .unwrap();
+        circuit
+            .push(QuantumGate::Mcz {
+                qubits: vec![1, 3, 4],
+            })
+            .unwrap();
+        circuit.push(QuantumGate::Tdg(3)).unwrap();
+        circuit
+    }
+
+    #[test]
+    fn round_trip_preserves_every_gate() {
+        let circuit = example_circuit();
+        let time = Duration::from_micros(1234);
+        let bytes = encode_entry(42, &circuit, time);
+        let (decoded, decoded_time) = decode_entry(&bytes, 42).unwrap();
+        assert_eq!(decoded.num_qubits(), circuit.num_qubits());
+        assert_eq!(decoded.gates(), circuit.gates());
+        assert_eq!(decoded_time, time);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_failure_never_a_panic() {
+        let bytes = encode_entry(7, &example_circuit(), Duration::ZERO);
+        for len in 0..bytes.len() {
+            assert!(decode_entry(&bytes[..len], 7).is_err(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn corruption_kinds_are_distinguished() {
+        let circuit = example_circuit();
+        let good = encode_entry(7, &circuit, Duration::ZERO);
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_entry(&bad, 7), Err(DecodeError::BadMagic));
+        // Wrong version (with a recomputed checksum, so only the version is
+        // at fault).
+        let mut bad = good.clone();
+        bad[4] = 99;
+        let len = bad.len();
+        let sum = fnv1a64(&bad[..len - 8]);
+        bad[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_entry(&bad, 7), Err(DecodeError::WrongVersion(99)));
+        // Wrong key.
+        assert_eq!(decode_entry(&good, 8), Err(DecodeError::KeyMismatch));
+        // Flipped payload byte.
+        let mut bad = good.clone();
+        let flip = bad.len() / 2;
+        bad[flip] ^= 0xff;
+        assert!(decode_entry(&bad, 7).is_err());
+        // Trailing garbage after a valid record.
+        let mut bad = good;
+        bad.extend_from_slice(&[0u8; 3]);
+        assert!(decode_entry(&bad, 7).is_err());
+    }
+
+    #[test]
+    fn out_of_range_qubits_are_rejected_through_circuit_validation() {
+        let mut circuit = QuantumCircuit::new(2);
+        circuit.push(QuantumGate::H(1)).unwrap();
+        let mut bytes = encode_entry(1, &circuit, Duration::ZERO);
+        // Rewrite the qubit operand of the single H gate to 9 (out of
+        // range for a 2-qubit circuit) and fix the checksum.
+        let gate_offset = 4 + 4 + 16 + 8 + 4 + 4 + 1;
+        bytes[gate_offset..gate_offset + 4].copy_from_slice(&9u32.to_le_bytes());
+        let len = bytes.len();
+        let sum = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode_entry(&bytes, 1), Err(DecodeError::Malformed));
+    }
+
+    #[test]
+    fn gate_names_intern_to_their_static_forms() {
+        for gate in example_circuit().gates() {
+            assert_eq!(intern_gate_name(gate.name()), Some(gate.name()));
+        }
+        assert_eq!(intern_gate_name("frobnicate"), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! The disk-backed compiled-oracle cache: one file per [`SpecKey`], shared
+//! across processes, layered under the in-memory
+//! [`OracleCache`](crate::OracleCache).
+//!
+//! Every entry is written **atomically**: the record goes to a private
+//! temporary file in the cache directory and is `rename`d into place, so a
+//! reader never observes a half-written entry and two processes racing on
+//! the same key both leave one valid file behind (the later rename wins —
+//! both encode the same compilation, so either winner is correct). Reads
+//! are fail-open: a missing, truncated, wrong-version or corrupt entry is a
+//! *miss* (counted, never a panic or an error), and the compiler simply
+//! runs again.
+
+use super::codec;
+use crate::EngineError;
+use qdaflow_pipeline::spec::SpecKey;
+use qdaflow_quantum::QuantumCircuit;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters of a [`DiskCache`] (all monotonic; exported by
+/// [`JobService::metrics_text`](crate::JobService::metrics_text)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskCacheStats {
+    /// Entries successfully loaded from disk.
+    pub hits: u64,
+    /// Lookups that found no usable entry (absent file).
+    pub misses: u64,
+    /// Lookups that found a file but rejected it (truncated, corrupt,
+    /// wrong version, wrong key) — these also count as misses upstream.
+    pub corrupt: u64,
+    /// Entries successfully written.
+    pub writes: u64,
+    /// Failed writes (I/O errors; best-effort, the compilation result is
+    /// still served from memory).
+    pub write_errors: u64,
+}
+
+/// A directory of compiled-oracle entries keyed by the canonical 128-bit
+/// [`SpecKey`] digest.
+///
+/// The cache is plain files — `<dir>/<032x-key>.qdc` — so it needs no
+/// daemon, survives restarts, and is shared by every process pointing at
+/// the same directory. See the module docs for the atomicity and
+/// corruption-tolerance contract.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| EngineError::Io {
+            context: format!("create disk cache directory '{}'", dir.display()),
+            message: e.to_string(),
+        })?;
+        Ok(Self {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path of a key.
+    pub fn entry_path(&self, key: SpecKey) -> PathBuf {
+        self.dir.join(format!("{:032x}.qdc", key.0))
+    }
+
+    /// Loads the entry for `key`, or `None` on a miss. Corrupt, truncated
+    /// or version-mismatched entries are counted and reported as misses —
+    /// never an error, never a panic.
+    pub fn load(&self, key: SpecKey) -> Option<(QuantumCircuit, Duration)> {
+        let bytes = match fs::read(self.entry_path(key)) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match codec::decode_entry(&bytes, key.0) {
+            Ok(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Writes an entry atomically (temp file + rename). Best-effort: I/O
+    /// failures bump `write_errors` and are otherwise swallowed — the
+    /// in-memory layer still serves the program.
+    pub fn store(&self, key: SpecKey, circuit: &QuantumCircuit, compile_time: Duration) {
+        let bytes = codec::encode_entry(key.0, circuit, compile_time);
+        if self.write_atomic(key, &bytes).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn write_atomic(&self, key: SpecKey, bytes: &[u8]) -> std::io::Result<()> {
+        // The temp name embeds the pid and a per-process counter, so
+        // concurrent writers (threads or whole processes) never collide on
+        // the temp file; the final rename is atomic within the directory.
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let temp = self.dir.join(format!(
+            ".{:032x}.{}.{}.tmp",
+            key.0,
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut file = fs::File::create(&temp)?;
+        file.write_all(bytes)?;
+        file.flush()?;
+        let renamed = fs::rename(&temp, self.entry_path(key));
+        if renamed.is_err() {
+            let _ = fs::remove_file(&temp);
+        }
+        renamed
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+}

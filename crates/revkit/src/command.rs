@@ -18,11 +18,11 @@
 //! | `qasm`    | print the quantum circuit as OpenQASM, or `qasm load <file>`   |
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 //! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
-//! | `batch`   | compile + sample many oracle jobs through the cached batch engine |
+//! | `batch`   | run oracle jobs through the fault-tolerant batch job service (`--resume`, `--stats`) |
 //! | `backend` | select the simulation backend for batch jobs (`dense`/`sparse`/`stabilizer`/`auto`) |
 
 use crate::{RevkitError, Store};
-use qdaflow_engine::{BackendChoice, BatchJob, OracleSpec, SynthesisChoice};
+use qdaflow_engine::{BackendChoice, BatchJob, JobStatus, OracleSpec, SynthesisChoice};
 use qdaflow_mapping::{map, optimize, verify};
 use qdaflow_pipeline::script::tokenize;
 use qdaflow_pipeline::{passes, FlowError, Ir, Pass, Pipeline, Stage};
@@ -578,17 +578,28 @@ impl Command for Flow {
     }
 }
 
-/// `batch` — run many oracle jobs through the cached batch execution engine.
+/// `batch` — run many oracle jobs through the fault-tolerant batch job
+/// service (a thin client over [`qdaflow_engine::JobService`]).
 ///
 /// Each `--spec "<spec>"` names one job; the spec grammar is
 /// `hwb N` | `random N [SEED]` | `perm 0 2 3 5 7 1 4 6` | `expr (a & b) ^ c`
 /// | `qasm:<file>` (an OpenQASM 2.0 file imported through `qasmin`).
 /// All jobs share `--shots` (default 1024), `--synth tbs|dbs` (permutation
 /// synthesis, default tbs) and a base `--seed` (default 1; job `i` samples
-/// under `seed + i`). Jobs with identical specs are deduplicated through the
-/// shell's persistent compiled-oracle cache, distinct oracles compile and
-/// simulate in parallel, and sampling is shot-sharded — reproducible at any
-/// thread count (see the `exec` command for the thread knob).
+/// under `seed + i`). Jobs with identical specs are single-flighted through
+/// the shell's persistent compiled-oracle cache, distinct oracles compile
+/// and simulate in parallel, and sampling is shot-sharded — reproducible at
+/// any thread count (see the `exec` command for the thread knob).
+///
+/// A job that fails — even by panicking inside compilation — fails *alone*:
+/// its typed error is logged and every sibling still reports its result.
+///
+/// `batch --resume <journal>` attaches the service to a checkpoint journal
+/// (for this and all later `batch` commands of the session): completed jobs
+/// are recorded as they finish, and resubmitting a recorded job answers
+/// instantly from the checkpoint — a killed batch rerun this way recompiles
+/// and resimulates nothing it already finished. `batch --stats` logs the
+/// service metrics in Prometheus text exposition format.
 pub struct Batch;
 
 impl Batch {
@@ -680,10 +691,16 @@ impl Command for Batch {
     }
 
     fn description(&self) -> &'static str {
-        "run oracle jobs through the cached batch engine: batch [--shots N] [--seed S] [--synth tbs|dbs] --spec \"hwb 4\" [--spec \"qasm:oracle.qasm\" ...]"
+        "run oracle jobs through the batch job service: batch [--shots N] [--seed S] [--synth tbs|dbs] [--resume JOURNAL] [--stats] --spec \"hwb 4\" [--spec \"qasm:oracle.qasm\" ...]"
     }
 
     fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        let show_stats = args.iter().any(|a| a == "--stats");
+        let resume = find_flag_value(args, "--resume").map(std::path::PathBuf::from);
+        if let Some(path) = &resume {
+            store.set_journal_path(Some(path.clone()));
+            store.log(format!("[batch] journal attached: {}", path.display()));
+        }
         let shots = find_flag_value(args, "--shots")
             .map(|s| parse_usize(self.name(), s))
             .transpose()?
@@ -712,6 +729,17 @@ impl Command for Batch {
             })
             .collect::<Result<_, _>>()?;
         if specs.is_empty() {
+            // `--stats` / `--resume` are valid on their own: report/attach
+            // without running anything.
+            if show_stats || resume.is_some() {
+                if show_stats {
+                    let service = store.job_service()?;
+                    for line in service.metrics_text().lines() {
+                        store.log(line);
+                    }
+                }
+                return Ok(());
+            }
             return Err(Self::invalid(
                 "expected at least one --spec \"<spec>\"".to_owned(),
             ));
@@ -728,35 +756,51 @@ impl Command for Batch {
                 .with_backend(store.backend_choice()))
             })
             .collect::<Result<_, RevkitError>>()?;
-        let before = store.batch_engine().cache().stats();
+        let service = store.job_service()?;
+        let before = service.engine().cache().stats();
         // Under `backend auto`, resolve per-job backends up front so the log
-        // names the concrete engine each job ran on (the run below performs
+        // names the concrete engine each job ran on (the service performs
         // the same resolution — it is a pure function of the compiled
         // circuit, and the compilation is shared through the cache).
         let resolved: Option<Vec<BackendChoice>> = if store.backend_choice() == BackendChoice::Auto
         {
-            Some(store.batch_engine().resolve_backends(&jobs)?)
+            Some(service.engine().resolve_backends(&jobs)?)
         } else {
             None
         };
-        let results = store
-            .batch_engine()
-            .run_batch_with(&jobs, &store.exec_config())?;
-        let after = store.batch_engine().cache().stats();
-        for (index, (result, text)) in results.iter().zip(&specs).enumerate() {
-            let outcome = result
-                .most_likely()
-                .map_or("no shots".to_owned(), |(outcome, p)| {
-                    format!("most likely {outcome} (p={p:.2})")
-                });
+        let ids = service.submit_batch(&jobs)?;
+        let mut dead = 0usize;
+        for (index, (id, text)) in ids.iter().zip(&specs).enumerate() {
             let backend = resolved
                 .as_ref()
                 .map_or(String::new(), |r| format!(", auto -> {}", r[index]));
-            store.log(format!(
-                "[batch] job {index}: {text} -> {} qubits, T-count {}, {} shots, {outcome}{backend}",
-                result.num_qubits, result.resources.t_count, result.shots
-            ));
+            match service.wait(*id) {
+                Some(JobStatus::Done(result)) => {
+                    let outcome = result
+                        .most_likely()
+                        .map_or("no shots".to_owned(), |(outcome, p)| {
+                            format!("most likely {outcome} (p={p:.2})")
+                        });
+                    store.log(format!(
+                        "[batch] job {index}: {text} -> {} qubits, T-count {}, {} shots, {outcome}{backend}",
+                        result.num_qubits, result.resources.t_count, result.shots
+                    ));
+                }
+                Some(JobStatus::Dead { attempts, error }) => {
+                    dead += 1;
+                    store.log(format!(
+                        "[batch] job {index}: {text} -> dead-lettered after {attempts} attempt(s): {error}"
+                    ));
+                }
+                other => {
+                    // `wait` only returns terminal states for known ids; this
+                    // arm is unreachable in practice but must not panic.
+                    dead += 1;
+                    store.log(format!("[batch] job {index}: {text} -> lost ({other:?})"));
+                }
+            }
         }
+        let after = service.engine().cache().stats();
         let compiled = after.misses - before.misses;
         let hits = after.hits - before.hits;
         // Distinct work items are counted by resolved cache key — the
@@ -771,12 +815,22 @@ impl Command for Batch {
             })
             .collect::<std::collections::HashSet<_>>()
             .len();
+        let dead_note = if dead > 0 {
+            format!(", {dead} dead-lettered")
+        } else {
+            String::new()
+        };
         store.log(format!(
-            "[batch] {} jobs ({distinct} distinct), {compiled} compiled, {hits} cache hits ({} programs cached) on the {} backend",
+            "[batch] {} jobs ({distinct} distinct), {compiled} compiled, {hits} cache hits ({} programs cached) on the {} backend{dead_note}",
             jobs.len(),
             after.entries,
             store.backend_choice()
         ));
+        if show_stats {
+            for line in service.metrics_text().lines() {
+                store.log(line);
+            }
+        }
         Ok(())
     }
 }
@@ -1186,7 +1240,7 @@ mod tests {
         // The hidden-shift instance is deterministic: every shot lands on 5.
         assert!(log.contains("most likely 5 (p=1.00)"), "{log}");
         assert!(
-            log.contains("2 jobs (1 distinct), 1 compiled, 0 cache hits"),
+            log.contains("2 jobs (1 distinct), 1 compiled, 1 cache hits"),
             "{log}"
         );
         // A later batch over the same file is a pure cache hit.
@@ -1251,7 +1305,7 @@ mod tests {
         let log = store.log_lines().join("\n");
         assert!(log.contains("[batch] job 0"));
         assert!(log.contains("[batch] job 3"));
-        assert!(log.contains("4 jobs (3 distinct), 3 compiled, 0 cache hits"));
+        assert!(log.contains("4 jobs (3 distinct), 3 compiled, 1 cache hits"));
         // A second invocation over a known oracle is all cache hits.
         run(&Batch, &["--shots", "32", "--spec", "hwb 3"], &mut store).unwrap();
         assert!(store

@@ -242,12 +242,48 @@ mod tests {
             .unwrap();
         assert!(output
             .iter()
-            .any(|l| l.contains("2 jobs (1 distinct), 1 compiled, 0 cache hits")));
+            .any(|l| l.contains("2 jobs (1 distinct), 1 compiled, 1 cache hits")));
         // The second line compiles only the new permutation oracle; the
         // repeated hwb 4 oracle is a cache hit from the first line.
         assert!(output.iter().any(
             |l| l.contains("2 jobs (2 distinct), 1 compiled, 1 cache hits (2 programs cached)")
         ));
+    }
+
+    #[test]
+    fn batch_stats_logs_prometheus_metrics() {
+        let mut shell = Shell::new();
+        let output = shell
+            .run_script("batch --shots 32 --spec \"hwb 3\"\nbatch --stats")
+            .unwrap();
+        assert!(output
+            .iter()
+            .any(|l| l.contains("# TYPE qdaflow_jobs_submitted_total counter")));
+        assert!(output.iter().any(|l| l == "qdaflow_jobs_submitted_total 1"));
+        assert!(output.iter().any(|l| l == "qdaflow_jobs_completed_total 1"));
+    }
+
+    #[test]
+    fn batch_resume_replays_journaled_jobs_across_shells() {
+        let dir = std::env::temp_dir().join(format!("qdaflow-shell-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("batch.journal");
+        let line = format!(
+            "batch --resume {} --shots 64 --spec \"hwb 3\" --spec \"perm 1 0 3 2\"",
+            journal.display()
+        );
+        let first = Shell::new().run_script(&line).unwrap();
+        assert!(first.iter().any(|l| l.contains("2 compiled")));
+        // A brand-new shell — a restarted process — replays both jobs from
+        // the journal without compiling or simulating anything.
+        let mut shell = Shell::new();
+        let output = shell.run_script(&format!("{line}\nbatch --stats")).unwrap();
+        assert!(output
+            .iter()
+            .any(|l| l.contains("2 jobs (2 distinct), 0 compiled, 0 cache hits")));
+        assert!(output.iter().any(|l| l == "qdaflow_jobs_resumed_total 2"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

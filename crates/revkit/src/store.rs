@@ -7,10 +7,11 @@
 //! in the paper need.
 
 use qdaflow_boolfn::{Permutation, TruthTable};
-use qdaflow_engine::{BackendChoice, BatchEngine};
+use qdaflow_engine::{BackendChoice, BatchEngine, EngineError, JobService, JobServiceConfig};
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::QuantumCircuit;
 use qdaflow_reversible::ReversibleCircuit;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The mutable state shared by all shell commands.
@@ -24,6 +25,10 @@ pub struct Store {
     exec_config: ExecConfig,
     backend_choice: BackendChoice,
     batch: Arc<BatchEngine>,
+    service: Option<Arc<JobService>>,
+    service_exec: ExecConfig,
+    service_journal: Option<PathBuf>,
+    journal_path: Option<PathBuf>,
     log: Vec<String>,
 }
 
@@ -111,6 +116,48 @@ impl Store {
     /// the store share the same cache.
     pub fn batch_engine(&self) -> &BatchEngine {
         &self.batch
+    }
+
+    /// The checkpoint journal the `batch` command's jobs record into
+    /// (`batch --resume <path>` sets it for the rest of the shell session).
+    pub fn journal_path(&self) -> Option<&PathBuf> {
+        self.journal_path.as_ref()
+    }
+
+    /// Points the job service at a checkpoint journal (or detaches it with
+    /// `None`). Takes effect at the next [`Store::job_service`] call.
+    pub fn set_journal_path(&mut self, path: Option<PathBuf>) {
+        self.journal_path = path;
+    }
+
+    /// The shell's batch job service — the `batch` command's thin-client
+    /// backend. Built lazily over the shared [`BatchEngine`] (so the
+    /// service's workers and the synchronous commands amortize one
+    /// compiled-oracle cache) and rebuilt when the execution configuration
+    /// or journal path changed since the last call; clones of the store
+    /// share the same running service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal open failures ([`EngineError::Io`]).
+    pub fn job_service(&mut self) -> Result<Arc<JobService>, EngineError> {
+        let stale = self.service.is_none()
+            || self.service_exec != self.exec_config
+            || self.service_journal != self.journal_path;
+        if stale {
+            let config = JobServiceConfig {
+                exec: self.exec_config,
+                journal_path: self.journal_path.clone(),
+                ..JobServiceConfig::default()
+            };
+            self.service = Some(Arc::new(JobService::with_engine(
+                Arc::clone(&self.batch),
+                config,
+            )?));
+            self.service_exec = self.exec_config;
+            self.service_journal = self.journal_path.clone();
+        }
+        Ok(Arc::clone(self.service.as_ref().expect("service built")))
     }
 
     /// Appends a line to the command log (what the shell prints).

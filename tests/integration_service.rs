@@ -1,0 +1,334 @@
+//! Integration tests of the fault-tolerant batch job service: checkpoint
+//! resume across a real SIGKILL, warm disk-cache restarts, and a lint of
+//! the Prometheus exposition produced by `metrics_text()`.
+
+use qdaflow::prelude::*;
+use qdaflow_engine::JobServiceConfig;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const CHILD_ENV: &str = "QDAFLOW_SERVICE_KILL_CHILD_DIR";
+const CHILD_JOBS: usize = 24;
+
+/// The deterministic workload shared by the killed child and the resuming
+/// parent: identical jobs produce identical digests, which is what the
+/// journal keys checkpoints by.
+fn workload() -> Vec<BatchJob> {
+    (0..CHILD_JOBS)
+        .map(|index| {
+            BatchJob::new(
+                OracleSpec::permutation(
+                    Permutation::random_seeded(6, 1000 + index as u64),
+                    SynthesisChoice::default(),
+                ),
+                40_000,
+                index as u64,
+            )
+        })
+        .collect()
+}
+
+fn service_over(dir: &Path, workers: usize) -> JobService {
+    JobService::new(JobServiceConfig {
+        workers,
+        disk_cache_dir: Some(dir.join("cache")),
+        journal_path: Some(dir.join("journal.log")),
+        ..JobServiceConfig::default()
+    })
+    .expect("open service over scratch dir")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qdaflow-integration-service-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn metric_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("metric {name} missing from:\n{text}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {name} is not an integer"))
+}
+
+fn journaled_records(journal: &Path) -> usize {
+    std::fs::read_to_string(journal)
+        .map(|text| text.lines().filter(|l| l.starts_with("done ")).count())
+        .unwrap_or(0)
+}
+
+/// Not a test of its own: the process that gets SIGKILLed. Re-entered by
+/// `killed_batches_resume_without_recompiling_completed_jobs` via
+/// `current_exe()`; a plain `cargo test` run sees the env var unset and
+/// returns immediately.
+#[test]
+fn kill_resume_child_entry() {
+    let Ok(dir) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    // One worker: jobs complete strictly one after another, so the journal
+    // grows steadily while later jobs are still pending — the parent kills
+    // somewhere in the middle.
+    let service = service_over(Path::new(&dir), 1);
+    let ids = service.submit_batch(&workload()).unwrap();
+    for id in ids {
+        assert!(matches!(service.wait(id), Some(JobStatus::Done(_))));
+    }
+}
+
+#[test]
+fn killed_batches_resume_without_recompiling_completed_jobs() {
+    let dir = scratch_dir("kill-resume");
+    let journal = dir.join("journal.log");
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["kill_resume_child_entry", "--exact", "--nocapture"])
+        .env(CHILD_ENV, &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    // Wait for at least two checkpointed completions, then SIGKILL the
+    // child mid-batch. If the machine is so fast that the child finishes
+    // the whole workload first, the test degrades gracefully: every job is
+    // then a resume and the zero-recompile assertion still bites.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while journaled_records(&journal) < 2 {
+        assert!(Instant::now() < deadline, "child never checkpointed 2 jobs");
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().ok();
+    child.wait().unwrap();
+    let completed = journaled_records(&journal);
+    assert!(completed >= 2, "journal lost checkpoints after the kill");
+
+    // Resume: a fresh service over the same journal + disk cache, given
+    // the identical workload.
+    let service = service_over(&dir, 2);
+    let ids = service.submit_batch(&workload()).unwrap();
+    for id in ids {
+        assert!(matches!(service.wait(id), Some(JobStatus::Done(_))));
+    }
+    let text = service.metrics_text();
+    let resumed = metric_value(&text, "qdaflow_jobs_resumed_total");
+    assert_eq!(
+        resumed as usize, completed,
+        "every journaled job must resume from its checkpoint"
+    );
+    // Zero recompiles of completed jobs: the only compiler work left is the
+    // jobs the child never finished — and even those come warm off the disk
+    // cache when the child had already compiled them before dying.
+    let compiled = metric_value(&text, "qdaflow_oracle_cache_misses_total");
+    let disk_hits = metric_value(&text, "qdaflow_oracle_cache_disk_hits_total");
+    assert_eq!(
+        (compiled + disk_hits) as usize,
+        CHILD_JOBS - completed,
+        "resumed jobs must not touch the compiler"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restarted_processes_get_warm_disk_cache_hits() {
+    let dir = scratch_dir("warm-restart");
+    let jobs: Vec<BatchJob> = (0..3)
+        .map(|index| {
+            BatchJob::new(
+                OracleSpec::permutation(
+                    Permutation::random_seeded(5, 2000 + index as u64),
+                    SynthesisChoice::default(),
+                ),
+                512,
+                index as u64,
+            )
+        })
+        .collect();
+    let cold = JobService::new(JobServiceConfig {
+        disk_cache_dir: Some(dir.join("cache")),
+        ..JobServiceConfig::default()
+    })
+    .unwrap();
+    for id in cold.submit_batch(&jobs).unwrap() {
+        assert!(matches!(cold.wait(id), Some(JobStatus::Done(_))));
+    }
+    let text = cold.metrics_text();
+    assert_eq!(metric_value(&text, "qdaflow_oracle_cache_misses_total"), 3);
+    assert_eq!(
+        metric_value(&text, "qdaflow_oracle_cache_disk_writes_total"),
+        3
+    );
+    drop(cold);
+    // No journal this time: the restarted process re-executes every job,
+    // but compiles nothing — all three oracles come off the disk.
+    let warm = JobService::new(JobServiceConfig {
+        disk_cache_dir: Some(dir.join("cache")),
+        ..JobServiceConfig::default()
+    })
+    .unwrap();
+    for id in warm.submit_batch(&jobs).unwrap() {
+        assert!(matches!(warm.wait(id), Some(JobStatus::Done(_))));
+    }
+    let text = warm.metrics_text();
+    assert_eq!(metric_value(&text, "qdaflow_oracle_cache_misses_total"), 0);
+    assert_eq!(
+        metric_value(&text, "qdaflow_oracle_cache_disk_hits_total"),
+        3
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A hand-rolled lint of the Prometheus text exposition format (version
+/// 0.0.4): family declarations, sample syntax, histogram coherence.
+fn lint_prometheus_exposition(text: &str) {
+    use std::collections::HashMap;
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    /// Cumulative `(le, count)` buckets plus the family's `_count` sample.
+    type HistogramSamples = (Vec<(f64, u64)>, Option<u64>);
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut histograms: HashMap<String, HistogramSamples> = HashMap::new();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap();
+            let name = parts.next().unwrap_or_default();
+            let tail = parts.next().unwrap_or_default();
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unknown comment keyword in {line:?}"
+            );
+            assert!(valid_name(name), "bad metric name in {line:?}");
+            if keyword == "TYPE" {
+                assert!(
+                    ["counter", "gauge", "histogram", "summary", "untyped"].contains(&tail),
+                    "bad metric type in {line:?}"
+                );
+                types.insert(name.to_owned(), tail.to_owned());
+            } else {
+                assert!(!tail.is_empty(), "HELP without text in {line:?}");
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').expect("sample without value");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("unparseable sample value in {line:?}");
+        });
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let labels = rest.strip_suffix('}').expect("unclosed label braces");
+                for pair in labels.split(',') {
+                    let (key, val) = pair.split_once('=').expect("label without =");
+                    assert!(valid_name(key), "bad label name in {line:?}");
+                    assert!(
+                        val.starts_with('"') && val.ends_with('"') && val.len() >= 2,
+                        "unquoted label value in {line:?}"
+                    );
+                }
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        assert!(valid_name(name), "bad sample name in {line:?}");
+        // Every sample must belong to a declared family (histogram samples
+        // declare under the base name).
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        assert!(
+            types.contains_key(family),
+            "sample {name} has no TYPE declaration"
+        );
+        if types[family] == "histogram" {
+            let entry = histograms.entry(family.to_owned()).or_default();
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .expect("bucket without le label");
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().expect("unparseable le bound")
+                };
+                entry.0.push((bound, value as u64));
+            } else if name.ends_with("_count") {
+                entry.1 = Some(value as u64);
+            }
+        }
+    }
+    for (family, (buckets, count)) in histograms {
+        assert!(!buckets.is_empty(), "{family} has no buckets");
+        let mut previous = 0u64;
+        for (bound, cumulative) in &buckets {
+            assert!(
+                *cumulative >= previous,
+                "{family} buckets are not cumulative at le={bound}"
+            );
+            previous = *cumulative;
+        }
+        let (last_bound, last_count) = buckets.last().unwrap();
+        assert!(
+            last_bound.is_infinite(),
+            "{family} is missing its +Inf bucket"
+        );
+        assert_eq!(
+            Some(*last_count),
+            count,
+            "{family}: +Inf bucket disagrees with _count"
+        );
+    }
+}
+
+#[test]
+fn metrics_text_is_valid_prometheus_exposition() {
+    let service = JobService::new(JobServiceConfig {
+        retry_base_delay: Duration::from_millis(1),
+        ..JobServiceConfig::default()
+    })
+    .unwrap();
+    // Exercise every counter family: successes, a retried panic, and a
+    // deterministic dead-letter.
+    let ids = service
+        .submit_batch(&[
+            BatchJob::new(
+                OracleSpec::permutation(
+                    Permutation::random_seeded(4, 7),
+                    SynthesisChoice::default(),
+                ),
+                256,
+                1,
+            ),
+            BatchJob::new(OracleSpec::fault_injection(true, 1), 64, 2),
+            BatchJob::new(OracleSpec::fault_injection(false, 2), 64, 3),
+        ])
+        .unwrap();
+    for id in ids {
+        assert!(service.wait(id).unwrap().is_terminal());
+    }
+    let text = service.metrics_text();
+    lint_prometheus_exposition(&text);
+    assert_eq!(metric_value(&text, "qdaflow_jobs_submitted_total"), 3);
+    assert_eq!(metric_value(&text, "qdaflow_jobs_dead_total"), 2);
+    assert!(metric_value(&text, "qdaflow_jobs_retried_total") >= 1);
+}
