@@ -3,9 +3,15 @@
 //! freshly parsed) pipeline running the same passes. The pass-manager
 //! bookkeeping (dispatch, per-pass metrics, artifact snapshots) must be
 //! negligible next to the synthesis/mapping work itself.
+//!
+//! The `pipeline_passes` group times each pass of the equation (5) flow
+//! individually on its staged input; captured with `BENCH_JSON` it is the
+//! source of the committed `BENCH_pipeline.json` per-pass timings.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qdaflow::flow;
+use qdaflow::pipeline::passes::{synthesis_pass, Revsimp, Rptm, Tpar};
+use qdaflow::pipeline::Pass;
 use qdaflow::prelude::*;
 use qdaflow::reversible::synthesis::SynthesisMethod;
 use std::time::Duration;
@@ -39,5 +45,38 @@ fn bench_pipeline_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_overhead);
+fn bench_per_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_passes");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    // Stage the inputs once: each pass is timed on the IR its predecessor
+    // produces in the equation (5) pipeline.
+    let pi = qdaflow::boolfn::hwb::hwb_permutation(6);
+    let tbs = synthesis_pass(SynthesisMethod::TransformationBased);
+    let reversible = tbs
+        .apply(pi.clone().into())
+        .expect("tbs synthesizes hwb(6)");
+    let simplified = Revsimp
+        .apply(reversible.clone())
+        .expect("revsimp simplifies");
+    let mapped = Rptm::default()
+        .apply(simplified.clone())
+        .expect("rptm maps");
+    group.bench_function("tbs_6q", |b| {
+        b.iter(|| tbs.apply(pi.clone().into()).unwrap())
+    });
+    group.bench_function("revsimp_6q", |b| {
+        b.iter(|| Revsimp.apply(reversible.clone()).unwrap())
+    });
+    group.bench_function("rptm_6q", |b| {
+        b.iter(|| Rptm::default().apply(simplified.clone()).unwrap())
+    });
+    group.bench_function("tpar_6q", |b| {
+        b.iter(|| Tpar.apply(mapped.clone()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_overhead, bench_per_pass);
 criterion_main!(benches);

@@ -24,6 +24,7 @@
 //! | Stabilizer simulation | [`stabilizer`] | CHP tableau: Clifford circuits at hundreds of qubits, affine-support sampling |
 //! | Mapping           | [`mapping`] | Toffoli→Clifford+T, phase oracles, T-count optimization |
 //! | Pass manager      | [`pipeline`] | typed IR stages, composable passes, `Pipeline::parse` of equation (5) |
+//! | Telemetry         | [`telemetry`] | tracing spans, Chrome-trace export, unified metrics registry |
 //! | Shell             | [`revkit`] | `revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c` |
 //! | Engine            | [`engine`] | `MainEngine`, Compute/Uncompute/Dagger, oracles, backends |
 //! | Code generation   | [`codegen`] | Q#-style emission (Fig. 9/10) |
@@ -65,3 +66,4 @@ pub use qdaflow_reversible as reversible;
 pub use qdaflow_revkit as revkit;
 pub use qdaflow_sparse as sparse;
 pub use qdaflow_stabilizer as stabilizer;
+pub use qdaflow_telemetry as telemetry;

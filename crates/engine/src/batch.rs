@@ -32,7 +32,7 @@
 //! function of the compiled circuit.
 
 use crate::cache::{CompiledProgram, OracleCache, OracleSpec};
-use crate::engine::{resolve_backend, BackendChoice};
+use crate::engine::{note_dispatch, resolve_backend, BackendChoice};
 use crate::EngineError;
 use qdaflow_pipeline::spec::{CanonicalHasher, SpecKey};
 use qdaflow_quantum::backend::ExecutionResult;
@@ -40,6 +40,7 @@ use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::{GateCensus, QuantumError, Statevector};
 use qdaflow_sparse::SparseStatevector;
 use qdaflow_stabilizer::{StabilizerSampler, StabilizerTableau};
+use qdaflow_telemetry as telemetry;
 use std::collections::{HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
@@ -173,6 +174,23 @@ impl SimulatedState {
         seed: u64,
         config: &ExecConfig,
     ) -> ExecutionResult {
+        let shards = shots.div_ceil(config.shot_shard_size.max(1)) as u64;
+        let registry = telemetry::global_metrics();
+        registry
+            .counter(
+                "qdaflow_sampling_shards_total",
+                "Shot-sharded sampling shards executed.",
+                &[],
+            )
+            .add(shards);
+        registry
+            .counter(
+                "qdaflow_sampling_shots_total",
+                "Shots drawn by the shot-sharded sampler.",
+                &[],
+            )
+            .add(shots as u64);
+        let _span = telemetry::span!("sampling", "sample {shots} shots ({shards} shards)");
         match self {
             Self::Dense(state) => {
                 let histogram = state.sample_counts_sharded(seed, shots, config);
@@ -292,6 +310,12 @@ impl BatchEngine {
         if let Some(index) = jobs.iter().position(|job| job.shots == 0) {
             return Err(EngineError::ZeroShots { index });
         }
+        let _span = telemetry::span!("batch", "run_batch: {} jobs", jobs.len());
+        // Explicitly requested backends are dispatch decisions too; Auto
+        // jobs are counted inside `resolve_backend` when resolved below.
+        for job in jobs.iter().filter(|job| job.backend != BackendChoice::Auto) {
+            note_dispatch(job.backend);
+        }
         // Resolve Auto jobs to concrete backends first, so cache keys and
         // simulated states are always backend-exact. The materialized copy
         // is only made when the batch actually contains an Auto job. The
@@ -368,6 +392,7 @@ impl BatchEngine {
         jobs: &[BatchJob],
         config: &ExecConfig,
     ) -> Vec<Result<ExecutionResult, EngineError>> {
+        let _span = telemetry::span!("batch", "try_run_batch: {} jobs", jobs.len());
         // Per-job backend resolution, each under its own panic boundary: a
         // spec whose *resolution* compile panics fails only its own job.
         let mut slots: Vec<Option<Result<ExecutionResult, EngineError>>> =
@@ -388,7 +413,10 @@ impl BatchEngine {
                         self.cache.alias_keyed(materialized.cache_key(), &program);
                         materialized
                     }
-                    _ => job.clone(),
+                    explicit => {
+                        note_dispatch(explicit);
+                        job.clone()
+                    }
                 })
             });
             match outcome {
@@ -458,11 +486,23 @@ impl BatchEngine {
         // Avoid thread oversubscription: the per-simulation thread budget is
         // the config's, divided by the batch workers running concurrently.
         let simulate_config = config.with_threads((config.threads / workers).max(1));
+        // Parallel compiles run on scoped worker threads: capture the batch
+        // span here so each per-spec span stays parented under it.
+        let trace_parent = telemetry::current_span();
         let run_one = |key: SpecKey,
                        spec: &OracleSpec,
                        backend: BackendChoice|
          -> Result<(Arc<CompiledProgram>, SimulatedState), EngineError> {
             catch_job_panic(|| {
+                let _span = if telemetry::enabled() {
+                    telemetry::span_with_parent(
+                        "dispatch",
+                        format!("compile+simulate on {backend}"),
+                        trace_parent,
+                    )
+                } else {
+                    telemetry::SpanGuard::disabled()
+                };
                 let program = self.cache.get_or_compile_keyed(key, spec)?;
                 // run_batch_with resolves Auto before keying; this guard only
                 // fires when compile_and_simulate is reached some other way.

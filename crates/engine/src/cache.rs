@@ -20,10 +20,54 @@ use qdaflow_boolfn::{Permutation, TruthTable};
 use qdaflow_pipeline::spec::{self, CanonicalHasher, SpecKey};
 use qdaflow_quantum::resource::ResourceCounts;
 use qdaflow_quantum::QuantumCircuit;
+use qdaflow_telemetry as telemetry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Handles into the process-wide metrics registry for the cache layers and
+/// the compile-time histogram, registered once on first use.
+struct CacheTelemetry {
+    mem_hits: telemetry::Counter,
+    mem_misses: telemetry::Counter,
+    disk_hits: telemetry::Counter,
+    disk_misses: telemetry::Counter,
+    compile_seconds: telemetry::Histogram,
+}
+
+fn cache_telemetry() -> &'static CacheTelemetry {
+    static HANDLES: std::sync::OnceLock<CacheTelemetry> = std::sync::OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = telemetry::global_metrics();
+        let hits = |layer: &str| {
+            registry.counter(
+                "qdaflow_cache_hits_total",
+                "Oracle-cache lookups answered by a layer.",
+                &[("layer", layer)],
+            )
+        };
+        let misses = |layer: &str| {
+            registry.counter(
+                "qdaflow_cache_misses_total",
+                "Oracle-cache lookups a layer could not answer.",
+                &[("layer", layer)],
+            )
+        };
+        CacheTelemetry {
+            mem_hits: hits("mem"),
+            mem_misses: misses("mem"),
+            disk_hits: hits("disk"),
+            disk_misses: misses("disk"),
+            compile_seconds: registry.histogram(
+                "qdaflow_compile_duration_seconds",
+                "Wall-clock oracle compilation time (cache misses only).",
+                &telemetry::DURATION_BUCKETS,
+                &[],
+            ),
+        }
+    })
+}
 
 /// A cacheable oracle specification: what to compile and through which
 /// passes.
@@ -295,26 +339,39 @@ impl OracleCache {
         key: SpecKey,
         spec: &OracleSpec,
     ) -> Result<Arc<CompiledProgram>, EngineError> {
+        let stats = cache_telemetry();
         if let Some(program) = self.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            stats.mem_hits.inc();
             return Ok(program);
         }
+        stats.mem_misses.inc();
         if let Some(disk) = &self.disk {
             if let Some((circuit, compile_time)) = disk.load(key) {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                stats.disk_hits.inc();
+                telemetry::event("cache", "disk hit", vec![("key", format!("{key:?}"))]);
                 let program = Arc::new(CompiledProgram::from_parts(key, circuit, compile_time));
                 return Ok(self.lock().entry(key).or_insert(program).clone());
             }
+            stats.disk_misses.inc();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
-        let circuit = spec.compile()?;
+        let circuit = {
+            let _span = telemetry::span!("cache", "compile {key:?}");
+            spec.compile()?
+        };
         let program = Arc::new(CompiledProgram {
             key,
             resources: ResourceCounts::of(&circuit),
             circuit,
             compile_time: start.elapsed(),
         });
+        // The compile wall time used to be recorded on the program and then
+        // forgotten; feed it into the unified histogram so `batch --stats`
+        // can report compilation latency.
+        stats.compile_seconds.observe_duration(program.compile_time);
         if let Some(disk) = &self.disk {
             disk.store(key, &program.circuit, program.compile_time);
         }

@@ -120,13 +120,40 @@ impl BackendChoice {
 /// paper's core workloads. The fractions below are structural, not
 /// simulated, so resolution costs one linear sweep per circuit.
 pub fn resolve_backend(census: &GateCensus) -> BackendChoice {
-    if census.is_all_clifford() && census.num_qubits <= MAX_STABILIZER_QUBITS {
+    let choice = if census.is_all_clifford() && census.num_qubits <= MAX_STABILIZER_QUBITS {
         BackendChoice::Stabilizer
     } else if census.num_qubits <= MAX_SIMULATOR_QUBITS && census.hadamard_fraction() >= 0.25 {
         BackendChoice::Dense
     } else {
         BackendChoice::Sparse
+    };
+    note_dispatch(choice);
+    if qdaflow_telemetry::enabled() {
+        qdaflow_telemetry::event(
+            "dispatch",
+            format!("auto -> {choice}"),
+            vec![
+                ("qubits", census.num_qubits.to_string()),
+                ("clifford", census.clifford.to_string()),
+                ("t", census.t.to_string()),
+            ],
+        );
     }
+    choice
+}
+
+/// Counts a dispatcher decision in the global
+/// `qdaflow_dispatch_total{backend=...}` family. Called for automatic
+/// resolutions (inside [`resolve_backend`]) and by the batch engine for
+/// explicitly requested backends, so the family reflects what actually ran.
+pub(crate) fn note_dispatch(choice: BackendChoice) {
+    qdaflow_telemetry::global_metrics()
+        .counter(
+            "qdaflow_dispatch_total",
+            "Backend dispatch decisions, labelled by the chosen backend.",
+            &[("backend", choice.as_str())],
+        )
+        .inc();
 }
 
 impl fmt::Display for BackendChoice {

@@ -62,10 +62,11 @@ use crate::{EngineError, OracleCache};
 use qdaflow_pipeline::spec::SpecKey;
 use qdaflow_quantum::backend::ExecutionResult;
 use qdaflow_quantum::fusion::ExecConfig;
+use qdaflow_telemetry as telemetry;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -179,6 +180,10 @@ struct JobRecord {
     job: BatchJob,
     attempts: u32,
     status: JobStatus,
+    /// Span open on the submitting thread at [`JobService::submit`] time
+    /// (0 = none): workers parent their execution spans under it, so a
+    /// trace links a job's queued→running→done lifecycle across the pool.
+    trace_parent: u64,
 }
 
 #[derive(Default)]
@@ -191,38 +196,146 @@ struct ServiceState {
     replay: HashMap<SpecKey, JournalEntry>,
 }
 
-/// Seconds-scale latency buckets of the job-duration histogram.
-const DURATION_BUCKETS: [f64; 10] = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0];
-
-#[derive(Default)]
+/// Per-service metric handles, registered in the service's own
+/// [`telemetry::MetricsRegistry`] (in exposition order). The registry
+/// replaces the former hand-rolled atomics plus by-hand string assembly:
+/// lifecycle counters and the latency histogram (seconds-scale
+/// [`telemetry::DURATION_BUCKETS`]) are updated live, while cache/disk
+/// totals owned by the engine and the point-in-time queue gauges are
+/// mirrored into their handles when [`JobService::metrics_text`] renders.
 struct Metrics {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    resumed: AtomicU64,
-    failed_attempts: AtomicU64,
-    retried: AtomicU64,
-    dead: AtomicU64,
-    cancelled: AtomicU64,
-    journal_errors: AtomicU64,
-    duration_buckets: [AtomicU64; DURATION_BUCKETS.len() + 1],
-    duration_sum_micros: AtomicU64,
-    duration_count: AtomicU64,
+    registry: telemetry::MetricsRegistry,
+    submitted: telemetry::Counter,
+    completed: telemetry::Counter,
+    resumed: telemetry::Counter,
+    failed_attempts: telemetry::Counter,
+    retried: telemetry::Counter,
+    dead: telemetry::Counter,
+    cancelled: telemetry::Counter,
+    journal_errors: telemetry::Counter,
+    cache_hits: telemetry::Counter,
+    cache_misses: telemetry::Counter,
+    cache_disk_hits: telemetry::Counter,
+    cache_disk_corrupt: telemetry::Counter,
+    cache_disk_writes: telemetry::Counter,
+    cache_disk_write_errors: telemetry::Counter,
+    queued: telemetry::Gauge,
+    running: telemetry::Gauge,
+    cache_entries: telemetry::Gauge,
+    duration: telemetry::Histogram,
 }
 
 impl Metrics {
-    fn observe_duration(&self, wall: Duration) {
-        let seconds = wall.as_secs_f64();
-        for (bucket, bound) in self.duration_buckets.iter().zip(DURATION_BUCKETS.iter()) {
-            if seconds <= *bound {
-                bucket.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        self.duration_buckets[DURATION_BUCKETS.len()].fetch_add(1, Ordering::Relaxed);
-        self.duration_sum_micros.fetch_add(
-            wall.as_micros().min(u128::from(u64::MAX)) as u64,
-            Ordering::Relaxed,
+    fn new() -> Self {
+        let registry = telemetry::MetricsRegistry::new();
+        let submitted = registry.counter(
+            "qdaflow_jobs_submitted_total",
+            "Jobs accepted by the service.",
+            &[],
         );
-        self.duration_count.fetch_add(1, Ordering::Relaxed);
+        let completed = registry.counter(
+            "qdaflow_jobs_completed_total",
+            "Jobs that reached Done (including journal replays).",
+            &[],
+        );
+        let resumed = registry.counter(
+            "qdaflow_jobs_resumed_total",
+            "Jobs answered from the checkpoint journal without re-execution.",
+            &[],
+        );
+        let failed_attempts = registry.counter(
+            "qdaflow_job_attempts_failed_total",
+            "Individual execution attempts that failed (before retry accounting).",
+            &[],
+        );
+        let retried = registry.counter(
+            "qdaflow_jobs_retried_total",
+            "Jobs requeued with backoff after a transient failure.",
+            &[],
+        );
+        let dead = registry.counter(
+            "qdaflow_jobs_dead_total",
+            "Jobs moved to the dead-letter bucket (deterministic failures, exhausted retries, cancellations).",
+            &[],
+        );
+        let cancelled = registry.counter(
+            "qdaflow_jobs_cancelled_total",
+            "Jobs cancelled before running.",
+            &[],
+        );
+        let journal_errors = registry.counter(
+            "qdaflow_journal_append_errors_total",
+            "Checkpoint records that could not be appended (completion still served from memory).",
+            &[],
+        );
+        let cache_hits = registry.counter(
+            "qdaflow_oracle_cache_hits_total",
+            "Compilations answered from the in-memory oracle cache.",
+            &[],
+        );
+        let cache_misses = registry.counter(
+            "qdaflow_oracle_cache_misses_total",
+            "Compilations actually performed (in-memory and disk layers both missed).",
+            &[],
+        );
+        let cache_disk_hits = registry.counter(
+            "qdaflow_oracle_cache_disk_hits_total",
+            "Compilations answered from the disk-backed oracle cache.",
+            &[],
+        );
+        let cache_disk_corrupt = registry.counter(
+            "qdaflow_oracle_cache_disk_corrupt_total",
+            "Disk cache entries rejected as truncated or corrupt (degraded to misses).",
+            &[],
+        );
+        let cache_disk_writes = registry.counter(
+            "qdaflow_oracle_cache_disk_writes_total",
+            "Disk cache entries written (atomic temp-file + rename).",
+            &[],
+        );
+        let cache_disk_write_errors = registry.counter(
+            "qdaflow_oracle_cache_disk_write_errors_total",
+            "Disk cache entry writes that failed (best-effort, swallowed).",
+            &[],
+        );
+        let queued = registry.gauge(
+            "qdaflow_jobs_queued",
+            "Jobs currently waiting for a worker (including retry backoffs).",
+            &[],
+        );
+        let running = registry.gauge("qdaflow_jobs_running", "Jobs currently executing.", &[]);
+        let cache_entries = registry.gauge(
+            "qdaflow_oracle_cache_entries",
+            "Programs currently held by the in-memory oracle cache.",
+            &[],
+        );
+        let duration = registry.histogram(
+            "qdaflow_job_duration_seconds",
+            "Wall-clock job execution time (per attempt, successes and failures).",
+            &telemetry::DURATION_BUCKETS,
+            &[],
+        );
+        Metrics {
+            registry,
+            submitted,
+            completed,
+            resumed,
+            failed_attempts,
+            retried,
+            dead,
+            cancelled,
+            journal_errors,
+            cache_hits,
+            cache_misses,
+            cache_disk_hits,
+            cache_disk_corrupt,
+            cache_disk_writes,
+            cache_disk_write_errors,
+            queued,
+            running,
+            cache_entries,
+            duration,
+        }
     }
 }
 
@@ -313,7 +426,7 @@ impl JobService {
             wake: Condvar::new(),
             done: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            metrics: Metrics::default(),
+            metrics: Metrics::new(),
             journal,
         });
         let workers = (0..config.workers.max(1))
@@ -347,10 +460,11 @@ impl JobService {
         }
         let digest = job.digest();
         let key = job.cache_key();
+        let trace_parent = telemetry::current_span();
         let mut state = self.inner.lock();
         let id = JobId(state.next_id);
         state.next_id += 1;
-        self.inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.submitted.inc();
         if let Some(entry) = state.replay.get(&digest) {
             let status = JobStatus::Done(entry.result.clone());
             state.jobs.insert(
@@ -359,11 +473,17 @@ impl JobService {
                     job,
                     attempts: 0,
                     status,
+                    trace_parent,
                 },
             );
-            self.inner.metrics.resumed.fetch_add(1, Ordering::Relaxed);
-            self.inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.resumed.inc();
+            self.inner.metrics.completed.inc();
             drop(state);
+            telemetry::event(
+                "job",
+                format!("job {id} resumed from journal"),
+                vec![("job", id.to_string())],
+            );
             self.inner.done.notify_all();
             return Ok(id);
         }
@@ -373,6 +493,7 @@ impl JobService {
                 job,
                 attempts: 0,
                 status: JobStatus::Queued,
+                trace_parent,
             },
         );
         state.queue.push(QueueEntry {
@@ -381,6 +502,11 @@ impl JobService {
             ready_at: Instant::now(),
         });
         drop(state);
+        telemetry::event(
+            "job",
+            format!("job {id} queued"),
+            vec![("job", id.to_string())],
+        );
         self.inner.wake.notify_one();
         Ok(id)
     }
@@ -469,8 +595,8 @@ impl JobService {
             error: EngineError::JobCancelled,
         };
         state.queue.retain(|entry| entry.id != id);
-        self.inner.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-        self.inner.metrics.dead.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.cancelled.inc();
+        self.inner.metrics.dead.inc();
         drop(state);
         self.inner.done.notify_all();
         true
@@ -509,126 +635,18 @@ impl JobService {
                 .count();
             (queued, running)
         };
-        let mut out = String::with_capacity(4096);
-        let mut counter = |name: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
-            ));
-        };
-        counter(
-            "qdaflow_jobs_submitted_total",
-            "Jobs accepted by the service.",
-            m.submitted.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_jobs_completed_total",
-            "Jobs that reached Done (including journal replays).",
-            m.completed.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_jobs_resumed_total",
-            "Jobs answered from the checkpoint journal without re-execution.",
-            m.resumed.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_job_attempts_failed_total",
-            "Individual execution attempts that failed (before retry accounting).",
-            m.failed_attempts.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_jobs_retried_total",
-            "Jobs requeued with backoff after a transient failure.",
-            m.retried.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_jobs_dead_total",
-            "Jobs moved to the dead-letter bucket (deterministic failures, exhausted retries, cancellations).",
-            m.dead.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_jobs_cancelled_total",
-            "Jobs cancelled before running.",
-            m.cancelled.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_journal_append_errors_total",
-            "Checkpoint records that could not be appended (completion still served from memory).",
-            m.journal_errors.load(Ordering::Relaxed),
-        );
-        counter(
-            "qdaflow_oracle_cache_hits_total",
-            "Compilations answered from the in-memory oracle cache.",
-            cache.hits,
-        );
-        counter(
-            "qdaflow_oracle_cache_misses_total",
-            "Compilations actually performed (in-memory and disk layers both missed).",
-            cache.misses,
-        );
-        counter(
-            "qdaflow_oracle_cache_disk_hits_total",
-            "Compilations answered from the disk-backed oracle cache.",
-            cache.disk_hits,
-        );
-        counter(
-            "qdaflow_oracle_cache_disk_corrupt_total",
-            "Disk cache entries rejected as truncated or corrupt (degraded to misses).",
-            disk.corrupt,
-        );
-        counter(
-            "qdaflow_oracle_cache_disk_writes_total",
-            "Disk cache entries written (atomic temp-file + rename).",
-            disk.writes,
-        );
-        counter(
-            "qdaflow_oracle_cache_disk_write_errors_total",
-            "Disk cache entry writes that failed (best-effort, swallowed).",
-            disk.write_errors,
-        );
-        let mut gauge = |name: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
-            ));
-        };
-        gauge(
-            "qdaflow_jobs_queued",
-            "Jobs currently waiting for a worker (including retry backoffs).",
-            queued as u64,
-        );
-        gauge(
-            "qdaflow_jobs_running",
-            "Jobs currently executing.",
-            running as u64,
-        );
-        gauge(
-            "qdaflow_oracle_cache_entries",
-            "Programs currently held by the in-memory oracle cache.",
-            cache.entries as u64,
-        );
-        out.push_str(concat!(
-            "# HELP qdaflow_job_duration_seconds Wall-clock job execution time",
-            " (per attempt, successes and failures).\n",
-            "# TYPE qdaflow_job_duration_seconds histogram\n"
-        ));
-        for (bound, bucket) in DURATION_BUCKETS.iter().zip(m.duration_buckets.iter()) {
-            out.push_str(&format!(
-                "qdaflow_job_duration_seconds_bucket{{le=\"{bound}\"}} {}\n",
-                bucket.load(Ordering::Relaxed)
-            ));
-        }
-        out.push_str(&format!(
-            "qdaflow_job_duration_seconds_bucket{{le=\"+Inf\"}} {}\n",
-            m.duration_buckets[DURATION_BUCKETS.len()].load(Ordering::Relaxed)
-        ));
-        out.push_str(&format!(
-            "qdaflow_job_duration_seconds_sum {}\n",
-            m.duration_sum_micros.load(Ordering::Relaxed) as f64 / 1e6
-        ));
-        out.push_str(&format!(
-            "qdaflow_job_duration_seconds_count {}\n",
-            m.duration_count.load(Ordering::Relaxed)
-        ));
-        out
+        // Mirror the engine-owned cache totals and the point-in-time queue
+        // depths into their registry handles, then render the registry.
+        m.cache_hits.store(cache.hits);
+        m.cache_misses.store(cache.misses);
+        m.cache_disk_hits.store(cache.disk_hits);
+        m.cache_disk_corrupt.store(disk.corrupt);
+        m.cache_disk_writes.store(disk.writes);
+        m.cache_disk_write_errors.store(disk.write_errors);
+        m.queued.set(queued as i64);
+        m.running.set(running as i64);
+        m.cache_entries.set(cache.entries as i64);
+        m.registry.render()
     }
 }
 
@@ -682,7 +700,7 @@ fn next_candidate(state: &ServiceState, now: Instant) -> Candidate {
 fn worker_loop(inner: &ServiceInner) {
     loop {
         // Take the next runnable job under the lock.
-        let (id, key, job) = {
+        let (id, key, job, trace_parent) = {
             let mut state = inner.lock();
             loop {
                 if inner.shutdown.load(Ordering::SeqCst) {
@@ -697,7 +715,7 @@ fn worker_loop(inner: &ServiceInner) {
                             .get_mut(&entry.id)
                             .expect("queued job has a record");
                         record.status = JobStatus::Running;
-                        break (entry.id, entry.key, record.job.clone());
+                        break (entry.id, entry.key, record.job.clone(), record.trace_parent);
                     }
                     Candidate::Backoff(at) => {
                         let timeout = at.saturating_duration_since(Instant::now());
@@ -718,11 +736,18 @@ fn worker_loop(inner: &ServiceInner) {
         };
         // Execute outside the lock, under the per-job panic boundary (the
         // engine catches its own panics too — this is the outer net for
-        // anything around it).
+        // anything around it). The span is parented under the span that was
+        // open when the job was submitted — possibly on another thread.
         let started = Instant::now();
+        let span = if telemetry::enabled() {
+            telemetry::span_with_parent("job", format!("job {id} running"), trace_parent)
+        } else {
+            telemetry::SpanGuard::disabled()
+        };
         let outcome = catch_job_panic(|| inner.engine.run_job(&job, &inner.exec));
+        drop(span);
         let wall = started.elapsed();
-        inner.metrics.observe_duration(wall);
+        inner.metrics.duration.observe_duration(wall);
         let mut state = inner.lock();
         state.inflight.remove(&key);
         let record = state.jobs.get_mut(&id).expect("running job has a record");
@@ -737,19 +762,27 @@ fn worker_loop(inner: &ServiceInner) {
                         wall,
                     );
                     if appended.is_err() {
-                        inner.metrics.journal_errors.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.journal_errors.inc();
                     }
                 }
                 record.status = JobStatus::Done(result);
-                inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.completed.inc();
                 drop(state);
+                if telemetry::enabled() {
+                    telemetry::event(
+                        "job",
+                        format!("job {id} done"),
+                        vec![
+                            ("job", id.to_string()),
+                            ("attempts", attempts.to_string()),
+                            ("wall_us", wall.as_micros().to_string()),
+                        ],
+                    );
+                }
                 inner.done.notify_all();
             }
             Err(error) => {
-                inner
-                    .metrics
-                    .failed_attempts
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.metrics.failed_attempts.inc();
                 let transient = matches!(error, EngineError::JobPanicked { .. });
                 if transient && attempts < inner.max_attempts {
                     let exponent = attempts.saturating_sub(1).min(16);
@@ -760,12 +793,30 @@ fn worker_loop(inner: &ServiceInner) {
                         key,
                         ready_at: Instant::now() + delay,
                     });
-                    inner.metrics.retried.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.retried.inc();
                     drop(state);
+                    if telemetry::enabled() {
+                        telemetry::event(
+                            "job",
+                            format!("job {id} retrying"),
+                            vec![
+                                ("job", id.to_string()),
+                                ("attempts", attempts.to_string()),
+                                ("delay_ms", delay.as_millis().to_string()),
+                            ],
+                        );
+                    }
                 } else {
                     record.status = JobStatus::Dead { attempts, error };
-                    inner.metrics.dead.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.dead.inc();
                     drop(state);
+                    if telemetry::enabled() {
+                        telemetry::event(
+                            "job",
+                            format!("job {id} dead"),
+                            vec![("job", id.to_string()), ("attempts", attempts.to_string())],
+                        );
+                    }
                     inner.done.notify_all();
                 }
             }

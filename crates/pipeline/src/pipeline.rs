@@ -9,6 +9,7 @@ use qdaflow_boolfn::{Permutation, TruthTable};
 use qdaflow_quantum::resource::ResourceCounts;
 use qdaflow_quantum::{GateCensus, QuantumCircuit};
 use qdaflow_reversible::ReversibleCircuit;
+use qdaflow_telemetry as telemetry;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -133,6 +134,7 @@ impl Pipeline {
         let mut records = Vec::with_capacity(self.passes.len());
         let mut artifacts = Artifacts::default();
         let mut remaining = self.passes.as_slice();
+        let _flow_span = telemetry::span!("pipeline", "flow: {} passes", self.passes.len());
 
         let mut current = match input {
             Some(ir) => ir,
@@ -141,14 +143,17 @@ impl Pipeline {
                     .split_first()
                     .expect("built pipelines are never empty");
                 let start = Instant::now();
-                let generated =
+                let generated = {
+                    let _span = telemetry::span!("pipeline", "pass {}", first.describe());
                     first
                         .generate()
                         .ok_or_else(|| FlowError::MissingPipelineInput {
                             pass: first.describe(),
                             expected: first.accepts(),
-                        })??;
+                        })??
+                };
                 records.push(PassRecord::of(first.as_ref(), &generated, start.elapsed()));
+                note_pass(records.last().expect("just pushed"));
                 remaining = rest;
                 generated
             }
@@ -173,8 +178,12 @@ impl Pipeline {
                 });
             }
             let start = Instant::now();
-            let output = pass.apply(current)?;
+            let output = {
+                let _span = telemetry::span!("pipeline", "pass {}", pass.describe());
+                pass.apply(current)?
+            };
             records.push(PassRecord::of(pass.as_ref(), &output, start.elapsed()));
+            note_pass(records.last().expect("just pushed"));
             artifacts.absorb(&output);
             current = output;
         }
@@ -184,6 +193,32 @@ impl Pipeline {
             output: current,
             artifacts,
         })
+    }
+}
+
+/// Publishes one executed pass into telemetry: a sample in the global
+/// `qdaflow_pass_duration_seconds{pass=...}` histogram (always on) and,
+/// when tracing is enabled, a key/value event mirroring the record.
+fn note_pass(record: &PassRecord) {
+    let name = record.pass.split_whitespace().next().unwrap_or("?");
+    telemetry::global_metrics()
+        .histogram(
+            "qdaflow_pass_duration_seconds",
+            "Wall-clock pipeline pass duration, labelled by pass name.",
+            &telemetry::DURATION_BUCKETS,
+            &[("pass", name)],
+        )
+        .observe_duration(record.duration);
+    if telemetry::enabled() {
+        telemetry::event(
+            "pipeline",
+            format!("pass {name}"),
+            vec![
+                ("pass", record.pass.clone()),
+                ("stage", record.stage.to_string()),
+                ("duration_us", record.duration.as_micros().to_string()),
+            ],
+        );
     }
 }
 

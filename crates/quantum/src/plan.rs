@@ -43,10 +43,12 @@ use crate::circuit::QuantumCircuit;
 use crate::complex::Complex;
 use crate::fusion::{ExecConfig, FusedOp, FusedProgram};
 use crate::kernel;
+use qdaflow_telemetry as telemetry;
 use std::ops::Range;
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
+use std::time::Instant;
 
 /// Default log2 of the amplitudes per cache block when
 /// [`ExecConfig::block_bits`] is `0` (auto): `2^13` amplitudes are two
@@ -56,6 +58,60 @@ use std::thread;
 /// and degrades past `2^17`; `13` sits at the low end of the plateau so
 /// smaller hosts keep the same behaviour.
 pub const DEFAULT_BLOCK_BITS: usize = 13;
+
+/// Sweep statistics of the plan interpreter, registered once in the
+/// process-wide [`telemetry::global_metrics`] registry.
+struct KernelMetrics {
+    amps_touched: telemetry::Counter,
+    blocks_swept: telemetry::Counter,
+    ns_per_amp: telemetry::Histogram,
+    workers: telemetry::Gauge,
+    records: [telemetry::Counter; 5],
+}
+
+fn kernel_metrics() -> &'static KernelMetrics {
+    static METRICS: OnceLock<KernelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = telemetry::global_metrics();
+        let record_counter = |kind: &str| {
+            registry.counter(
+                "qdaflow_kernel_records_total",
+                "Dispatch records interpreted, by record kind.",
+                &[("kind", kind)],
+            )
+        };
+        KernelMetrics {
+            amps_touched: registry.counter(
+                "qdaflow_kernel_amps_touched_total",
+                "Amplitudes visited by interpreter sweeps (register size times segment sweeps).",
+                &[],
+            ),
+            blocks_swept: registry.counter(
+                "qdaflow_kernel_blocks_swept_total",
+                "Cache blocks visited by interpreter sweeps.",
+                &[],
+            ),
+            ns_per_amp: registry.histogram(
+                "qdaflow_kernel_ns_per_amp",
+                "Nanoseconds of interpreter wall time per amplitude visited, per apply.",
+                &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+                &[],
+            ),
+            workers: registry.gauge(
+                "qdaflow_kernel_workers",
+                "Threads used by the most recent plan application.",
+                &[],
+            ),
+            records: [
+                record_counter("dense1"),
+                record_counter("dense2"),
+                record_counter("phase"),
+                record_counter("mcx"),
+                record_counter("swap"),
+            ],
+        }
+    })
+}
 
 /// The kind discriminant of a [`DispatchRecord`].
 ///
@@ -737,10 +793,25 @@ impl ExecPlan {
             "state block size does not match the plan schedule"
         );
         let threads = config.effective_threads(1usize << state.num_qubits);
+        let started = Instant::now();
+        let _span = telemetry::span!(
+            "kernel",
+            "apply_soa {}q: {} records, {} segments, {threads} threads",
+            state.num_qubits,
+            self.records.len(),
+            self.segments.len()
+        );
         if threads > 1 && state.blocks.len() > 1 {
             self.apply_pooled(state, threads);
         } else {
             for segment in &self.segments {
+                let _sweep = telemetry::span!(
+                    "kernel",
+                    "sweep {:?} records {}..{}",
+                    segment.locality,
+                    segment.range.start,
+                    segment.range.end
+                );
                 match segment.locality {
                     Locality::Local => {
                         for (block_index, block) in state.blocks.iter_mut().enumerate() {
@@ -758,6 +829,31 @@ impl ExecPlan {
                     }
                 }
             }
+        }
+        self.note_sweep_metrics(state, threads, started);
+    }
+
+    /// Publishes per-apply sweep statistics into the global metrics
+    /// registry: amplitudes and blocks visited, nanoseconds per amplitude,
+    /// worker count, and per-kind record tallies. A handful of relaxed
+    /// atomic updates plus one pass over the (short) record array —
+    /// negligible next to the amplitude sweeps themselves.
+    fn note_sweep_metrics(&self, state: &SoaStatevector, threads: usize, started: Instant) {
+        let metrics = kernel_metrics();
+        let sweeps = self.segments.len() as u64;
+        let amps = (1u64 << state.num_qubits).saturating_mul(sweeps);
+        metrics.amps_touched.add(amps);
+        metrics
+            .blocks_swept
+            .add((state.blocks.len() as u64).saturating_mul(sweeps));
+        if amps > 0 {
+            metrics
+                .ns_per_amp
+                .observe(started.elapsed().as_nanos() as f64 / amps as f64);
+        }
+        metrics.workers.set(threads as i64);
+        for record in &self.records {
+            metrics.records[record.kind as usize].inc();
         }
     }
 
@@ -778,26 +874,41 @@ impl ExecPlan {
     /// routes blocks and performs the free block-permutation fast paths.
     fn apply_pooled(&self, state: &mut SoaStatevector, threads: usize) {
         let block_bits = state.block_bits;
+        // Workers run on their own threads: capture the apply span here and
+        // open each worker's span under it explicitly so the exported trace
+        // keeps the causal link across the pool boundary.
+        let parent = telemetry::current_span();
         thread::scope(|scope| {
             let (task_tx, task_rx) = mpsc::channel::<Task>();
             let task_rx = Arc::new(Mutex::new(task_rx));
             let (done_tx, done_rx) = mpsc::channel::<Task>();
-            for _ in 0..threads {
+            for worker in 0..threads {
                 let task_rx = Arc::clone(&task_rx);
                 let done_tx = done_tx.clone();
                 let plan = &*self;
-                scope.spawn(move || loop {
-                    let next = { task_rx.lock().expect("pool lock poisoned").recv() };
-                    match next {
-                        Ok(mut task) => {
-                            for item in &mut task.items {
-                                plan.process_item(item, block_bits);
+                scope.spawn(move || {
+                    let _span = if telemetry::enabled() {
+                        telemetry::span_with_parent(
+                            "kernel",
+                            format!("pool-worker-{worker}"),
+                            parent,
+                        )
+                    } else {
+                        telemetry::SpanGuard::disabled()
+                    };
+                    loop {
+                        let next = { task_rx.lock().expect("pool lock poisoned").recv() };
+                        match next {
+                            Ok(mut task) => {
+                                for item in &mut task.items {
+                                    plan.process_item(item, block_bits);
+                                }
+                                if done_tx.send(task).is_err() {
+                                    break;
+                                }
                             }
-                            if done_tx.send(task).is_err() {
-                                break;
-                            }
+                            Err(_) => break,
                         }
-                        Err(_) => break,
                     }
                 });
             }

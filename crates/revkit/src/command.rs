@@ -18,8 +18,9 @@
 //! | `qasm`    | print the quantum circuit as OpenQASM, or `qasm load <file>`   |
 //! | `draw`    | print an ASCII rendering of the quantum circuit                |
 //! | `flow`    | run a whole pass pipeline (`flow "revgen --hwb 4; tbs; …"`)    |
-//! | `batch`   | run oracle jobs through the fault-tolerant batch job service (`--resume`, `--stats`) |
+//! | `batch`   | run oracle jobs through the fault-tolerant batch job service (`--resume`, `--stats`, `--trace`) |
 //! | `backend` | select the simulation backend for batch jobs (`dense`/`sparse`/`stabilizer`/`auto`) |
+//! | `trace`   | control the telemetry recorder (`trace on|off|dump <file>|stats`) |
 
 use crate::{RevkitError, Store};
 use qdaflow_engine::{BackendChoice, BatchJob, JobStatus, OracleSpec, SynthesisChoice};
@@ -29,6 +30,7 @@ use qdaflow_pipeline::{passes, FlowError, Ir, Pass, Pipeline, Stage};
 use qdaflow_quantum::fusion::ExecConfig;
 use qdaflow_quantum::{drawer, qasm, resource::ResourceCounts};
 use qdaflow_reversible::{optimize as revopt, synthesis, synthesis::EsopSynthesisOptions};
+use qdaflow_telemetry as telemetry;
 
 /// A shell command.
 pub trait Command {
@@ -65,6 +67,7 @@ pub fn builtin_commands() -> Vec<Box<dyn Command>> {
         Box::new(Flow),
         Box::new(Batch),
         Box::new(BackendCmd),
+        Box::new(Trace),
     ]
 }
 
@@ -526,18 +529,24 @@ impl Command for Flow {
     }
 
     fn description(&self) -> &'static str {
-        "run a pass pipeline, e.g. flow \"revgen --hwb 4; tbs; revsimp; rptm; tpar; ps\""
+        "run a pass pipeline, e.g. flow \"revgen --hwb 4; tbs; revsimp; rptm; tpar; ps\"; flow --json also logs one machine-readable per-pass timing line"
     }
 
     fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
-        if args.is_empty() {
+        let json = args.iter().any(|a| a == "--json");
+        let script_args: Vec<&str> = args
+            .iter()
+            .map(String::as_str)
+            .filter(|a| *a != "--json")
+            .collect();
+        if script_args.is_empty() {
             return Err(RevkitError::InvalidArguments {
                 command: self.name(),
                 message: "expected a pipeline script, e.g. flow \"revgen --hwb 4; tbs; rptm\""
                     .to_owned(),
             });
         }
-        let script = args.join(" ");
+        let script = script_args.join(" ");
         let pipeline = Pipeline::parse(&script)?;
         let report = if pipeline.is_generated() {
             pipeline.run_generated()?
@@ -558,6 +567,29 @@ impl Command for Flow {
             report.passes.len(),
             report.total_duration()
         ));
+        if json {
+            // One machine-readable line with a pinned schema (see the
+            // `flow_json_line_schema_is_stable` integration test): top-level
+            // keys `passes` (array of {pass, stage, duration_us}) and
+            // `total_us`.
+            let passes: Vec<String> = report
+                .passes
+                .iter()
+                .map(|record| {
+                    format!(
+                        "{{\"pass\":\"{}\",\"stage\":\"{}\",\"duration_us\":{}}}",
+                        telemetry::export::json_escape(&record.pass),
+                        telemetry::export::json_escape(&record.stage.to_string()),
+                        record.duration.as_micros()
+                    )
+                })
+                .collect();
+            store.log(format!(
+                "[flow-json] {{\"passes\":[{}],\"total_us\":{}}}",
+                passes.join(","),
+                report.total_duration().as_micros()
+            ));
+        }
         let artifacts = report.artifacts;
         if let Some(p) = artifacts.permutation {
             store.set_permutation(p);
@@ -599,7 +631,15 @@ impl Command for Flow {
 /// are recorded as they finish, and resubmitting a recorded job answers
 /// instantly from the checkpoint — a killed batch rerun this way recompiles
 /// and resimulates nothing it already finished. `batch --stats` logs the
-/// service metrics in Prometheus text exposition format.
+/// service metrics followed by the unified process-wide registry (pass
+/// durations, cache layers, dispatch decisions, kernel sweeps, compile
+/// times), all in Prometheus text exposition format.
+///
+/// `batch --trace <file>` records telemetry spans for the duration of the
+/// batch and writes them to `<file>` as Chrome trace-event JSON when the
+/// batch finishes. If the recorder was off, it is cleared first (so the file
+/// holds exactly this batch) and switched off again afterwards; if it was
+/// already on (`trace on`), the recording simply continues.
 pub struct Batch;
 
 impl Batch {
@@ -608,6 +648,29 @@ impl Batch {
             command: "batch",
             message,
         }
+    }
+
+    /// Writes the recorder contents as a Chrome trace to `path`, restoring
+    /// the recorder to off when this batch turned it on.
+    fn dump_trace(
+        path: &std::path::Path,
+        restore_off: bool,
+        store: &mut Store,
+    ) -> Result<(), RevkitError> {
+        if restore_off {
+            telemetry::disable();
+        }
+        let (records, dropped) = telemetry::snapshot();
+        let json = telemetry::export::chrome_trace(&records, dropped);
+        std::fs::write(path, json)
+            .map_err(|e| Self::invalid(format!("cannot write '{}': {e}", path.display())))?;
+        store.log(format!(
+            "[batch] trace: {} records ({} dropped) -> {}",
+            records.len(),
+            dropped,
+            path.display()
+        ));
+        Ok(())
     }
 
     /// Parses one `--spec` value into an [`OracleSpec`].
@@ -691,11 +754,17 @@ impl Command for Batch {
     }
 
     fn description(&self) -> &'static str {
-        "run oracle jobs through the batch job service: batch [--shots N] [--seed S] [--synth tbs|dbs] [--resume JOURNAL] [--stats] --spec \"hwb 4\" [--spec \"qasm:oracle.qasm\" ...]"
+        "run oracle jobs through the batch job service: batch [--shots N] [--seed S] [--synth tbs|dbs] [--resume JOURNAL] [--stats] [--trace FILE] --spec \"hwb 4\" [--spec \"qasm:oracle.qasm\" ...]"
     }
 
     fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
         let show_stats = args.iter().any(|a| a == "--stats");
+        let trace_path = find_flag_value(args, "--trace").map(std::path::PathBuf::from);
+        let trace_was_on = telemetry::enabled();
+        if trace_path.is_some() && !trace_was_on {
+            telemetry::clear();
+            telemetry::enable();
+        }
         let resume = find_flag_value(args, "--resume").map(std::path::PathBuf::from);
         if let Some(path) = &resume {
             store.set_journal_path(Some(path.clone()));
@@ -729,14 +798,20 @@ impl Command for Batch {
             })
             .collect::<Result<_, _>>()?;
         if specs.is_empty() {
-            // `--stats` / `--resume` are valid on their own: report/attach
-            // without running anything.
-            if show_stats || resume.is_some() {
+            // `--stats` / `--resume` / `--trace` are valid on their own:
+            // report/attach/dump without running anything.
+            if show_stats || resume.is_some() || trace_path.is_some() {
                 if show_stats {
                     let service = store.job_service()?;
                     for line in service.metrics_text().lines() {
                         store.log(line);
                     }
+                    for line in telemetry::global_metrics().render().lines() {
+                        store.log(line);
+                    }
+                }
+                if let Some(path) = &trace_path {
+                    Self::dump_trace(path, !trace_was_on, store)?;
                 }
                 return Ok(());
             }
@@ -830,6 +905,12 @@ impl Command for Batch {
             for line in service.metrics_text().lines() {
                 store.log(line);
             }
+            for line in telemetry::global_metrics().render().lines() {
+                store.log(line);
+            }
+        }
+        if let Some(path) = &trace_path {
+            Self::dump_trace(path, !trace_was_on, store)?;
         }
         Ok(())
     }
@@ -879,6 +960,77 @@ impl Command for BackendCmd {
             }
         }
         store.log(format!("[backend] {}", store.backend_choice()));
+        Ok(())
+    }
+}
+
+/// `trace` — control the workspace telemetry recorder.
+///
+/// `trace on` starts recording spans and events across every layer (pipeline
+/// passes, backend dispatch, the compiled-oracle cache, kernel sweeps, job
+/// lifecycle); `trace off` stops it. `trace dump <file>` writes everything
+/// recorded so far as a Chrome trace-event JSON array — loadable in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev). `trace stats`
+/// logs the unified process-wide metrics registry in Prometheus text
+/// exposition format (pass durations, cache hits and misses, dispatch
+/// decisions, kernel sweep statistics, compile times). Without an argument
+/// the command reports the recorder status.
+pub struct Trace;
+
+impl Command for Trace {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn description(&self) -> &'static str {
+        "control the telemetry recorder: trace on|off|dump <file>|stats; no argument prints the status"
+    }
+
+    fn execute(&self, args: &[String], store: &mut Store) -> Result<(), RevkitError> {
+        match args {
+            [] => {
+                let recorder = telemetry::recorder();
+                store.log(format!(
+                    "[trace] {}, {} records buffered, {} dropped (capacity {})",
+                    if telemetry::enabled() { "on" } else { "off" },
+                    recorder.len(),
+                    recorder.dropped(),
+                    recorder.capacity()
+                ));
+            }
+            [arg] if arg == "on" => {
+                telemetry::enable();
+                store.log("[trace] recording on");
+            }
+            [arg] if arg == "off" => {
+                telemetry::disable();
+                store.log("[trace] recording off");
+            }
+            [arg] if arg == "stats" => {
+                for line in telemetry::global_metrics().render().lines() {
+                    store.log(line);
+                }
+            }
+            [arg, path] if arg == "dump" => {
+                let (records, dropped) = telemetry::snapshot();
+                let json = telemetry::export::chrome_trace(&records, dropped);
+                std::fs::write(path, json).map_err(|e| RevkitError::InvalidArguments {
+                    command: self.name(),
+                    message: format!("cannot write '{path}': {e}"),
+                })?;
+                store.log(format!(
+                    "[trace] dumped {} records ({} dropped) to {path}",
+                    records.len(),
+                    dropped
+                ));
+            }
+            _ => {
+                return Err(RevkitError::InvalidArguments {
+                    command: self.name(),
+                    message: "expected 'trace on|off|dump <file>|stats'".to_owned(),
+                })
+            }
+        }
         Ok(())
     }
 }

@@ -1,0 +1,337 @@
+//! Trace exporters: Chrome trace-event JSON and a human-readable text tree.
+
+use crate::{TracePhase, TraceRecord};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Escape a string for embedding inside a JSON string literal.
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn args_object(record: &TraceRecord) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    if record.id != 0 {
+        let _ = write!(out, "\"span\":{}", record.id);
+        first = false;
+    }
+    if record.parent != 0 {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "\"parent\":{}", record.parent);
+        first = false;
+    }
+    for (key, value) in &record.fields {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(key), json_escape(value));
+        first = false;
+    }
+    out.push('}');
+    out
+}
+
+/// Render records as a Chrome trace-event JSON array, loadable in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+///
+/// Span begin/end records become strictly matched `ph: "B"` / `"E"` pairs
+/// on the opening thread's `tid`; point events become `"i"` and measured
+/// sections `"X"`. Events are emitted in non-decreasing `ts` order
+/// (microseconds). Records whose partner was lost — a span still open at
+/// snapshot time, or whose begin was evicted when the ring wrapped — are
+/// omitted so the output always loads cleanly; a leading `"i"` event
+/// reports the dropped-count when the ring wrapped.
+pub fn chrome_trace(records: &[TraceRecord], dropped: u64) -> String {
+    // Stable sort by timestamp: equal timestamps keep buffer (push) order,
+    // so B/E pairs from the same thread stay properly nested.
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by_key(|&i| records[i].ts_micros);
+
+    // Match span pairs: id -> index of its Begin; matched ids close both.
+    let mut begin_of: HashMap<u64, usize> = HashMap::new();
+    let mut matched: HashSet<u64> = HashSet::new();
+    for record in records {
+        match record.phase {
+            TracePhase::Begin => {
+                begin_of.insert(record.id, 0);
+            }
+            TracePhase::End if begin_of.contains_key(&record.id) => {
+                matched.insert(record.id);
+            }
+            _ => {}
+        }
+    }
+    // Remember each matched span's opening tid so the E event lands on the
+    // same Chrome track even if the guard was dropped elsewhere.
+    let mut tid_of: HashMap<u64, u64> = HashMap::new();
+    for record in records {
+        if record.phase == TracePhase::Begin && matched.contains(&record.id) {
+            tid_of.insert(record.id, record.tid);
+        }
+    }
+
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + 1);
+    if dropped > 0 {
+        let first_ts = order.first().map(|&i| records[i].ts_micros).unwrap_or(0);
+        events.push(format!(
+            "{{\"name\":\"qdaflow: ring dropped {dropped} oldest records\",\
+             \"cat\":\"telemetry\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":{first_ts}}}"
+        ));
+    }
+    for &i in &order {
+        let record = &records[i];
+        let ts = record.ts_micros;
+        match record.phase {
+            TracePhase::Begin if matched.contains(&record.id) => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{ts},\"args\":{}}}",
+                    json_escape(&record.name),
+                    json_escape(record.target),
+                    record.tid,
+                    args_object(record)
+                ));
+            }
+            TracePhase::End if matched.contains(&record.id) => {
+                let tid = tid_of.get(&record.id).copied().unwrap_or(record.tid);
+                events.push(format!(
+                    "{{\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\"ts\":{ts}}}"
+                ));
+            }
+            TracePhase::Complete => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{ts},\"dur\":{},\"args\":{}}}",
+                    json_escape(&record.name),
+                    json_escape(record.target),
+                    record.tid,
+                    record.dur_micros,
+                    args_object(record)
+                ));
+            }
+            TracePhase::Instant => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{ts},\"args\":{}}}",
+                    json_escape(&record.name),
+                    json_escape(record.target),
+                    record.tid,
+                    args_object(record)
+                ));
+            }
+            // Unmatched begin (still open) or end (begin evicted).
+            TracePhase::Begin | TracePhase::End => {}
+        }
+    }
+
+    let mut out = String::from("[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+enum Node {
+    Span(u64),
+    Leaf(usize),
+}
+
+/// Render records as an indented human-readable tree, following parent
+/// links (including cross-thread ones). Spans whose begin was evicted by a
+/// ring wrap appear as roots.
+pub fn text_tree(records: &[TraceRecord], dropped: u64) -> String {
+    struct SpanInfo<'a> {
+        begin: &'a TraceRecord,
+        end_ts: Option<u64>,
+    }
+    let mut spans: HashMap<u64, SpanInfo<'_>> = HashMap::new();
+    for record in records {
+        match record.phase {
+            TracePhase::Begin => {
+                spans.insert(
+                    record.id,
+                    SpanInfo {
+                        begin: record,
+                        end_ts: None,
+                    },
+                );
+            }
+            TracePhase::End => {
+                if let Some(info) = spans.get_mut(&record.id) {
+                    info.end_ts = Some(record.ts_micros);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut children: HashMap<u64, Vec<Node>> = HashMap::new();
+    let mut roots: Vec<Node> = Vec::new();
+    let mut attach = |parent: u64, node: Node| {
+        if parent != 0 && spans.contains_key(&parent) {
+            children.entry(parent).or_default().push(node);
+        } else {
+            roots.push(node);
+        }
+    };
+    for (i, record) in records.iter().enumerate() {
+        match record.phase {
+            TracePhase::Begin => attach(record.parent, Node::Span(record.id)),
+            TracePhase::Instant | TracePhase::Complete => attach(record.parent, Node::Leaf(i)),
+            TracePhase::End => {}
+        }
+    }
+
+    fn fmt_micros(micros: u64) -> String {
+        format!("{:.3}ms", micros as f64 / 1000.0)
+    }
+
+    fn render(
+        node: &Node,
+        depth: usize,
+        out: &mut String,
+        records: &[TraceRecord],
+        spans: &HashMap<u64, SpanInfo<'_>>,
+        children: &HashMap<u64, Vec<Node>>,
+    ) {
+        let indent = "  ".repeat(depth);
+        match node {
+            Node::Span(id) => {
+                let info = &spans[id];
+                let dur = match info.end_ts {
+                    Some(end) => fmt_micros(end.saturating_sub(info.begin.ts_micros)),
+                    None => "open".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{indent}- [{}] {} — {dur} (tid {})",
+                    info.begin.target, info.begin.name, info.begin.tid
+                );
+                if let Some(kids) = children.get(id) {
+                    for kid in kids {
+                        render(kid, depth + 1, out, records, spans, children);
+                    }
+                }
+            }
+            Node::Leaf(i) => {
+                let record = &records[*i];
+                if record.phase == TracePhase::Complete {
+                    let _ = writeln!(
+                        out,
+                        "{indent}- [{}] {} — {} (tid {})",
+                        record.target,
+                        record.name,
+                        fmt_micros(record.dur_micros),
+                        record.tid
+                    );
+                } else {
+                    let fields: Vec<String> = record
+                        .fields
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect();
+                    let suffix = if fields.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" {{{}}}", fields.join(", "))
+                    };
+                    let _ = writeln!(out, "{indent}* [{}] {}{suffix}", record.target, record.name);
+                }
+            }
+        }
+    }
+
+    let mut out = format!("trace: {} records, {dropped} dropped\n", records.len());
+    for root in &roots {
+        render(root, 0, &mut out, records, &spans, &children);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use std::time::Duration;
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::with_capacity(64);
+        let outer = rec.begin_span("pipeline", "flow".into(), 0);
+        let inner = rec.begin_span("cache", "compile".into(), outer);
+        rec.instant(
+            "cache",
+            "miss".into(),
+            inner,
+            vec![("layer", "mem".to_string())],
+        );
+        rec.end_span(inner);
+        rec.complete_section("kernel", "sweep".into(), outer, Duration::from_micros(42));
+        rec.end_span(outer);
+        rec
+    }
+
+    #[test]
+    fn chrome_trace_has_matched_pairs_and_sorted_ts() {
+        let (records, dropped) = sample_recorder().snapshot();
+        let trace = chrome_trace(&records, dropped);
+        assert!(trace.starts_with("[\n"));
+        assert!(trace.trim_end().ends_with(']'));
+        assert_eq!(trace.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 1);
+        assert_eq!(trace.matches("\"ph\":\"i\"").count(), 1);
+        assert!(trace.contains("\"layer\":\"mem\""));
+    }
+
+    #[test]
+    fn chrome_trace_skips_orphan_ends_and_open_begins() {
+        let rec = Recorder::with_capacity(64);
+        let open = rec.begin_span("a", "still-open".into(), 0);
+        rec.end_span(9999); // begin evicted in a hypothetical wrap
+        let _ = open;
+        let (records, _) = rec.snapshot();
+        let trace = chrome_trace(&records, 0);
+        assert_eq!(trace.matches("\"ph\":\"B\"").count(), 0);
+        assert_eq!(trace.matches("\"ph\":\"E\"").count(), 0);
+    }
+
+    #[test]
+    fn chrome_trace_reports_drops() {
+        let (records, _) = sample_recorder().snapshot();
+        let trace = chrome_trace(&records, 17);
+        assert!(trace.contains("ring dropped 17 oldest records"));
+    }
+
+    #[test]
+    fn text_tree_nests_by_parent() {
+        let (records, dropped) = sample_recorder().snapshot();
+        let tree = text_tree(&records, dropped);
+        assert!(tree.starts_with("trace: 6 records, 0 dropped\n"));
+        assert!(tree.contains("- [pipeline] flow — "));
+        assert!(tree.contains("\n  - [cache] compile — "));
+        assert!(tree.contains("\n    * [cache] miss {layer=mem}"));
+        assert!(tree.contains("\n  - [kernel] sweep — 0.042ms"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+}
